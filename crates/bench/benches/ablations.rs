@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. partition-based `R_Q` vs the naive `2^|Q|` enumeration;
+//! 2. Monte-Carlo world count (TPO build cost as `M` grows — the accuracy
+//!    side is covered by `tests/engines_agree.rs`);
+//! 3. exact Kemeny DP vs heuristic ORA (cost of exactness);
+//! 4. exact-engine grid resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_core::measures::MeasureKind;
+use ctk_core::residual::{
+    expected_residual_set, expected_residual_set_bruteforce, ResidualCtx,
+};
+use ctk_core::select::relevant_questions;
+use ctk_crowd::Question;
+use ctk_datagen::{generate, scenarios, DatasetSpec};
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_rank::aggregate::{optimal_rank_aggregation, AggregateConfig};
+use ctk_rank::Tournament;
+use ctk_tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+use std::time::Duration;
+
+fn quick(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+}
+
+fn bench_partition_vs_bruteforce(c: &mut Criterion) {
+    let scenario = scenarios::measures(0);
+    let pairwise = PairwiseMatrix::compute(&scenario.table);
+    let ps = build_mc(
+        &scenario.table,
+        scenario.k,
+        &McConfig {
+            worlds: 2_000,
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let measure = MeasureKind::WeightedEntropy.build();
+    let ctx = ResidualCtx {
+        measure: measure.as_ref(),
+        pairwise: &pairwise,
+    };
+    let qs: Vec<Question> = relevant_questions(&ps, &ctx).into_iter().take(6).collect();
+
+    let mut group = c.benchmark_group("residual_set");
+    quick(&mut group);
+    group.bench_function("partition", |b| {
+        b.iter(|| expected_residual_set(&ps, &qs, &ctx))
+    });
+    group.bench_function("bruteforce_2^Q", |b| {
+        b.iter(|| expected_residual_set_bruteforce(&ps, &qs, &ctx))
+    });
+    group.finish();
+}
+
+fn bench_mc_worlds(c: &mut Criterion) {
+    let table = generate(&DatasetSpec::paper_default(20, 0.4, 1));
+    let mut group = c.benchmark_group("mc_worlds");
+    quick(&mut group);
+    for worlds in [1_000usize, 10_000, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(worlds),
+            &worlds,
+            |b, &w| {
+                b.iter(|| build_mc(&table, 5, &McConfig { worlds: w, seed: 0 }).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ora_exact_vs_heuristic(c: &mut Criterion) {
+    let scenario = scenarios::fig1(0);
+    let ps = build_mc(
+        &scenario.table,
+        scenario.k,
+        &McConfig {
+            worlds: 5_000,
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let t = Tournament::from_weighted_lists(&ps.to_weighted_lists());
+    let mut group = c.benchmark_group("ora");
+    quick(&mut group);
+    if t.len() <= 18 {
+        group.bench_function("exact_dp", |b| {
+            let cfg = AggregateConfig {
+                exact_threshold: 18,
+                ..AggregateConfig::default()
+            };
+            b.iter(|| optimal_rank_aggregation(&t, &cfg).unwrap())
+        });
+    }
+    group.bench_function("heuristic_polished", |b| {
+        let cfg = AggregateConfig {
+            exact_threshold: 0,
+            ..AggregateConfig::default()
+        };
+        b.iter(|| optimal_rank_aggregation(&t, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_grid_resolution(c: &mut Criterion) {
+    let table = generate(&DatasetSpec::paper_default(10, 0.35, 1));
+    let mut group = c.benchmark_group("exact_grid");
+    quick(&mut group);
+    for resolution in [256usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resolution),
+            &resolution,
+            |b, &r| {
+                b.iter(|| {
+                    build_exact(
+                        &table,
+                        3,
+                        &ExactConfig {
+                            resolution: r,
+                            ..ExactConfig::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_vs_bruteforce,
+    bench_mc_worlds,
+    bench_ora_exact_vs_heuristic,
+    bench_grid_resolution
+);
+criterion_main!(benches);

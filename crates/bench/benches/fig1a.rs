@@ -1,0 +1,42 @@
+//! Criterion companion to Figure 1(a): end-to-end session cost per
+//! algorithm at a fixed budget on the paper's default workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_bench::{evaluate, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+use std::time::Duration;
+
+fn bench_fig1a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a_session");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let opts = EvalOpts {
+        runs: 1,
+        worlds: 2_000,
+        ..EvalOpts::default()
+    };
+    for algorithm in [
+        Algorithm::T1On,
+        Algorithm::TbOff,
+        Algorithm::Naive,
+        Algorithm::Random,
+        Algorithm::Incr {
+            questions_per_round: 5,
+        },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, alg| {
+                b.iter(|| evaluate(scenarios::fig1, alg.clone(), 10, &opts));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1a);
+criterion_main!(benches);

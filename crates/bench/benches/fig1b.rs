@@ -1,0 +1,58 @@
+//! Criterion companion to Figure 1(b): pure selection cost (no crowd, no
+//! pruning) per strategy and budget — the paper's CPU-time axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_core::measures::MeasureKind;
+use ctk_core::residual::ResidualCtx;
+use ctk_core::select::{COff, NaiveSelector, OfflineSelector, TbOff};
+use ctk_datagen::scenarios;
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_tpo::build::{build_mc, McConfig};
+use std::time::Duration;
+
+fn bench_selection(c: &mut Criterion) {
+    let scenario = scenarios::fig1(0);
+    let pairwise = PairwiseMatrix::compute(&scenario.table);
+    let ps = build_mc(
+        &scenario.table,
+        scenario.k,
+        &McConfig {
+            worlds: 2_000,
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let measure = MeasureKind::WeightedEntropy.build();
+    let ctx = ResidualCtx {
+        measure: measure.as_ref(),
+        pairwise: &pairwise,
+    };
+
+    let mut group = c.benchmark_group("fig1b_selection");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+
+    for budget in [5usize, 15] {
+        group.bench_with_input(
+            BenchmarkId::new("TB-off", budget),
+            &budget,
+            |bch, &b| bch.iter(|| TbOff.select(&ps, b, &ctx)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("C-off", budget),
+            &budget,
+            |bch, &b| bch.iter(|| COff.select(&ps, b, &ctx)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", budget),
+            &budget,
+            |bch, &b| bch.iter(|| NaiveSelector::new(1).select(&ps, b, &ctx)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Evaluation cost of the four uncertainty measures on a realistic path
+//! set (T-measures companion): `U_H` ≈ `U_Hw` ≪ `U_MPO` < `U_ORA`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_core::measures::MeasureKind;
+use ctk_datagen::scenarios;
+use ctk_tpo::build::{build_mc, McConfig};
+use std::time::Duration;
+
+fn bench_measures(c: &mut Criterion) {
+    let scenario = scenarios::fig1(0);
+    let ps = build_mc(
+        &scenario.table,
+        scenario.k,
+        &McConfig {
+            worlds: 5_000,
+            seed: 0,
+        },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("measures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for kind in MeasureKind::all() {
+        let m = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &ps, |b, ps| {
+            b.iter(|| m.uncertainty(ps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

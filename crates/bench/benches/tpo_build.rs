@@ -1,0 +1,41 @@
+//! TPO construction cost: Monte-Carlo vs exact engine across table sizes
+//! (supports T-scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_datagen::{generate, DatasetSpec};
+use ctk_tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+use std::time::Duration;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpo_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+
+    for n in [10usize, 20, 40] {
+        let table = generate(&DatasetSpec::paper_default(n, 0.4, 1));
+        group.bench_with_input(BenchmarkId::new("mc_10k", n), &table, |b, t| {
+            b.iter(|| {
+                build_mc(
+                    t,
+                    5,
+                    &McConfig {
+                        worlds: 10_000,
+                        seed: 0,
+                    },
+                )
+                .unwrap()
+            })
+        });
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &table, |b, t| {
+                b.iter(|| build_exact(t, 5, &ExactConfig::default()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

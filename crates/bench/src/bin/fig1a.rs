@@ -1,0 +1,51 @@
+//! Figure 1(a): `D(ω_r, T_K)` as the budget `B` varies, for the faster
+//! algorithms (T1-on, TB-off, C-off, incr, naive, random).
+//!
+//! Paper workload: N = 20 tuples, uniform pdfs (width 0.4), K = 5,
+//! perfect workers. Expected shape: T1-on ≈ C-off best, TB-off behind
+//! them, incr slightly behind T1-on, naive clearly better than random,
+//! all decreasing in B.
+//!
+//! `cargo run --release -p ctk-bench --bin fig1a [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt, runs_from_args, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(10);
+    let opts = EvalOpts {
+        runs,
+        ..EvalOpts::default()
+    };
+    let budgets = [0usize, 5, 10, 20, 30, 40, 50];
+    let algorithms = [
+        Algorithm::T1On,
+        Algorithm::TbOff,
+        Algorithm::COff,
+        Algorithm::Incr {
+            questions_per_round: 5,
+        },
+        Algorithm::Naive,
+        Algorithm::Random,
+    ];
+
+    eprintln!("# Fig 1(a): D(omega_r, T_K) vs budget B — N=20, K=5, width 0.4, {runs} runs");
+    let mut rows = Vec::new();
+    for algorithm in &algorithms {
+        for &b in &budgets {
+            let s = evaluate(scenarios::fig1, algorithm.clone(), b, &opts);
+            rows.push(vec![
+                s.algorithm.to_string(),
+                b.to_string(),
+                fmt(s.avg_distance),
+                fmt(s.avg_questions),
+            ]);
+            eprintln!(
+                "#   {:8} B={:2}  D={:.4}  asked={:.1}",
+                s.algorithm, b, s.avg_distance, s.avg_questions
+            );
+        }
+    }
+    emit_tsv("fig1a", &["algorithm", "B", "D", "questions_asked"], &rows);
+}

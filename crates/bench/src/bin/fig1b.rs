@@ -1,0 +1,52 @@
+//! Figure 1(b): question-selection CPU time (seconds, log scale in the
+//! paper) as the budget `B` varies, for T1-on, TB-off, C-off and incr.
+//!
+//! Absolute numbers differ from the paper's testbed by construction; the
+//! *shape* must match: C-off ≫ T1-on > TB-off ≫ incr, all growing with B
+//! (C-off roughly quadratically, TB-off ~flat).
+//!
+//! `cargo run --release -p ctk-bench --bin fig1b [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt_secs, runs_from_args, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(5);
+    let opts = EvalOpts {
+        runs,
+        ..EvalOpts::default()
+    };
+    let budgets = [5usize, 10, 20, 30, 40, 50];
+    let algorithms = [
+        Algorithm::T1On,
+        Algorithm::TbOff,
+        Algorithm::COff,
+        Algorithm::Incr {
+            questions_per_round: 5,
+        },
+    ];
+
+    eprintln!("# Fig 1(b): selection CPU time vs budget B — N=20, K=5, {runs} runs");
+    let mut rows = Vec::new();
+    for algorithm in &algorithms {
+        for &b in &budgets {
+            let s = evaluate(scenarios::fig1, algorithm.clone(), b, &opts);
+            rows.push(vec![
+                s.algorithm.to_string(),
+                b.to_string(),
+                fmt_secs(s.avg_selection_secs),
+                fmt_secs(s.avg_total_secs),
+            ]);
+            eprintln!(
+                "#   {:8} B={:2}  select={:.3e}s  total={:.3e}s",
+                s.algorithm, b, s.avg_selection_secs, s.avg_total_secs
+            );
+        }
+    }
+    emit_tsv(
+        "fig1b",
+        &["algorithm", "B", "selection_secs", "total_secs"],
+        &rows,
+    );
+}

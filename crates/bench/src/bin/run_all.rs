@@ -1,0 +1,36 @@
+//! Runs every experiment binary's logic in sequence, writing all TSVs to
+//! `target/experiments/`. Equivalent to invoking each `fig*`/`table_*`
+//! binary, with per-experiment default run counts scaled by the optional
+//! argument (1 = quick pass, default; larger = tighter averages).
+//!
+//! `cargo run --release -p ctk-bench --bin run_all [scale]`
+
+use std::process::Command;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let experiments: [(&str, u64); 8] = [
+        ("fig1a", 5 * scale),
+        ("fig1b", 3 * scale),
+        ("table_measures", 6 * scale),
+        ("table_astar", 5 * scale),
+        ("table_noise", 6 * scale),
+        ("table_hetero", 5 * scale),
+        ("table_incr", 4 * scale),
+        ("table_scaling", 2 * scale),
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    for (name, runs) in experiments {
+        eprintln!("== {name} (runs = {runs}) ==");
+        let status = Command::new(bin_dir.join(name))
+            .arg(runs.to_string())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+    eprintln!("== all experiments written to target/experiments/ ==");
+}

@@ -1,0 +1,56 @@
+//! T-astar (§IV prose): the optimal algorithms (A*-off, A*-on) against
+//! the heuristics (TB-off, C-off, T1-on) on instances small enough for
+//! optimality to be computed. The paper's finding: T1-on and C-off are
+//! “nearly as good as … the A*-based algorithms, but at a fraction of the
+//! cost.”
+//!
+//! `cargo run --release -p ctk-bench --bin table_astar [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt, fmt_secs, runs_from_args, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(8);
+    let opts = EvalOpts {
+        runs,
+        worlds: 2_000,
+        ..EvalOpts::default()
+    };
+    let budgets = [1usize, 2, 3, 4, 5];
+    let algorithms = [
+        Algorithm::AStarOff {
+            max_expansions: None,
+        },
+        Algorithm::AStarOn {
+            lookahead: 0,
+            max_expansions: None,
+        },
+        Algorithm::COff,
+        Algorithm::TbOff,
+        Algorithm::T1On,
+    ];
+
+    eprintln!("# T-astar: optimal vs heuristic selection — N=10, K=3, {runs} runs");
+    let mut rows = Vec::new();
+    for algorithm in &algorithms {
+        for &b in &budgets {
+            let s = evaluate(scenarios::astar, algorithm.clone(), b, &opts);
+            rows.push(vec![
+                s.algorithm.to_string(),
+                b.to_string(),
+                fmt(s.avg_distance),
+                fmt_secs(s.avg_selection_secs),
+            ]);
+            eprintln!(
+                "#   {:7} B={}  D={:.4}  select={:.3e}s",
+                s.algorithm, b, s.avg_distance, s.avg_selection_secs
+            );
+        }
+    }
+    emit_tsv(
+        "table_astar",
+        &["algorithm", "B", "D", "selection_secs"],
+        &rows,
+    );
+}

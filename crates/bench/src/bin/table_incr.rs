@@ -1,0 +1,70 @@
+//! T-incr (§III-D, §IV): the incremental algorithm against full-tree
+//! T1-on as the table grows — “much lower CPU times … with slightly lower
+//! quality (which makes incr suited for large, highly uncertain
+//! datasets)”. Also sweeps the round size `n`.
+//!
+//! `cargo run --release -p ctk-bench --bin table_incr [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt, fmt_secs, runs_from_args, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(6);
+    const BUDGET: usize = 20;
+    let opts = EvalOpts {
+        runs,
+        worlds: 8_000,
+        ..EvalOpts::default()
+    };
+
+    eprintln!("# T-incr: quality/cost vs N — K=5, B={BUDGET}, {runs} runs");
+    let mut rows = Vec::new();
+    for n in [20usize, 40, 60] {
+        let algorithms = [
+            ("T1-on", Algorithm::T1On),
+            (
+                "incr-n1",
+                Algorithm::Incr {
+                    questions_per_round: 1,
+                },
+            ),
+            (
+                "incr-n5",
+                Algorithm::Incr {
+                    questions_per_round: 5,
+                },
+            ),
+            (
+                "incr-n10",
+                Algorithm::Incr {
+                    questions_per_round: 10,
+                },
+            ),
+        ];
+        for (label, algorithm) in algorithms {
+            let s = evaluate(
+                |seed| scenarios::scaling(n, seed),
+                algorithm,
+                BUDGET,
+                &opts,
+            );
+            rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                fmt(s.avg_distance),
+                fmt_secs(s.avg_total_secs),
+                fmt_secs(s.avg_selection_secs),
+            ]);
+            eprintln!(
+                "#   N={n:2} {label:8}  D={:.4}  total={:.3e}s  select={:.3e}s",
+                s.avg_distance, s.avg_total_secs, s.avg_selection_secs
+            );
+        }
+    }
+    emit_tsv(
+        "table_incr",
+        &["N", "algorithm", "D", "total_secs", "selection_secs"],
+        &rows,
+    );
+}

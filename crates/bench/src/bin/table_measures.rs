@@ -1,0 +1,49 @@
+//! T-measures (§IV prose): the four uncertainty measures head-to-head.
+//! T1-on optimizes each measure in turn; quality is the final
+//! `D(ω_r, T_K)` at several budgets. The paper's finding: the measures
+//! that account for tree structure (`U_Hw`, `U_ORA`, `U_MPO`) guide
+//! selection better than plain leaf entropy (`U_H`).
+//!
+//! `cargo run --release -p ctk-bench --bin table_measures [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt, runs_from_args, EvalOpts};
+use ctk_core::measures::MeasureKind;
+use ctk_core::session::Algorithm;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(10);
+    let budgets = [4usize, 8, 12, 16];
+
+    eprintln!("# T-measures: D(omega_r, T_K) by measure — N=15, K=5, T1-on, {runs} runs");
+    let mut rows = Vec::new();
+    for measure in MeasureKind::all() {
+        let opts = EvalOpts {
+            runs,
+            measure,
+            worlds: 3_000,
+            ..EvalOpts::default()
+        };
+        for &b in &budgets {
+            let s = evaluate(scenarios::measures, Algorithm::T1On, b, &opts);
+            rows.push(vec![
+                measure.name().to_string(),
+                b.to_string(),
+                fmt(s.avg_distance),
+                fmt(s.avg_selection_secs),
+            ]);
+            eprintln!(
+                "#   {:5} B={:2}  D={:.4}  select={:.3}s",
+                measure.name(),
+                b,
+                s.avg_distance,
+                s.avg_selection_secs
+            );
+        }
+    }
+    emit_tsv(
+        "table_measures",
+        &["measure", "B", "D", "selection_secs"],
+        &rows,
+    );
+}

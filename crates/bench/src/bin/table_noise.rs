@@ -1,0 +1,49 @@
+//! T-noise (§III-C, §IV): noisy crowds. Sweeps worker accuracy η and
+//! compares single-vote against majority-of-3 answering, with T1-on and
+//! Bayesian belief updates.
+//!
+//! `cargo run --release -p ctk-bench --bin table_noise [runs]`
+
+use ctk_bench::{emit_tsv, evaluate, fmt, runs_from_args, EvalOpts};
+use ctk_core::session::Algorithm;
+use ctk_crowd::VotePolicy;
+use ctk_datagen::scenarios;
+
+fn main() {
+    let runs = runs_from_args(10);
+    const BUDGET: usize = 20;
+
+    eprintln!("# T-noise: D(omega_r, T_K) vs worker accuracy — N=15, K=5, B={BUDGET}, {runs} runs");
+    let mut rows = Vec::new();
+    for accuracy in [0.6f64, 0.7, 0.8, 0.9, 1.0] {
+        for (policy, policy_name) in [
+            (VotePolicy::Single, "single"),
+            (VotePolicy::Majority(3), "majority3"),
+        ] {
+            let opts = EvalOpts {
+                runs,
+                worlds: 3_000,
+                accuracy,
+                policy,
+                ..EvalOpts::default()
+            };
+            let s = evaluate(scenarios::noise, Algorithm::T1On, BUDGET, &opts);
+            let effective = policy.effective_accuracy(accuracy);
+            rows.push(vec![
+                fmt(accuracy),
+                policy_name.to_string(),
+                fmt(effective),
+                fmt(s.avg_distance),
+            ]);
+            eprintln!(
+                "#   eta={accuracy:.2} {policy_name:9} (effective {effective:.3})  D={:.4}",
+                s.avg_distance
+            );
+        }
+    }
+    emit_tsv(
+        "table_noise",
+        &["accuracy", "policy", "effective_accuracy", "D"],
+        &rows,
+    );
+}

@@ -1,0 +1,107 @@
+//! T-scaling (supporting): growth of the space of possible orderings and
+//! TPO construction cost as table size `N` and pdf width (overlap) vary —
+//! the structural reason uncertainty reduction is needed at all, and the
+//! backdrop for the exact-vs-MC engine trade-off.
+//!
+//! `cargo run --release -p ctk-bench --bin table_scaling [runs]`
+
+use ctk_bench::{emit_tsv, fmt_secs, runs_from_args};
+use ctk_datagen::{generate, DatasetSpec};
+use ctk_tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+use std::time::Instant;
+
+fn main() {
+    let runs = runs_from_args(3);
+    const K: usize = 5;
+
+    eprintln!("# T-scaling: orderings and build time vs N and width — K={K}, {runs} runs");
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 30, 40] {
+        for width in [0.2f64, 0.4, 0.6] {
+            let mut mc_orderings = 0.0;
+            let mut mc_secs = 0.0;
+            let mut exact_orderings = 0.0;
+            let mut exact_secs = 0.0;
+            let mut exact_ok = true;
+            for seed in 0..runs {
+                let table = generate(&DatasetSpec::paper_default(n, width, seed));
+                let t = Instant::now();
+                let mc = build_mc(
+                    &table,
+                    K,
+                    &McConfig {
+                        worlds: 10_000,
+                        seed,
+                    },
+                )
+                .unwrap();
+                mc_secs += t.elapsed().as_secs_f64();
+                mc_orderings += mc.len() as f64;
+
+                // Exact engine only on instances where it stays tractable.
+                if n <= 20 {
+                    let t = Instant::now();
+                    match build_exact(
+                        &table,
+                        K,
+                        &ExactConfig {
+                            max_paths: 2_000_000,
+                            ..ExactConfig::default()
+                        },
+                    ) {
+                        Ok(ps) => {
+                            exact_secs += t.elapsed().as_secs_f64();
+                            exact_orderings += ps.len() as f64;
+                        }
+                        Err(_) => exact_ok = false,
+                    }
+                } else {
+                    exact_ok = false;
+                }
+            }
+            let r = runs as f64;
+            rows.push(vec![
+                n.to_string(),
+                format!("{width:.1}"),
+                format!("{:.1}", mc_orderings / r),
+                fmt_secs(mc_secs / r),
+                if exact_ok {
+                    format!("{:.1}", exact_orderings / r)
+                } else {
+                    "-".into()
+                },
+                if exact_ok {
+                    fmt_secs(exact_secs / r)
+                } else {
+                    "-".into()
+                },
+            ]);
+            eprintln!(
+                "#   N={n:2} width={width:.1}  mc: {:.0} orderings in {:.3}s{}",
+                mc_orderings / r,
+                mc_secs / r,
+                if exact_ok {
+                    format!(
+                        "  exact: {:.0} in {:.3}s",
+                        exact_orderings / r,
+                        exact_secs / r
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+    emit_tsv(
+        "table_scaling",
+        &[
+            "N",
+            "width",
+            "mc_orderings",
+            "mc_secs",
+            "exact_orderings",
+            "exact_secs",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,187 @@
+//! [`CrowdTopK`]: the polished entry point tying the whole system
+//! together — configure a query over an uncertain table, hand it a crowd,
+//! get back the uncertainty-reduction report.
+
+use crate::error::Result;
+use crate::measures::MeasureKind;
+use crate::session::{Algorithm, SessionConfig, UrReport, UrSession};
+use ctk_crowd::Crowd;
+use ctk_prob::UncertainTable;
+use ctk_rank::RankList;
+use ctk_tpo::build::{Engine, ExactConfig, McConfig};
+
+/// Builder-style facade over [`UrSession`].
+///
+/// ```
+/// use ctk_core::engine::CrowdTopK;
+/// use ctk_core::measures::MeasureKind;
+/// use ctk_core::session::Algorithm;
+/// use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+/// use ctk_prob::{ScoreDist, UncertainTable};
+///
+/// let table = UncertainTable::new(vec![
+///     ScoreDist::uniform(0.0, 1.0).unwrap(),
+///     ScoreDist::uniform(0.3, 1.3).unwrap(),
+///     ScoreDist::uniform(0.6, 1.6).unwrap(),
+///     ScoreDist::uniform(0.9, 1.9).unwrap(),
+/// ]).unwrap();
+///
+/// let truth = GroundTruth::sample(&table, 7);
+/// let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10);
+///
+/// let report = CrowdTopK::new(table)
+///     .k(2)
+///     .budget(10)
+///     .measure(MeasureKind::WeightedEntropy)
+///     .algorithm(Algorithm::T1On)
+///     .monte_carlo(5_000, 42)
+///     .run(&mut crowd)
+///     .unwrap();
+///
+/// assert!(report.final_uncertainty() <= report.initial_uncertainty);
+/// assert_eq!(report.final_topk.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrowdTopK {
+    table: UncertainTable,
+    config: SessionConfig,
+}
+
+impl CrowdTopK {
+    /// Starts a query over `table` with defaults: `k = min(5, N)`,
+    /// `budget = 10`, weighted-entropy measure, `T1-on` strategy,
+    /// Monte-Carlo engine.
+    pub fn new(table: UncertainTable) -> Self {
+        let k = 5.min(table.len());
+        Self {
+            table,
+            config: SessionConfig {
+                k,
+                ..SessionConfig::default()
+            },
+        }
+    }
+
+    /// Sets the query depth `K`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Sets the question budget `B`.
+    pub fn budget(mut self, b: usize) -> Self {
+        self.config.budget = b;
+        self
+    }
+
+    /// Sets the uncertainty measure.
+    pub fn measure(mut self, m: MeasureKind) -> Self {
+        self.config.measure = m;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.config.algorithm = a;
+        self
+    }
+
+    /// Uses the Monte-Carlo TPO engine with `worlds` samples.
+    pub fn monte_carlo(mut self, worlds: usize, seed: u64) -> Self {
+        self.config.engine = Engine::MonteCarlo(McConfig { worlds, seed });
+        self
+    }
+
+    /// Uses the exact nested-quadrature TPO engine.
+    pub fn exact_engine(mut self, cfg: ExactConfig) -> Self {
+        self.config.engine = Engine::Exact(cfg);
+        self
+    }
+
+    /// Seed for stochastic selectors (`random` / `naive`).
+    pub fn selector_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Stop early once the uncertainty measure drops to `target` or below.
+    pub fn uncertainty_target(mut self, target: f64) -> Self {
+        self.config.uncertainty_target = Some(target);
+        self
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &UncertainTable {
+        &self.table
+    }
+
+    /// The assembled session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs against a crowd.
+    pub fn run<C: Crowd>(&self, crowd: &mut C) -> Result<UrReport> {
+        UrSession::new(self.config.clone())?.run(&self.table, crowd)
+    }
+
+    /// Runs against a crowd, recording `D(ω_r, T_K)` per step.
+    pub fn run_with_truth<C: Crowd>(
+        &self,
+        crowd: &mut C,
+        truth_topk: &RankList,
+    ) -> Result<UrReport> {
+        UrSession::new(self.config.clone())?.run_with_truth(&self.table, crowd, Some(truth_topk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+    use ctk_prob::ScoreDist;
+
+    fn table() -> UncertainTable {
+        UncertainTable::new(
+            (0..6)
+                .map(|i| ScoreDist::uniform_centered(i as f64 * 0.15, 0.4).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let q = CrowdTopK::new(table());
+        assert_eq!(q.config().k, 5);
+        assert_eq!(q.config().budget, 10);
+        assert_eq!(q.config().measure.name(), "UHw");
+        assert_eq!(q.config().algorithm.name(), "T1-on");
+        assert_eq!(q.table().len(), 6);
+        // Tiny tables clamp k.
+        let small = CrowdTopK::new(
+            UncertainTable::new(vec![ScoreDist::point(1.0), ScoreDist::point(2.0)]).unwrap(),
+        );
+        assert_eq!(small.config().k, 2);
+    }
+
+    #[test]
+    fn builder_roundtrip_and_run() {
+        let table = table();
+        let truth = GroundTruth::sample(&table, 5);
+        let top = truth.top_k(2);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+        let report = CrowdTopK::new(table)
+            .k(2)
+            .budget(8)
+            .measure(MeasureKind::Entropy)
+            .algorithm(Algorithm::COff)
+            .monte_carlo(3000, 1)
+            .selector_seed(9)
+            .run_with_truth(&mut crowd, &top)
+            .unwrap();
+        assert_eq!(report.algorithm, "C-off");
+        assert_eq!(report.measure, "UH");
+        assert!(report.final_distance().unwrap() <= report.initial_distance.unwrap() + 1e-9);
+    }
+}

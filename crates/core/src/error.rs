@@ -1,0 +1,69 @@
+//! Error type for the uncertainty-reduction engine.
+
+use ctk_rank::RankError;
+use ctk_tpo::TpoError;
+use std::fmt;
+
+/// Errors raised by measures, selection and sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying TPO error (construction, pruning, updates).
+    Tpo(TpoError),
+    /// Underlying ranking error (aggregation).
+    Rank(RankError),
+    /// Invalid engine/session configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tpo(e) => write!(f, "tpo: {e}"),
+            CoreError::Rank(e) => write!(f, "rank: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tpo(e) => Some(e),
+            CoreError::Rank(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<TpoError> for CoreError {
+    fn from(e: TpoError) -> Self {
+        CoreError::Tpo(e)
+    }
+}
+
+impl From<RankError> for CoreError {
+    fn from(e: RankError) -> Self {
+        CoreError::Rank(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: CoreError = TpoError::EmptyPathSet.into();
+        assert!(e.to_string().contains("tpo"));
+        assert!(e.source().is_some());
+        let e: CoreError = RankError::NoCandidates.into();
+        assert!(e.to_string().contains("rank"));
+        let e = CoreError::InvalidConfig("bad k".into());
+        assert!(e.to_string().contains("bad k"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's four uncertainty measures over a TPO (§II).
+//!
+//! “These measures are based on the idea that the larger the number of
+//! orderings in `T_K` and the more similar their probabilities, the higher
+//! its uncertainty.”
+//!
+//! * [`Entropy`] (`U_H`) — Shannon entropy of the leaf (ordering)
+//!   probabilities; the state-of-the-art baseline measure;
+//! * [`WeightedEntropy`] (`U_Hw`) — a weighted combination of the entropy
+//!   at each of the first `K` levels of the tree (structure-aware);
+//! * [`OraDistance`] (`U_ORA`) — expected top-k distance of the orderings
+//!   to the Optimal Rank Aggregation (the “median” ordering);
+//! * [`MpoDistance`] (`U_MPO`) — expected top-k distance to the Most
+//!   Probable Ordering.
+//!
+//! §IV's finding, reproduced by the `table_measures` harness: measures that
+//! take the tree structure into account (`U_Hw`, `U_ORA`, `U_MPO`) guide
+//! question selection better than plain `U_H`.
+
+mod entropy;
+mod mpo;
+mod ora;
+mod weighted_entropy;
+
+pub use entropy::Entropy;
+pub use mpo::MpoDistance;
+pub use ora::OraDistance;
+pub use weighted_entropy::WeightedEntropy;
+
+use ctk_tpo::PathSet;
+
+/// An uncertainty measure `U(T_K)` over a distribution of orderings.
+pub trait UncertaintyMeasure {
+    /// Short identifier used in reports and harness output.
+    fn name(&self) -> &'static str;
+
+    /// The uncertainty of the given (normalized) path set. Zero iff the
+    /// result is certain (single ordering).
+    fn uncertainty(&self, ps: &PathSet) -> f64;
+
+    /// An upper bound on how much one binary answer can reduce the
+    /// *expected* value of this measure, if a sound one is known.
+    ///
+    /// For entropy-family measures the information-theoretic bound
+    /// `I(Ω; A) <= H(A) <= ln 2` applies, which gives the `A*-off`
+    /// algorithm an admissible heuristic (DESIGN.md §4). Distance-based
+    /// measures return `None`, and `A*-off` falls back to exhaustive
+    /// search.
+    fn per_question_reduction_bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Enumerable measure selector (mirrors the paper's four measures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// `U_H`: Shannon entropy of ordering probabilities.
+    Entropy,
+    /// `U_Hw`: level-weighted entropy.
+    WeightedEntropy,
+    /// `U_ORA`: expected distance to the optimal rank aggregation.
+    Ora,
+    /// `U_MPO`: expected distance to the most probable ordering.
+    Mpo,
+}
+
+impl MeasureKind {
+    /// All four measures, in the paper's order.
+    pub fn all() -> [MeasureKind; 4] {
+        [
+            MeasureKind::Entropy,
+            MeasureKind::WeightedEntropy,
+            MeasureKind::Ora,
+            MeasureKind::Mpo,
+        ]
+    }
+
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MeasureKind::Entropy => "UH",
+            MeasureKind::WeightedEntropy => "UHw",
+            MeasureKind::Ora => "UORA",
+            MeasureKind::Mpo => "UMPO",
+        }
+    }
+
+    /// Instantiates the measure with its default parameters.
+    pub fn build(&self) -> Box<dyn UncertaintyMeasure> {
+        match self {
+            MeasureKind::Entropy => Box::new(Entropy),
+            MeasureKind::WeightedEntropy => Box::new(WeightedEntropy::default()),
+            MeasureKind::Ora => Box::new(OraDistance::default()),
+            MeasureKind::Mpo => Box::new(MpoDistance::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use ctk_tpo::PathSet;
+
+    /// A small 3-ordering set used across measure tests.
+    pub fn sample_set() -> PathSet {
+        PathSet::from_weighted(
+            2,
+            vec![
+                (vec![0, 1], 0.5),
+                (vec![0, 2], 0.2),
+                (vec![1, 0], 0.3),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A certain (single-ordering) set.
+    pub fn resolved_set() -> PathSet {
+        PathSet::from_weighted(2, vec![(vec![0, 1], 1.0)]).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_measures_are_zero_on_resolved_sets() {
+        for kind in MeasureKind::all() {
+            let m = kind.build();
+            let u = m.uncertainty(&test_util::resolved_set());
+            assert!(
+                u.abs() < 1e-12,
+                "{} should be 0 on a single ordering, got {u}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_measures_positive_on_uncertain_sets() {
+        for kind in MeasureKind::all() {
+            let m = kind.build();
+            let u = m.uncertainty(&test_util::sample_set());
+            assert!(u > 0.0, "{} should be positive, got {u}", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        let names: Vec<&str> = MeasureKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["UH", "UHw", "UORA", "UMPO"]);
+        for kind in MeasureKind::all() {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn entropy_family_has_reduction_bound() {
+        assert!(MeasureKind::Entropy.build().per_question_reduction_bound().is_some());
+        assert!(MeasureKind::WeightedEntropy
+            .build()
+            .per_question_reduction_bound()
+            .is_some());
+        assert!(MeasureKind::Ora.build().per_question_reduction_bound().is_none());
+        assert!(MeasureKind::Mpo.build().per_question_reduction_bound().is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Evaluation metrics: how close the belief state is to the hidden real
+//! ordering `ω_r`. These are *evaluation-only* quantities — selection
+//! algorithms never see the ground truth.
+
+use ctk_rank::topk::topk_distance;
+use ctk_rank::RankList;
+use ctk_tpo::PathSet;
+
+/// The paper's headline metric `D(ω_r, T_K)` (Fig. 1(a)): the expected
+/// normalized top-k Kendall distance between the real top-k and the
+/// orderings of the tree,
+/// `D = Σ_ω Pr(ω) · d(ω, ω_r@K)`.
+pub fn expected_distance_to_truth(ps: &PathSet, truth_topk: &RankList) -> f64 {
+    ps.paths()
+        .iter()
+        .map(|p| p.prob * topk_distance(&p.rank_list(), truth_topk))
+        .sum()
+}
+
+/// Distance of the single reported result (the MPO) to the real top-k —
+/// what a user consuming the query answer would experience.
+pub fn mpo_distance_to_truth(ps: &PathSet, truth_topk: &RankList) -> f64 {
+    topk_distance(&ps.most_probable().rank_list(), truth_topk)
+}
+
+/// Set-precision of the MPO: fraction of reported top-k members that are
+/// truly in the top-k (ignores order).
+pub fn mpo_set_precision(ps: &PathSet, truth_topk: &RankList) -> f64 {
+    let mpo = ps.most_probable();
+    if mpo.items.is_empty() {
+        return 1.0;
+    }
+    let hits = mpo
+        .items
+        .iter()
+        .filter(|&&t| truth_topk.contains(t))
+        .count();
+    hits as f64 / mpo.items.len() as f64
+}
+
+/// Probability mass the belief assigns to exactly the real top-k ordering.
+pub fn truth_mass(ps: &PathSet, truth_topk: &RankList) -> f64 {
+    ps.paths()
+        .iter()
+        .filter(|p| p.items.as_slice() == truth_topk.items())
+        .map(|p| p.prob)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PathSet {
+        PathSet::from_weighted(
+            2,
+            vec![
+                (vec![0, 1], 0.6),
+                (vec![1, 0], 0.3),
+                (vec![0, 2], 0.1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_distance_iff_certain_and_correct() {
+        let truth = RankList::new(vec![0, 1]).unwrap();
+        let certain = PathSet::from_weighted(2, vec![(vec![0, 1], 1.0)]).unwrap();
+        assert_eq!(expected_distance_to_truth(&certain, &truth), 0.0);
+        assert_eq!(mpo_distance_to_truth(&certain, &truth), 0.0);
+        assert_eq!(mpo_set_precision(&certain, &truth), 1.0);
+        assert_eq!(truth_mass(&certain, &truth), 1.0);
+    }
+
+    #[test]
+    fn expected_distance_weights_by_probability() {
+        let truth = RankList::new(vec![0, 1]).unwrap();
+        let s = set();
+        let d = expected_distance_to_truth(&s, &truth);
+        // Path [0,1]: distance 0. Path [1,0]: reversal of same 2 items:
+        // K^(1/2) = 1, max = 4 + 0.5*2 = 5 -> 0.2.
+        // Path [0,2]: one overlap case: raw 1, normalized 1/5 = 0.2.
+        let expect = 0.6 * 0.0 + 0.3 * 0.2 + 0.1 * 0.2;
+        assert!((d - expect).abs() < 1e-12, "d = {d}, expect {expect}");
+    }
+
+    #[test]
+    fn mpo_metrics() {
+        let truth = RankList::new(vec![0, 1]).unwrap();
+        let s = set();
+        assert_eq!(mpo_distance_to_truth(&s, &truth), 0.0);
+        assert_eq!(mpo_set_precision(&s, &truth), 1.0);
+        assert!((truth_mass(&s, &truth) - 0.6).abs() < 1e-12);
+
+        let other_truth = RankList::new(vec![2, 3]).unwrap();
+        assert!(mpo_distance_to_truth(&s, &other_truth) > 0.5);
+        assert_eq!(mpo_set_precision(&s, &other_truth), 0.0);
+        assert_eq!(truth_mass(&s, &other_truth), 0.0);
+    }
+
+    #[test]
+    fn distance_decreases_as_mass_concentrates_on_truth() {
+        let truth = RankList::new(vec![0, 1]).unwrap();
+        let diffuse = set();
+        let sharp = PathSet::from_weighted(
+            2,
+            vec![(vec![0, 1], 0.95), (vec![1, 0], 0.04), (vec![0, 2], 0.01)],
+        )
+        .unwrap();
+        assert!(
+            expected_distance_to_truth(&sharp, &truth)
+                < expected_distance_to_truth(&diffuse, &truth)
+        );
+    }
+}

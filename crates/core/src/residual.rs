@@ -1,0 +1,465 @@
+//! Expected residual uncertainty (§III): the objective all question
+//! selection strategies optimize.
+//!
+//! For a single question `q`, the expected residual uncertainty is
+//!
+//! ```text
+//! R_q(T_K) = P(yes) · U(T_K | yes) + P(no) · U(T_K | no)
+//! ```
+//!
+//! For a question *set* `Q` the expectation runs over joint answer
+//! outcomes. Enumerating all `2^|Q|` outcomes is infeasible, but the
+//! outcomes partition the path set into *answer-signature classes*
+//! ([`AnswerPartition`]), and two sound prunings keep the class count
+//! small:
+//!
+//! * a class with a single ordering is resolved — every measure assigns it
+//!   zero uncertainty (a trait contract of
+//!   [`UncertaintyMeasure`]), so it can be dropped outright;
+//! * a question that no path of a class determines splits the class into
+//!   two scaled copies whose contributions sum to the original — such
+//!   questions are skipped for that class.
+//!
+//! The incremental partition is also what makes the conditional greedy
+//! algorithm `C-off` cheap: the partition of the already-selected set is
+//! refined once per round, and each candidate is scored with a one-step
+//! lookahead over the existing classes (DESIGN.md §4).
+
+use crate::measures::UncertaintyMeasure;
+use ctk_crowd::Question;
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_tpo::answers::{implication, Implication};
+use ctk_tpo::{Path, PathSet};
+
+/// Minimum class mass worth tracking (classes below this carry no
+/// measurable expectation weight).
+const MASS_EPS: f64 = 1e-12;
+
+/// Everything needed to evaluate residual uncertainty: the measure and the
+/// pairwise marginals used to split paths that leave a question
+/// undetermined.
+pub struct ResidualCtx<'a> {
+    /// The uncertainty measure `U`.
+    pub measure: &'a dyn UncertaintyMeasure,
+    /// Marginal pairwise probabilities `P(s_i > s_j)`.
+    pub pairwise: &'a PairwiseMatrix,
+}
+
+impl<'a> ResidualCtx<'a> {
+    /// Marginal `P(i above j)` used for undetermined splits.
+    pub fn prior(&self, i: u32, j: u32) -> f64 {
+        self.pairwise.pr(i as usize, j as usize)
+    }
+}
+
+/// Probability that the crowd answers “yes” to `q` under the current path
+/// distribution (undetermined paths weighted by the marginal prior).
+pub fn answer_probability(ps: &PathSet, q: &Question, ctx: &ResidualCtx<'_>) -> f64 {
+    let prior = ctx.prior(q.i, q.j);
+    ps.paths()
+        .iter()
+        .map(|p| {
+            p.prob
+                * match implication(&p.items, q.i, q.j) {
+                    Implication::Yes => 1.0,
+                    Implication::No => 0.0,
+                    Implication::Undetermined => prior,
+                }
+        })
+        .sum()
+}
+
+/// One answer-signature class: a set of weighted paths consistent with one
+/// joint answer outcome (mass = outcome probability; paths unnormalized).
+#[derive(Debug, Clone)]
+struct Class {
+    paths: Vec<Path>,
+    mass: f64,
+}
+
+impl Class {
+    fn uncertainty(&self, measure: &dyn UncertaintyMeasure, k: usize) -> f64 {
+        if self.paths.len() <= 1 || self.mass <= MASS_EPS {
+            return 0.0;
+        }
+        let set = PathSet::from_weighted(
+            k,
+            self.paths
+                .iter()
+                .map(|p| (p.items.clone(), p.prob))
+                .collect(),
+        )
+        .expect("positive-mass class");
+        measure.uncertainty(&set)
+    }
+}
+
+/// The joint-answer partition of a path set after conditioning on a
+/// sequence of questions.
+pub struct AnswerPartition {
+    k: usize,
+    /// Unresolved classes only (resolved single-ordering classes carry zero
+    /// uncertainty under every measure and are dropped eagerly).
+    classes: Vec<Class>,
+}
+
+impl AnswerPartition {
+    /// The trivial partition: one class holding the whole path set.
+    pub fn root(ps: &PathSet) -> Self {
+        let mass: f64 = ps.paths().iter().map(|p| p.prob).sum();
+        let class = Class {
+            paths: ps.paths().to_vec(),
+            mass,
+        };
+        let classes = if class.paths.len() <= 1 {
+            Vec::new()
+        } else {
+            vec![class]
+        };
+        Self { k: ps.k(), classes }
+    }
+
+    /// Number of live (unresolved) classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Expected uncertainty over the partition:
+    /// `Σ_class P(class) · U(class)`.
+    pub fn expected_uncertainty(&self, measure: &dyn UncertaintyMeasure) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.mass * c.uncertainty(measure, self.k))
+            .sum()
+    }
+
+    /// Expected uncertainty after additionally asking `q` (one-step
+    /// lookahead; the partition itself is not modified).
+    pub fn expected_with_question(&self, q: &Question, ctx: &ResidualCtx<'_>) -> f64 {
+        let prior = ctx.prior(q.i, q.j);
+        let mut acc = 0.0;
+        for class in &self.classes {
+            let (yes, no, split) = split_class(class, q, prior);
+            if !split {
+                acc += class.mass * class.uncertainty(ctx.measure, self.k);
+                continue;
+            }
+            if let Some(c) = yes {
+                acc += c.mass * c.uncertainty(ctx.measure, self.k);
+            }
+            if let Some(c) = no {
+                acc += c.mass * c.uncertainty(ctx.measure, self.k);
+            }
+        }
+        acc
+    }
+
+    /// Conditions the partition on `q` (splits every class by the answer).
+    pub fn refine(&mut self, q: &Question, ctx: &ResidualCtx<'_>) {
+        let prior = ctx.prior(q.i, q.j);
+        let mut next = Vec::with_capacity(self.classes.len() + 4);
+        for class in self.classes.drain(..) {
+            let (yes, no, split) = split_class(&class, q, prior);
+            if !split {
+                next.push(class);
+                continue;
+            }
+            if let Some(c) = yes {
+                if c.paths.len() > 1 {
+                    next.push(c);
+                }
+            }
+            if let Some(c) = no {
+                if c.paths.len() > 1 {
+                    next.push(c);
+                }
+            }
+        }
+        self.classes = next;
+    }
+}
+
+/// Splits a class by a question. Returns `(yes, no, split)`; `split` is
+/// false when the question does not determine any path of the class (the
+/// class would just be scaled into two copies — a no-op for the
+/// expectation).
+fn split_class(class: &Class, q: &Question, prior: f64) -> (Option<Class>, Option<Class>, bool) {
+    let mut any_determined = false;
+    for p in &class.paths {
+        if implication(&p.items, q.i, q.j) != Implication::Undetermined {
+            any_determined = true;
+            break;
+        }
+    }
+    if !any_determined {
+        return (None, None, false);
+    }
+    let mut yes_paths = Vec::new();
+    let mut no_paths = Vec::new();
+    for p in &class.paths {
+        match implication(&p.items, q.i, q.j) {
+            Implication::Yes => yes_paths.push(p.clone()),
+            Implication::No => no_paths.push(p.clone()),
+            Implication::Undetermined => {
+                if prior > 0.0 {
+                    yes_paths.push(Path {
+                        items: p.items.clone(),
+                        prob: p.prob * prior,
+                    });
+                }
+                if prior < 1.0 {
+                    no_paths.push(Path {
+                        items: p.items.clone(),
+                        prob: p.prob * (1.0 - prior),
+                    });
+                }
+            }
+        }
+    }
+    let wrap = |paths: Vec<Path>| -> Option<Class> {
+        let mass: f64 = paths.iter().map(|p| p.prob).sum();
+        (mass > MASS_EPS).then_some(Class { paths, mass })
+    };
+    (wrap(yes_paths), wrap(no_paths), true)
+}
+
+/// Expected residual uncertainty after asking a single question.
+pub fn expected_residual_single(ps: &PathSet, q: &Question, ctx: &ResidualCtx<'_>) -> f64 {
+    AnswerPartition::root(ps).expected_with_question(q, ctx)
+}
+
+/// Expected residual uncertainty after asking all questions in `qs`
+/// (answers assumed reliable; the expectation is over the joint answer
+/// distribution induced by the current path set).
+pub fn expected_residual_set(ps: &PathSet, qs: &[Question], ctx: &ResidualCtx<'_>) -> f64 {
+    let mut partition = AnswerPartition::root(ps);
+    for q in qs {
+        partition.refine(q, ctx);
+    }
+    partition.expected_uncertainty(ctx.measure)
+}
+
+/// Reference implementation that enumerates all `2^|Q|` answer outcomes —
+/// exponential, used only by tests and the `ablations` bench to validate
+/// the partition algorithm.
+pub fn expected_residual_set_bruteforce(
+    ps: &PathSet,
+    qs: &[Question],
+    ctx: &ResidualCtx<'_>,
+) -> f64 {
+    let m = qs.len();
+    assert!(m <= 20, "brute force limited to 20 questions");
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << m) {
+        // Outcome: bit b set => answer to qs[b] is "yes".
+        let mut class: Vec<Path> = ps.paths().to_vec();
+        for (b, q) in qs.iter().enumerate() {
+            let yes = mask & (1 << b) != 0;
+            let prior = ctx.prior(q.i, q.j);
+            class = class
+                .into_iter()
+                .filter_map(|p| {
+                    let factor = match implication(&p.items, q.i, q.j) {
+                        Implication::Yes => {
+                            if yes {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        Implication::No => {
+                            if yes {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                        Implication::Undetermined => {
+                            if yes {
+                                prior
+                            } else {
+                                1.0 - prior
+                            }
+                        }
+                    };
+                    let mass = p.prob * factor;
+                    (mass > 0.0).then_some(Path {
+                        items: p.items,
+                        prob: mass,
+                    })
+                })
+                .collect();
+        }
+        let mass: f64 = class.iter().map(|p| p.prob).sum();
+        if mass > MASS_EPS {
+            let set = PathSet::from_weighted(
+                ps.k(),
+                class.into_iter().map(|p| (p.items, p.prob)).collect(),
+            )
+            .expect("positive mass");
+            total += mass * ctx.measure.uncertainty(&set);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{Entropy, MeasureKind};
+    use ctk_prob::{ScoreDist, UncertainTable};
+
+    fn table3() -> UncertainTable {
+        UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.1, 1.1).unwrap(),
+            ScoreDist::uniform(0.2, 1.2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> PathSet {
+        PathSet::from_weighted(
+            2,
+            vec![
+                (vec![0, 1], 0.5),
+                (vec![0, 2], 0.2),
+                (vec![1, 0], 0.3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn answer_probability_membership_semantics() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let p = answer_probability(&sample(), &Question::new(0, 1), &ctx);
+        // [0,1] yes (0.5) + [0,2] yes (0.2) + [1,0] no => 0.7.
+        assert!((p - 0.7).abs() < 1e-12);
+        let q = answer_probability(&sample(), &Question::new(1, 0), &ctx);
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_empty_set_is_current_uncertainty() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        assert!(
+            (expected_residual_set(&s, &[], &ctx) - Entropy.uncertainty(&s)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn informative_question_reduces_expected_entropy() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        let r = expected_residual_single(&s, &Question::new(0, 1), &ctx);
+        assert!(r < Entropy.uncertainty(&s), "residual {r}");
+        let r2 = expected_residual_single(&s, &Question::new(1, 2), &ctx);
+        assert!(r2 <= Entropy.uncertainty(&s) + 1e-12);
+    }
+
+    #[test]
+    fn partition_matches_bruteforce_all_measures() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let s = sample();
+        let qs = [
+            Question::new(0, 1),
+            Question::new(1, 2),
+            Question::new(0, 2),
+        ];
+        for kind in MeasureKind::all() {
+            let m = kind.build();
+            let ctx = ResidualCtx {
+                measure: m.as_ref(),
+                pairwise: &pw,
+            };
+            let fast = expected_residual_set(&s, &qs, &ctx);
+            let brute = expected_residual_set_bruteforce(&s, &qs, &ctx);
+            assert!(
+                (fast - brute).abs() < 1e-9,
+                "{}: partition {fast} vs brute {brute}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn more_questions_never_increase_expected_entropy() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        let q1 = [Question::new(0, 1)];
+        let q2 = [Question::new(0, 1), Question::new(0, 2)];
+        let r1 = expected_residual_set(&s, &q1, &ctx);
+        let r2 = expected_residual_set(&s, &q2, &ctx);
+        assert!(r2 <= r1 + 1e-12, "conditioning helps: {r2} vs {r1}");
+    }
+
+    #[test]
+    fn question_order_does_not_matter() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        let a = [Question::new(0, 1), Question::new(1, 2)];
+        let b = [Question::new(1, 2), Question::new(0, 1)];
+        let ra = expected_residual_set(&s, &a, &ctx);
+        let rb = expected_residual_set(&s, &b, &ctx);
+        assert!((ra - rb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookahead_matches_materialized_refine() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        let q = Question::new(0, 2);
+        let looked = AnswerPartition::root(&s).expected_with_question(&q, &ctx);
+        let mut part = AnswerPartition::root(&s);
+        part.refine(&q, &ctx);
+        let materialized = part.expected_uncertainty(ctx.measure);
+        assert!((looked - materialized).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolved_classes_are_dropped() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let s = sample();
+        let mut part = AnswerPartition::root(&s);
+        assert_eq!(part.class_count(), 1);
+        // Conditioning on (0,1) splits into {[0,1],[0,2]} and {[1,0]}; the
+        // singleton class is dropped.
+        part.refine(&Question::new(0, 1), &ctx);
+        assert_eq!(part.class_count(), 1);
+        // (1,2) separates [0,1] (1 in, 2 out -> yes) from [0,2] (no):
+        // both resulting classes are singletons and get dropped.
+        part.refine(&Question::new(1, 2), &ctx);
+        assert_eq!(part.class_count(), 0);
+        assert_eq!(part.expected_uncertainty(ctx.measure), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! `Naive` baseline (§IV): random questions, but only from the relevant
+//! set `Q_K` — avoids wasting budget on already-certain comparisons, with
+//! no further intelligence.
+
+use super::{relevant_questions, OfflineSelector};
+use crate::residual::ResidualCtx;
+use ctk_crowd::Question;
+use ctk_tpo::PathSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random distinct questions from `Q_K`.
+#[derive(Debug, Clone)]
+pub struct NaiveSelector {
+    rng: StdRng,
+}
+
+impl NaiveSelector {
+    /// Creates a seeded naive selector.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OfflineSelector for NaiveSelector {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn select(&mut self, ps: &PathSet, budget: usize, ctx: &ResidualCtx<'_>) -> Vec<Question> {
+        let mut pool = relevant_questions(ps, ctx);
+        pool.shuffle(&mut self.rng);
+        pool.truncate(budget);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{assert_valid_selection, fixture};
+    use super::*;
+    use crate::measures::Entropy;
+    use ctk_tpo::stats::precedence_probability;
+
+    #[test]
+    fn selects_only_relevant_questions() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let mut s = NaiveSelector::new(3);
+        let qs = s.select(&ps, 6, &ctx);
+        assert_valid_selection(&qs, &ps, 6);
+        for q in &qs {
+            let p = precedence_probability(&ps, q.i, q.j, ctx.prior(q.i, q.j));
+            assert!(
+                p > 1e-9 && p < 1.0 - 1e-9,
+                "question {q} is not uncertain (p = {p})"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_never_exceeds_relevant_set() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let qk = relevant_questions(&ps, &ctx).len();
+        let mut s = NaiveSelector::new(5);
+        let qs = s.select(&ps, 10_000, &ctx);
+        assert_eq!(qs.len(), qk);
+        assert_eq!(s.name(), "naive");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let a = NaiveSelector::new(11).select(&ps, 5, &ctx);
+        let b = NaiveSelector::new(11).select(&ps, 5, &ctx);
+        assert_eq!(a, b);
+    }
+}

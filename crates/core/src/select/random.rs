@@ -1,0 +1,87 @@
+//! `Random` baseline (§IV): `B` questions drawn uniformly from *all*
+//! tuple comparisons in `T_K`, including questions whose answer is already
+//! certain — the weakest sensible baseline.
+
+use super::{all_tree_pairs, OfflineSelector};
+use crate::residual::ResidualCtx;
+use ctk_crowd::Question;
+use ctk_tpo::PathSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random distinct comparisons.
+#[derive(Debug, Clone)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates a seeded random selector.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OfflineSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&mut self, ps: &PathSet, budget: usize, _ctx: &ResidualCtx<'_>) -> Vec<Question> {
+        let mut pool = all_tree_pairs(ps);
+        pool.shuffle(&mut self.rng);
+        pool.truncate(budget);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{assert_valid_selection, fixture};
+    use super::*;
+    use crate::measures::Entropy;
+
+    #[test]
+    fn selects_distinct_questions_within_budget() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let mut s = RandomSelector::new(1);
+        let qs = s.select(&ps, 4, &ctx);
+        assert_eq!(qs.len(), 4);
+        assert_valid_selection(&qs, &ps, 4);
+    }
+
+    #[test]
+    fn budget_larger_than_pool_returns_pool() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let pool = all_tree_pairs(&ps).len();
+        let mut s = RandomSelector::new(2);
+        let qs = s.select(&ps, 10_000, &ctx);
+        assert_eq!(qs.len(), pool);
+    }
+
+    #[test]
+    fn seeded_and_distinct_across_seeds() {
+        let (_, pw, ps) = fixture();
+        let ctx = ResidualCtx {
+            measure: &Entropy,
+            pairwise: &pw,
+        };
+        let a = RandomSelector::new(7).select(&ps, 5, &ctx);
+        let b = RandomSelector::new(7).select(&ps, 5, &ctx);
+        assert_eq!(a, b, "same seed, same selection");
+        let c = RandomSelector::new(8).select(&ps, 5, &ctx);
+        assert!(a != c || a.len() < 5, "different seed should usually differ");
+        assert_eq!(RandomSelector::new(7).name(), "random");
+    }
+}

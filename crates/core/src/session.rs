@@ -1,0 +1,650 @@
+//! The uncertainty-reduction session: couples a table, a TPO engine, an
+//! uncertainty measure, a selection algorithm and a crowd into the paper's
+//! end-to-end loop, producing a step-by-step report.
+
+use crate::error::{CoreError, Result};
+use crate::measures::{MeasureKind, UncertaintyMeasure};
+use crate::metrics::expected_distance_to_truth;
+use crate::residual::ResidualCtx;
+use crate::select::{
+    AStarOff, AStarOn, COff, NaiveSelector, OfflineSelector, OnlineSelector, RandomSelector, T1On,
+    TbOff,
+};
+use ctk_crowd::{Crowd, Question};
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_prob::UncertainTable;
+use ctk_rank::RankList;
+use ctk_tpo::build::Engine;
+use ctk_tpo::prune::prune;
+use ctk_tpo::update::bayes_update;
+use ctk_tpo::{PathSet, TpoError, WorldModel};
+use std::time::{Duration, Instant};
+
+/// Accuracy at or above which answers are treated as reliable (hard
+/// pruning); below it the Bayesian update is used (§III-C).
+const RELIABLE_ACCURACY: f64 = 1.0 - 1e-9;
+
+/// Which question-selection strategy to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Baseline: random pairs from the whole tree.
+    Random,
+    /// Baseline: random pairs from the relevant set `Q_K`.
+    Naive,
+    /// Offline top-B by single-question reduction.
+    TbOff,
+    /// Offline conditional greedy.
+    COff,
+    /// Offline optimal best-first search (optionally capped).
+    AStarOff {
+        /// Expansion cap (None = provably optimal).
+        max_expansions: Option<usize>,
+    },
+    /// Online greedy (budget-1 lookahead per round).
+    T1On,
+    /// Online re-planning A* (lookahead 0 = full remaining budget).
+    AStarOn {
+        /// Planning horizon per round.
+        lookahead: usize,
+        /// Expansion cap forwarded to the planner.
+        max_expansions: Option<usize>,
+    },
+    /// Incremental hybrid: builds the TPO level by level, interleaving
+    /// rounds of `questions_per_round` questions (§III-D).
+    Incr {
+        /// Questions asked per round (the paper's `n`, `1 <= n <= B`).
+        questions_per_round: usize,
+    },
+}
+
+impl Algorithm {
+    /// The paper's name for the strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Random => "random",
+            Algorithm::Naive => "naive",
+            Algorithm::TbOff => "TB-off",
+            Algorithm::COff => "C-off",
+            Algorithm::AStarOff { .. } => "A*-off",
+            Algorithm::T1On => "T1-on",
+            Algorithm::AStarOn { .. } => "A*-on",
+            Algorithm::Incr { .. } => "incr",
+        }
+    }
+}
+
+/// Full session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Query depth `K`.
+    pub k: usize,
+    /// Question budget `B`.
+    pub budget: usize,
+    /// Uncertainty measure to optimize.
+    pub measure: MeasureKind,
+    /// Selection strategy.
+    pub algorithm: Algorithm,
+    /// TPO construction engine.
+    pub engine: Engine,
+    /// Seed for stochastic selectors (random / naive).
+    pub seed: u64,
+    /// Optional early-stop threshold: the session ends once the measured
+    /// uncertainty drops to this value or below, even with budget left
+    /// (useful when crowd cost matters more than squeezing out the last
+    /// bit of certainty).
+    pub uncertainty_target: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            budget: 10,
+            measure: MeasureKind::WeightedEntropy,
+            algorithm: Algorithm::T1On,
+            engine: Engine::default(),
+            seed: 0,
+            uncertainty_target: None,
+        }
+    }
+}
+
+/// One asked question and the belief state right after applying its
+/// answer.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// The question as asked.
+    pub question: Question,
+    /// The crowd's (aggregated) answer.
+    pub answer_yes: bool,
+    /// Orderings remaining after the update.
+    pub orderings: usize,
+    /// Uncertainty after the update.
+    pub uncertainty: f64,
+    /// `D(ω_r, T_K)` after the update, when ground truth was provided.
+    pub distance_to_truth: Option<f64>,
+}
+
+/// Outcome of a full session.
+#[derive(Debug, Clone)]
+pub struct UrReport {
+    /// Strategy name.
+    pub algorithm: &'static str,
+    /// Measure name.
+    pub measure: &'static str,
+    /// Orderings in the initial tree.
+    pub initial_orderings: usize,
+    /// Uncertainty of the initial tree.
+    pub initial_uncertainty: f64,
+    /// Initial `D(ω_r, T_K)` (when ground truth was provided).
+    pub initial_distance: Option<f64>,
+    /// One record per asked question.
+    pub steps: Vec<StepRecord>,
+    /// Answers that contradicted every remaining ordering (possible with
+    /// sampled trees or noisy answers); such answers are skipped.
+    pub contradictions: usize,
+    /// True when the session ended with a single ordering.
+    pub resolved: bool,
+    /// The reported result: the most probable ordering of the final
+    /// belief.
+    pub final_topk: Vec<u32>,
+    /// Time spent inside question selection (the paper's Fig. 1(b) cost).
+    pub selection_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl UrReport {
+    /// Questions actually asked.
+    pub fn questions_asked(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Orderings after the last update.
+    pub fn final_orderings(&self) -> usize {
+        self.steps
+            .last()
+            .map(|s| s.orderings)
+            .unwrap_or(self.initial_orderings)
+    }
+
+    /// Uncertainty after the last update.
+    pub fn final_uncertainty(&self) -> f64 {
+        self.steps
+            .last()
+            .map(|s| s.uncertainty)
+            .unwrap_or(self.initial_uncertainty)
+    }
+
+    /// `D(ω_r, T_K)` after the last update.
+    pub fn final_distance(&self) -> Option<f64> {
+        self.steps
+            .last()
+            .and_then(|s| s.distance_to_truth)
+            .or(self.initial_distance)
+    }
+}
+
+/// A configured, runnable session.
+#[derive(Debug, Clone)]
+pub struct UrSession {
+    config: SessionConfig,
+}
+
+impl UrSession {
+    /// Validates and wraps a configuration.
+    pub fn new(config: SessionConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
+        }
+        if let Algorithm::Incr {
+            questions_per_round,
+        } = config.algorithm
+        {
+            if questions_per_round == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "incr needs questions_per_round >= 1".into(),
+                ));
+            }
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs the session without ground-truth metrics.
+    pub fn run<C: Crowd>(&self, table: &UncertainTable, crowd: &mut C) -> Result<UrReport> {
+        self.run_with_truth(table, crowd, None)
+    }
+
+    /// Runs the session; when `truth` (the real top-K) is given, every step
+    /// records `D(ω_r, T_K)`.
+    pub fn run_with_truth<C: Crowd>(
+        &self,
+        table: &UncertainTable,
+        crowd: &mut C,
+        truth: Option<&RankList>,
+    ) -> Result<UrReport> {
+        if self.config.k > table.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "k = {} exceeds table size {}",
+                self.config.k,
+                table.len()
+            )));
+        }
+        let measure = self.config.measure.build();
+        let pairwise = PairwiseMatrix::compute(table);
+        match &self.config.algorithm {
+            Algorithm::Incr {
+                questions_per_round,
+            } => self.run_incr(
+                table,
+                crowd,
+                truth,
+                measure.as_ref(),
+                &pairwise,
+                *questions_per_round,
+            ),
+            _ => self.run_tree(table, crowd, truth, measure.as_ref(), &pairwise),
+        }
+    }
+
+    /// The standard flow: materialize the full-depth tree, then select.
+    fn run_tree<C: Crowd>(
+        &self,
+        table: &UncertainTable,
+        crowd: &mut C,
+        truth: Option<&RankList>,
+        measure: &dyn UncertaintyMeasure,
+        pairwise: &PairwiseMatrix,
+    ) -> Result<UrReport> {
+        let start = Instant::now();
+        let ctx = ResidualCtx { measure, pairwise };
+        let mut ps = self.config.engine.build(table, self.config.k)?;
+        let mut report = self.report_skeleton(&ps, measure, truth);
+        let mut selection_time = Duration::ZERO;
+
+        match &self.config.algorithm {
+            Algorithm::T1On => {
+                let mut sel = T1On;
+                self.online_loop(&mut sel, &mut ps, crowd, truth, &ctx, &mut report, &mut selection_time);
+            }
+            Algorithm::AStarOn {
+                lookahead,
+                max_expansions,
+            } => {
+                let mut sel = AStarOn {
+                    lookahead: *lookahead,
+                    max_expansions: *max_expansions,
+                };
+                self.online_loop(&mut sel, &mut ps, crowd, truth, &ctx, &mut report, &mut selection_time);
+            }
+            offline => {
+                let mut sel: Box<dyn OfflineSelector> = match offline {
+                    Algorithm::Random => Box::new(RandomSelector::new(self.config.seed)),
+                    Algorithm::Naive => Box::new(NaiveSelector::new(self.config.seed)),
+                    Algorithm::TbOff => Box::new(TbOff),
+                    Algorithm::COff => Box::new(COff),
+                    Algorithm::AStarOff { max_expansions } => Box::new(AStarOff {
+                        max_expansions: *max_expansions,
+                    }),
+                    _ => unreachable!("online variants handled above"),
+                };
+                let t = Instant::now();
+                let batch = sel.select(&ps, self.config.budget.min(crowd.remaining()), &ctx);
+                selection_time += t.elapsed();
+                for q in batch {
+                    if self.target_reached(ctx.measure.uncertainty(&ps)) {
+                        break;
+                    }
+                    let Some(ans) = crowd.ask(q) else { break };
+                    self.apply_answer(&mut ps, &q, ans.yes, crowd.answer_accuracy(), &ctx, &mut report, truth);
+                }
+            }
+        }
+
+        report.resolved = ps.is_resolved();
+        report.final_topk = ps.most_probable().items.clone();
+        report.selection_time = selection_time;
+        report.total_time = start.elapsed();
+        Ok(report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn online_loop<S: OnlineSelector, C: Crowd>(
+        &self,
+        sel: &mut S,
+        ps: &mut PathSet,
+        crowd: &mut C,
+        truth: Option<&RankList>,
+        ctx: &ResidualCtx<'_>,
+        report: &mut UrReport,
+        selection_time: &mut Duration,
+    ) {
+        while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
+            if self.target_reached(ctx.measure.uncertainty(ps)) {
+                break;
+            }
+            let t = Instant::now();
+            let q = sel.next_question(ps, crowd.remaining(), ctx);
+            *selection_time += t.elapsed();
+            let Some(q) = q else { break };
+            let Some(ans) = crowd.ask(q) else { break };
+            self.apply_answer(ps, &q, ans.yes, crowd.answer_accuracy(), ctx, report, truth);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_answer(
+        &self,
+        ps: &mut PathSet,
+        q: &Question,
+        yes: bool,
+        accuracy: f64,
+        ctx: &ResidualCtx<'_>,
+        report: &mut UrReport,
+        truth: Option<&RankList>,
+    ) {
+        let prior = ctx.prior(q.i, q.j);
+        let updated = if accuracy >= RELIABLE_ACCURACY {
+            prune(ps, q.i, q.j, yes, prior).map(|(s, _)| s)
+        } else {
+            bayes_update(ps, q.i, q.j, yes, accuracy, prior)
+        };
+        match updated {
+            Ok(next) => *ps = next,
+            Err(TpoError::ContradictoryAnswer) => {
+                // Sampled trees can miss the real ordering; skip the answer
+                // rather than emptying the belief (counted in the report).
+                report.contradictions += 1;
+            }
+            Err(_) => unreachable!("prune/update only fail on contradictions"),
+        }
+        report.steps.push(StepRecord {
+            question: *q,
+            answer_yes: yes,
+            orderings: ps.len(),
+            uncertainty: ctx.measure.uncertainty(ps),
+            distance_to_truth: truth.map(|t| expected_distance_to_truth(ps, t)),
+        });
+    }
+
+    /// The incremental algorithm (§III-D): build the TPO level by level on
+    /// a sampled-worlds belief, interleaving question rounds with
+    /// construction; deepen only when the current level runs out of
+    /// relevant questions.
+    fn run_incr<C: Crowd>(
+        &self,
+        table: &UncertainTable,
+        crowd: &mut C,
+        truth: Option<&RankList>,
+        measure: &dyn UncertaintyMeasure,
+        pairwise: &PairwiseMatrix,
+        n_per_round: usize,
+    ) -> Result<UrReport> {
+        let start = Instant::now();
+        let ctx = ResidualCtx { measure, pairwise };
+        let (worlds, seed) = match &self.config.engine {
+            Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
+            Engine::Exact(_) => (20_000, self.config.seed),
+        };
+        let mut wm = WorldModel::sample(table, worlds, seed);
+        let k = self.config.k;
+        let mut depth = 1usize;
+        let mut ps = wm.path_set(depth)?;
+        let mut report = self.report_skeleton(&ps, measure, truth);
+        let mut selection_time = Duration::ZERO;
+
+        while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
+            if self.target_reached(
+                ctx.measure.uncertainty(&wm.path_set(depth)?),
+            ) {
+                break;
+            }
+            let t = Instant::now();
+            ps = wm.path_set(depth)?;
+            let mut pool = crate::select::relevant_questions(&ps, &ctx);
+            // “We only build new levels if there are not enough questions
+            // to ask.”
+            while pool.len() < n_per_round && depth < k {
+                depth += 1;
+                ps = wm.path_set(depth)?;
+                pool = crate::select::relevant_questions(&ps, &ctx);
+            }
+            if pool.is_empty() {
+                selection_time += t.elapsed();
+                break; // fully resolved at full depth
+            }
+            let n = n_per_round
+                .min(crowd.remaining())
+                .min(self.config.budget - report.steps.len())
+                .min(pool.len());
+            let round = TbOff.select(&ps, n, &ctx);
+            selection_time += t.elapsed();
+            for q in round {
+                let Some(ans) = crowd.ask(q) else { break };
+                let accuracy = crowd.answer_accuracy();
+                let res = if accuracy >= RELIABLE_ACCURACY {
+                    wm.apply_answer_hard(q.i, q.j, ans.yes)
+                } else {
+                    wm.apply_answer_noisy(q.i, q.j, ans.yes, accuracy)
+                };
+                if res.is_err() {
+                    report.contradictions += 1;
+                }
+                let cur = wm.path_set(depth)?;
+                report.steps.push(StepRecord {
+                    question: q,
+                    answer_yes: ans.yes,
+                    orderings: cur.len(),
+                    uncertainty: ctx.measure.uncertainty(&cur),
+                    distance_to_truth: truth.map(|t| expected_distance_to_truth(&cur, t)),
+                });
+            }
+        }
+
+        // Materialize the final full-depth result (cheap: the belief is
+        // already pruned).
+        let final_ps = wm.path_set(k)?;
+        report.resolved = final_ps.is_resolved();
+        report.final_topk = final_ps.most_probable().items.clone();
+        match report.steps.last_mut() {
+            Some(last) => {
+                last.orderings = final_ps.len();
+                last.uncertainty = ctx.measure.uncertainty(&final_ps);
+                if let Some(t) = truth {
+                    last.distance_to_truth = Some(expected_distance_to_truth(&final_ps, t));
+                }
+            }
+            None => {
+                // Zero-budget run: report the full-depth baseline so the
+                // numbers are comparable with the full-tree algorithms.
+                report.initial_orderings = final_ps.len();
+                report.initial_uncertainty = ctx.measure.uncertainty(&final_ps);
+                report.initial_distance =
+                    truth.map(|t| expected_distance_to_truth(&final_ps, t));
+            }
+        }
+        report.selection_time = selection_time;
+        report.total_time = start.elapsed();
+        Ok(report)
+    }
+
+    fn target_reached(&self, uncertainty: f64) -> bool {
+        self.config
+            .uncertainty_target
+            .map(|t| uncertainty <= t)
+            .unwrap_or(false)
+    }
+
+    fn report_skeleton(
+        &self,
+        ps: &PathSet,
+        measure: &dyn UncertaintyMeasure,
+        truth: Option<&RankList>,
+    ) -> UrReport {
+        UrReport {
+            algorithm: self.config.algorithm.name(),
+            measure: self.config.measure.name(),
+            initial_orderings: ps.len(),
+            initial_uncertainty: measure.uncertainty(ps),
+            initial_distance: truth.map(|t| expected_distance_to_truth(ps, t)),
+            steps: Vec::new(),
+            contradictions: 0,
+            resolved: ps.is_resolved(),
+            final_topk: ps.most_probable().items.clone(),
+            selection_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+    use ctk_prob::ScoreDist;
+    use ctk_tpo::build::McConfig;
+
+    fn table() -> UncertainTable {
+        UncertainTable::new(
+            (0..8)
+                .map(|i| ScoreDist::uniform_centered(i as f64 * 0.1, 0.35).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn config(algorithm: Algorithm, budget: usize) -> SessionConfig {
+        SessionConfig {
+            k: 3,
+            budget,
+            measure: MeasureKind::WeightedEntropy,
+            algorithm,
+            engine: Engine::MonteCarlo(McConfig {
+                worlds: 4000,
+                seed: 7,
+            }),
+            seed: 11,
+            uncertainty_target: None,
+        }
+    }
+
+    fn run(algorithm: Algorithm, budget: usize) -> UrReport {
+        let table = table();
+        let truth = GroundTruth::sample(&table, 99);
+        let top = truth.top_k(3);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget);
+        let session = UrSession::new(config(algorithm, budget)).unwrap();
+        session
+            .run_with_truth(&table, &mut crowd, Some(&top))
+            .unwrap()
+    }
+
+    #[test]
+    fn t1_on_reduces_uncertainty_and_distance() {
+        let r = run(Algorithm::T1On, 15);
+        assert!(r.questions_asked() > 0);
+        assert!(r.final_uncertainty() <= r.initial_uncertainty + 1e-9);
+        assert!(r.final_orderings() <= r.initial_orderings);
+        let d0 = r.initial_distance.unwrap();
+        let d1 = r.final_distance().unwrap();
+        assert!(d1 <= d0 + 1e-9, "distance should not grow: {d0} -> {d1}");
+        assert_eq!(r.algorithm, "T1-on");
+        assert_eq!(r.final_topk.len(), 3);
+    }
+
+    #[test]
+    fn all_algorithms_run_within_budget() {
+        for alg in [
+            Algorithm::Random,
+            Algorithm::Naive,
+            Algorithm::TbOff,
+            Algorithm::COff,
+            Algorithm::T1On,
+            Algorithm::Incr {
+                questions_per_round: 3,
+            },
+        ] {
+            let name = alg.name();
+            let r = run(alg, 6);
+            assert!(r.questions_asked() <= 6, "{name} overspent");
+            assert!(r.final_uncertainty().is_finite());
+            assert!(r.total_time >= r.selection_time);
+        }
+    }
+
+    #[test]
+    fn early_termination_when_resolved() {
+        // Massive budget: T1-on must stop once a single ordering remains.
+        let r = run(Algorithm::T1On, 500);
+        assert!(
+            r.questions_asked() < 100,
+            "asked {} questions",
+            r.questions_asked()
+        );
+        assert!(r.resolved || r.final_orderings() <= 2);
+    }
+
+    #[test]
+    fn incr_validates_round_size() {
+        assert!(UrSession::new(config(
+            Algorithm::Incr {
+                questions_per_round: 0
+            },
+            5
+        ))
+        .is_err());
+        assert!(UrSession::new(config(Algorithm::T1On, 5)).is_ok());
+    }
+
+    #[test]
+    fn k_larger_than_table_rejected() {
+        let mut cfg = config(Algorithm::T1On, 5);
+        cfg.k = 100;
+        let session = UrSession::new(cfg).unwrap();
+        let table = table();
+        let truth = GroundTruth::sample(&table, 1);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5);
+        assert!(matches!(
+            session.run(&table, &mut crowd),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn noisy_crowd_uses_bayes_updates() {
+        use ctk_crowd::NoisyWorker;
+        let table = table();
+        let truth = GroundTruth::sample(&table, 3);
+        let top = truth.top_k(3);
+        let mut crowd = CrowdSimulator::new(
+            truth,
+            NoisyWorker::new(0.8, 5),
+            VotePolicy::Single,
+            10,
+        );
+        let session = UrSession::new(config(Algorithm::T1On, 10)).unwrap();
+        let r = session
+            .run_with_truth(&table, &mut crowd, Some(&top))
+            .unwrap();
+        // With noisy answers, orderings are reweighted, not pruned: the
+        // ordering count after the first step must equal the initial count.
+        assert!(!r.steps.is_empty());
+        assert_eq!(r.steps[0].orderings, r.initial_orderings);
+    }
+
+    #[test]
+    fn report_without_truth_has_no_distances() {
+        let table = table();
+        let truth = GroundTruth::sample(&table, 1);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5);
+        let session = UrSession::new(config(Algorithm::Naive, 5)).unwrap();
+        let r = session.run(&table, &mut crowd).unwrap();
+        assert!(r.initial_distance.is_none());
+        assert!(r.steps.iter().all(|s| s.distance_to_truth.is_none()));
+    }
+}

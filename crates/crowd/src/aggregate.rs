@@ -1,0 +1,126 @@
+//! Vote aggregation: combining several workers' answers to one question.
+//!
+//! Replicating a question to an odd number of workers and taking the
+//! majority is the standard crowdsourcing quality-control device; the
+//! noisy-crowd experiment (`table_noise` in `ctk-bench`) quantifies how
+//! much it buys at triple the monetary cost.
+
+/// How many workers answer each question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VotePolicy {
+    /// One worker per question.
+    Single,
+    /// An odd number of workers per question; majority wins.
+    Majority(usize),
+}
+
+impl VotePolicy {
+    /// Number of votes collected per question.
+    pub fn votes_per_question(&self) -> usize {
+        match self {
+            VotePolicy::Single => 1,
+            VotePolicy::Majority(n) => *n,
+        }
+    }
+
+    /// Validates the policy (majority counts must be odd and >= 3).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            VotePolicy::Single => Ok(()),
+            VotePolicy::Majority(n) if *n >= 3 && n % 2 == 1 => Ok(()),
+            VotePolicy::Majority(n) => Err(format!(
+                "majority policy needs an odd count >= 3, got {n}"
+            )),
+        }
+    }
+
+    /// The effective accuracy of the aggregate answer given a per-worker
+    /// accuracy `eta` (i.i.d. errors): `P(majority correct)`.
+    pub fn effective_accuracy(&self, eta: f64) -> f64 {
+        match self {
+            VotePolicy::Single => eta,
+            VotePolicy::Majority(n) => {
+                // Sum over outcomes with more than n/2 correct votes.
+                let n = *n;
+                let mut p = 0.0;
+                for correct in (n / 2 + 1)..=n {
+                    p += binomial(n, correct) * eta.powi(correct as i32)
+                        * (1.0 - eta).powi((n - correct) as i32);
+                }
+                p
+            }
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut num = 1.0;
+    let mut den = 1.0;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// Majority of a non-empty odd-length vote vector.
+pub fn majority_vote(votes: &[bool]) -> bool {
+    debug_assert!(!votes.is_empty() && votes.len() % 2 == 1, "odd vote count");
+    let yes = votes.iter().filter(|&&v| v).count();
+    yes * 2 > votes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basics() {
+        assert!(majority_vote(&[true]));
+        assert!(!majority_vote(&[false]));
+        assert!(majority_vote(&[true, false, true]));
+        assert!(!majority_vote(&[true, false, false]));
+        assert!(majority_vote(&[true, true, false, false, true]));
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(VotePolicy::Single.validate().is_ok());
+        assert!(VotePolicy::Majority(3).validate().is_ok());
+        assert!(VotePolicy::Majority(5).validate().is_ok());
+        assert!(VotePolicy::Majority(2).validate().is_err());
+        assert!(VotePolicy::Majority(4).validate().is_err());
+        assert!(VotePolicy::Majority(1).validate().is_err());
+    }
+
+    #[test]
+    fn votes_per_question() {
+        assert_eq!(VotePolicy::Single.votes_per_question(), 1);
+        assert_eq!(VotePolicy::Majority(5).votes_per_question(), 5);
+    }
+
+    #[test]
+    fn effective_accuracy_improves_with_votes() {
+        let eta = 0.7;
+        let single = VotePolicy::Single.effective_accuracy(eta);
+        let maj3 = VotePolicy::Majority(3).effective_accuracy(eta);
+        let maj5 = VotePolicy::Majority(5).effective_accuracy(eta);
+        assert_eq!(single, 0.7);
+        // P(maj-of-3 correct) = eta^3 + 3 eta^2 (1-eta) = 0.343 + 0.441
+        assert!((maj3 - 0.784).abs() < 1e-9, "maj3 = {maj3}");
+        assert!(maj5 > maj3 && maj3 > single);
+        // Perfect workers stay perfect.
+        assert!((VotePolicy::Majority(3).effective_accuracy(1.0) - 1.0).abs() < 1e-12);
+        // Coin-flip workers stay coin flips.
+        assert!((VotePolicy::Majority(5).effective_accuracy(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 3), 35.0);
+    }
+}

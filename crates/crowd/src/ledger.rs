@@ -1,0 +1,123 @@
+//! Budget accounting: the paper's budget `B` is the number of questions
+//! that may be posed to the crowd; the ledger additionally tracks raw votes
+//! (majority policies collect several votes per question) and keeps the
+//! full question/answer history for reports.
+
+use crate::question::{Answer, Question};
+
+/// Tracks question budget consumption and history.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    budget: usize,
+    questions_asked: usize,
+    votes_collected: usize,
+    history: Vec<Answer>,
+}
+
+impl BudgetLedger {
+    /// Creates a ledger with a budget of `b` questions.
+    pub fn new(b: usize) -> Self {
+        Self {
+            budget: b,
+            questions_asked: 0,
+            votes_collected: 0,
+            history: Vec::with_capacity(b),
+        }
+    }
+
+    /// The configured budget `B`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Questions asked so far.
+    pub fn asked(&self) -> usize {
+        self.questions_asked
+    }
+
+    /// Raw worker votes collected so far (>= questions when majority
+    /// policies are used).
+    pub fn votes(&self) -> usize {
+        self.votes_collected
+    }
+
+    /// Questions still allowed.
+    pub fn remaining(&self) -> usize {
+        self.budget - self.questions_asked
+    }
+
+    /// True when no more questions may be asked.
+    pub fn exhausted(&self) -> bool {
+        self.questions_asked >= self.budget
+    }
+
+    /// Records one asked question with its aggregated answer and the number
+    /// of votes spent on it. Returns `false` (recording nothing) if the
+    /// budget was already exhausted.
+    pub fn record(&mut self, answer: Answer, votes: usize) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.questions_asked += 1;
+        self.votes_collected += votes;
+        self.history.push(answer);
+        true
+    }
+
+    /// Full answer history in ask order.
+    pub fn history(&self) -> &[Answer] {
+        &self.history
+    }
+
+    /// True if this exact question (in either orientation) was asked
+    /// before.
+    pub fn already_asked(&self, q: &Question) -> bool {
+        let c = q.canonical();
+        self.history
+            .iter()
+            .any(|a| a.question.canonical() == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ans(i: u32, j: u32, yes: bool) -> Answer {
+        Answer {
+            question: Question::new(i, j),
+            yes,
+        }
+    }
+
+    #[test]
+    fn budget_lifecycle() {
+        let mut l = BudgetLedger::new(2);
+        assert_eq!(l.budget(), 2);
+        assert_eq!(l.remaining(), 2);
+        assert!(!l.exhausted());
+        assert!(l.record(ans(0, 1, true), 1));
+        assert!(l.record(ans(1, 2, false), 3));
+        assert!(l.exhausted());
+        assert!(!l.record(ans(2, 3, true), 1), "over-budget record refused");
+        assert_eq!(l.asked(), 2);
+        assert_eq!(l.votes(), 4);
+        assert_eq!(l.history().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_detection_is_orientation_insensitive() {
+        let mut l = BudgetLedger::new(5);
+        l.record(ans(0, 1, true), 1);
+        assert!(l.already_asked(&Question::new(0, 1)));
+        assert!(l.already_asked(&Question::new(1, 0)));
+        assert!(!l.already_asked(&Question::new(0, 2)));
+    }
+
+    #[test]
+    fn zero_budget() {
+        let mut l = BudgetLedger::new(0);
+        assert!(l.exhausted());
+        assert!(!l.record(ans(0, 1, true), 1));
+    }
+}

@@ -1,0 +1,170 @@
+//! The crowd interface and its simulator.
+//!
+//! [`Crowd`] is the narrow interface the question-selection engine sees: it
+//! can ask a pairwise question and observe the (aggregated) answer, within
+//! a budget. [`CrowdSimulator`] implements it with a ground truth and a
+//! worker model — the substitute for a real crowdsourcing market
+//! (documented in DESIGN.md §5): the algorithms' inputs and outputs are
+//! identical to a live deployment, only the answer source differs.
+
+use crate::aggregate::{majority_vote, VotePolicy};
+use crate::ledger::BudgetLedger;
+use crate::oracle::GroundTruth;
+use crate::question::{Answer, Question};
+use crate::worker::AnswerModel;
+
+/// What the selection engine may do with a crowd.
+pub trait Crowd {
+    /// Asks one question; returns `None` if the budget is exhausted.
+    fn ask(&mut self, q: Question) -> Option<Answer>;
+
+    /// Questions still allowed.
+    fn remaining(&self) -> usize;
+
+    /// The nominal accuracy of one aggregated answer (1.0 for perfect
+    /// workers) — consumed by the Bayesian update.
+    fn answer_accuracy(&self) -> f64;
+
+    /// Full history so far.
+    fn history(&self) -> &[Answer];
+}
+
+/// Simulated crowd: ground truth + worker model + vote policy + budget.
+#[derive(Debug, Clone)]
+pub struct CrowdSimulator<M: AnswerModel> {
+    truth: GroundTruth,
+    model: M,
+    policy: VotePolicy,
+    ledger: BudgetLedger,
+}
+
+impl<M: AnswerModel> CrowdSimulator<M> {
+    /// Creates a simulator with budget `b` questions.
+    pub fn new(truth: GroundTruth, model: M, policy: VotePolicy, b: usize) -> Self {
+        policy.validate().expect("invalid vote policy");
+        Self {
+            truth,
+            model,
+            policy,
+            ledger: BudgetLedger::new(b),
+        }
+    }
+
+    /// The hidden ground truth (used by evaluation metrics, never by the
+    /// selection algorithms).
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Budget ledger snapshot.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+}
+
+impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
+    fn ask(&mut self, q: Question) -> Option<Answer> {
+        if self.ledger.exhausted() {
+            return None;
+        }
+        let truth = self.truth.true_answer(&q);
+        let gap = (self.truth.scores()[q.i as usize] - self.truth.scores()[q.j as usize]).abs();
+        let votes = self.policy.votes_per_question();
+        let answer = match self.policy {
+            VotePolicy::Single => self.model.answer_with_gap(&q, truth, gap),
+            VotePolicy::Majority(n) => {
+                let vs: Vec<bool> = (0..n)
+                    .map(|_| self.model.answer_with_gap(&q, truth, gap))
+                    .collect();
+                majority_vote(&vs)
+            }
+        };
+        let ans = Answer {
+            question: q,
+            yes: answer,
+        };
+        self.ledger.record(ans, votes);
+        Some(ans)
+    }
+
+    fn remaining(&self) -> usize {
+        self.ledger.remaining()
+    }
+
+    fn answer_accuracy(&self) -> f64 {
+        self.policy.effective_accuracy(self.model.accuracy())
+    }
+
+    fn history(&self) -> &[Answer] {
+        self.ledger.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{NoisyWorker, PerfectWorker};
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_scores(vec![0.1, 0.9, 0.5])
+    }
+
+    #[test]
+    fn perfect_crowd_tells_the_truth() {
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 10);
+        let a = c.ask(Question::new(1, 0)).unwrap();
+        assert!(a.yes);
+        let b = c.ask(Question::new(0, 2)).unwrap();
+        assert!(!b.yes);
+        assert_eq!(c.remaining(), 8);
+        assert_eq!(c.history().len(), 2);
+        assert_eq!(c.answer_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 1);
+        assert!(c.ask(Question::new(0, 1)).is_some());
+        assert!(c.ask(Question::new(1, 2)).is_none());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn majority_voting_collects_votes_and_raises_accuracy() {
+        let mut c = CrowdSimulator::new(
+            truth(),
+            NoisyWorker::new(0.7, 42),
+            VotePolicy::Majority(3),
+            5,
+        );
+        let _ = c.ask(Question::new(1, 0)).unwrap();
+        assert_eq!(c.ledger().votes(), 3);
+        assert_eq!(c.ledger().asked(), 1);
+        assert!((c.answer_accuracy() - 0.784).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_crowd_empirical_accuracy() {
+        let mut c = CrowdSimulator::new(
+            truth(),
+            NoisyWorker::new(0.8, 7),
+            VotePolicy::Single,
+            20_000,
+        );
+        let q = Question::new(1, 0); // true answer: yes
+        let mut correct = 0;
+        for _ in 0..20_000 {
+            if c.ask(q).unwrap().yes {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / 20_000.0;
+        assert!((rate - 0.8).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid vote policy")]
+    fn invalid_policy_rejected() {
+        let _ = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(2), 5);
+    }
+}

@@ -1,0 +1,286 @@
+//! Worker models: how a crowd member turns the true pairwise order into an
+//! answer.
+//!
+//! §III-C models a worker by an *accuracy* — the probability that the
+//! returned answer is correct. The experiment harness uses
+//! [`PerfectWorker`] for the noiseless setting and [`NoisyWorker`] /
+//! [`WorkerPool`] for the noisy-crowd experiments.
+
+use crate::question::Question;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Turns the true answer of a question into the worker's (possibly wrong)
+/// response.
+pub trait AnswerModel {
+    /// Produces the worker's answer given the correct one.
+    fn answer(&mut self, q: &Question, truth: bool) -> bool;
+
+    /// The model's (nominal) accuracy, used by the Bayesian update. For
+    /// pools this is the average accuracy; for difficulty-aware workers it
+    /// is the asymptotic (easy-pair) accuracy.
+    fn accuracy(&self) -> f64;
+
+    /// Like [`AnswerModel::answer`] but informed of the true score gap
+    /// `|s_i - s_j|` of the compared pair. Models that err more on close
+    /// calls override this; the default ignores the gap.
+    fn answer_with_gap(&mut self, q: &Question, truth: bool, _gap: f64) -> bool {
+        self.answer(q, truth)
+    }
+}
+
+/// Always answers correctly (accuracy 1).
+#[derive(Debug, Clone, Default)]
+pub struct PerfectWorker;
+
+impl AnswerModel for PerfectWorker {
+    fn answer(&mut self, _q: &Question, truth: bool) -> bool {
+        truth
+    }
+
+    fn accuracy(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Answers correctly with fixed probability `accuracy`.
+#[derive(Debug, Clone)]
+pub struct NoisyWorker {
+    accuracy: f64,
+    rng: StdRng,
+}
+
+impl NoisyWorker {
+    /// Creates a worker with the given accuracy (clamped to `[0.5, 1]`; an
+    /// accuracy below a coin flip would be an adversarial worker, which the
+    /// paper does not model) and RNG seed.
+    pub fn new(accuracy: f64, seed: u64) -> Self {
+        Self {
+            accuracy: accuracy.clamp(0.5, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl AnswerModel for NoisyWorker {
+    fn answer(&mut self, _q: &Question, truth: bool) -> bool {
+        if self.rng.gen::<f64>() < self.accuracy {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+/// A heterogeneous pool of noisy workers; questions are assigned
+/// round-robin (simulating a crowdsourcing platform distributing tasks).
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: Vec<NoisyWorker>,
+    cursor: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool from explicit accuracies.
+    pub fn new(accuracies: &[f64], seed: u64) -> Self {
+        assert!(!accuracies.is_empty(), "pool needs at least one worker");
+        let workers = accuracies
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| NoisyWorker::new(a, seed.wrapping_add(i as u64)))
+            .collect();
+        Self { workers, cursor: 0 }
+    }
+
+    /// Builds a pool of `size` workers with accuracies drawn uniformly from
+    /// `[lo, hi]` (deterministic given `seed`).
+    pub fn uniform(size: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let accuracies: Vec<f64> = (0..size)
+            .map(|_| rng.gen_range(lo.min(hi)..=hi.max(lo)))
+            .collect();
+        Self::new(&accuracies, seed.wrapping_add(0x9e37_79b9))
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Pools are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl AnswerModel for WorkerPool {
+    fn answer(&mut self, q: &Question, truth: bool) -> bool {
+        let idx = self.cursor;
+        self.cursor = (self.cursor + 1) % self.workers.len();
+        self.workers[idx].answer(q, truth)
+    }
+
+    fn accuracy(&self) -> f64 {
+        self.workers.iter().map(|w| w.accuracy()).sum::<f64>() / self.workers.len() as f64
+    }
+}
+
+/// A worker whose accuracy depends on how close the compared scores are:
+/// `eta(gap) = 0.5 + (eta_max - 0.5) * (1 - exp(-gap / scale))`.
+///
+/// Human judges are nearly random on ties and nearly perfect on obvious
+/// pairs; this is the standard difficulty-aware noise model from the
+/// crowdsourcing literature, provided as an extension beyond the paper's
+/// constant-accuracy workers (the Bayesian update keeps using the nominal
+/// `eta_max`, deliberately stress-testing model mismatch).
+#[derive(Debug, Clone)]
+pub struct DifficultyWorker {
+    eta_max: f64,
+    scale: f64,
+    rng: StdRng,
+}
+
+impl DifficultyWorker {
+    /// Creates a difficulty-aware worker. `eta_max` is the accuracy on
+    /// well-separated pairs (clamped to `[0.5, 1]`); `scale > 0` is the
+    /// score gap at which ~63% of the accuracy headroom is reached.
+    pub fn new(eta_max: f64, scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0, "difficulty scale must be positive");
+        Self {
+            eta_max: eta_max.clamp(0.5, 1.0),
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Accuracy on a pair with true score gap `gap`.
+    pub fn accuracy_at(&self, gap: f64) -> f64 {
+        0.5 + (self.eta_max - 0.5) * (1.0 - (-gap.abs() / self.scale).exp())
+    }
+}
+
+impl AnswerModel for DifficultyWorker {
+    fn answer(&mut self, q: &Question, truth: bool) -> bool {
+        // No gap information: behave like the asymptotic worker.
+        let eta = self.eta_max;
+        let _ = q;
+        if self.rng.gen::<f64>() < eta {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    fn accuracy(&self) -> f64 {
+        self.eta_max
+    }
+
+    fn answer_with_gap(&mut self, _q: &Question, truth: bool, gap: f64) -> bool {
+        if self.rng.gen::<f64>() < self.accuracy_at(gap) {
+            truth
+        } else {
+            !truth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Question {
+        Question::new(0, 1)
+    }
+
+    #[test]
+    fn perfect_worker_never_errs() {
+        let mut w = PerfectWorker;
+        assert_eq!(w.accuracy(), 1.0);
+        for truth in [true, false] {
+            for _ in 0..10 {
+                assert_eq!(w.answer(&q(), truth), truth);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_worker_error_rate_matches_accuracy() {
+        let mut w = NoisyWorker::new(0.8, 42);
+        assert_eq!(w.accuracy(), 0.8);
+        const N: usize = 20_000;
+        let correct = (0..N).filter(|_| w.answer(&q(), true)).count();
+        let rate = correct as f64 / N as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn accuracy_clamped_to_half() {
+        assert_eq!(NoisyWorker::new(0.2, 0).accuracy(), 0.5);
+        assert_eq!(NoisyWorker::new(1.5, 0).accuracy(), 1.0);
+    }
+
+    #[test]
+    fn pool_round_robin_and_average_accuracy() {
+        let mut pool = WorkerPool::new(&[1.0, 0.5], 7);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        assert!((pool.accuracy() - 0.75).abs() < 1e-12);
+        // The accuracy-1.0 worker answers every other question correctly.
+        let answers: Vec<bool> = (0..6).map(|_| pool.answer(&q(), true)).collect();
+        assert!(answers[0] && answers[2] && answers[4]);
+    }
+
+    #[test]
+    fn uniform_pool_accuracies_in_range() {
+        let pool = WorkerPool::uniform(50, 0.6, 0.9, 3);
+        assert_eq!(pool.len(), 50);
+        let avg = pool.accuracy();
+        assert!(avg > 0.6 && avg < 0.9, "avg = {avg}");
+    }
+
+    #[test]
+    fn difficulty_worker_errs_more_on_close_calls() {
+        let w = DifficultyWorker::new(0.95, 0.1, 0);
+        assert!((w.accuracy_at(0.0) - 0.5).abs() < 1e-12, "ties are coin flips");
+        assert!(w.accuracy_at(0.05) < w.accuracy_at(0.2));
+        assert!(w.accuracy_at(10.0) > 0.9499, "easy pairs approach eta_max");
+        assert_eq!(w.accuracy(), 0.95);
+
+        // Empirical check at a fixed gap.
+        let mut w = DifficultyWorker::new(0.9, 0.1, 7);
+        let expect = w.accuracy_at(0.1);
+        const N: usize = 20_000;
+        let correct = (0..N)
+            .filter(|_| w.answer_with_gap(&q(), true, 0.1))
+            .count();
+        let rate = correct as f64 / N as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn default_answer_with_gap_ignores_gap() {
+        let mut w = PerfectWorker;
+        assert!(w.answer_with_gap(&q(), true, 0.0));
+        assert!(!w.answer_with_gap(&q(), false, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn difficulty_scale_must_be_positive() {
+        let _ = DifficultyWorker::new(0.9, 0.0, 0);
+    }
+
+    #[test]
+    fn workers_are_seed_deterministic() {
+        let mut a = NoisyWorker::new(0.7, 5);
+        let mut b = NoisyWorker::new(0.7, 5);
+        for _ in 0..100 {
+            assert_eq!(a.answer(&q(), true), b.answer(&q(), true));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Dataset specification: the structural knobs the paper's evaluation
+//! sweeps (table size `N`, score-center layout, pdf family, uncertainty
+//! width).
+
+/// How a scalar parameter varies across tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WidthSpec {
+    /// Same value for every tuple.
+    Fixed(f64),
+    /// Independently drawn uniformly from `[lo, hi]` per tuple
+    /// (heterogeneous uncertainty).
+    UniformRange(f64, f64),
+}
+
+impl WidthSpec {
+    /// Materializes the width for one tuple given a unit-interval draw.
+    pub fn materialize(&self, unit_draw: f64) -> f64 {
+        match *self {
+            WidthSpec::Fixed(w) => w,
+            WidthSpec::UniformRange(lo, hi) => lo + unit_draw * (hi - lo),
+        }
+    }
+}
+
+/// Where the score centers (the tuples' "true quality") come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CenterLayout {
+    /// Independently uniform in `[0, 1]` — the paper's default synthetic
+    /// data.
+    UniformRandom,
+    /// Evenly spaced on `[0, 1]` (maximally regular; overlap controlled
+    /// purely by width).
+    EvenlySpaced,
+    /// A few tight clusters (hard case: within-cluster orders are nearly
+    /// coin flips).
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+        /// Standard deviation of centers within a cluster.
+        spread: f64,
+    },
+}
+
+/// The pdf family assigned to tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PdfFamily {
+    /// Uniform intervals centered on the score center.
+    Uniform {
+        /// Interval width.
+        width: WidthSpec,
+    },
+    /// Gaussians centered on the score center.
+    Gaussian {
+        /// Standard deviation.
+        sigma: WidthSpec,
+    },
+    /// Alternating uniform / Gaussian / triangular tuples — the
+    /// “non-uniform tuple score distributions” setting of §IV.
+    MixedFamilies {
+        /// Uniform width (Gaussian sigma is `width / 4`, triangular spread
+        /// is `width`, chosen so variances are comparable).
+        width: WidthSpec,
+    },
+}
+
+/// Complete synthetic dataset specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Number of tuples `N`.
+    pub n: usize,
+    /// Score-center layout.
+    pub centers: CenterLayout,
+    /// Pdf family and uncertainty scale.
+    pub family: PdfFamily,
+    /// Generation seed (the dataset is a pure function of the spec).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's default synthetic workload: `n` tuples, uniform random
+    /// centers in `[0, 1]`, uniform score pdfs of fixed `width`.
+    pub fn paper_default(n: usize, width: f64, seed: u64) -> Self {
+        Self {
+            n,
+            centers: CenterLayout::UniformRandom,
+            family: PdfFamily::Uniform {
+                width: WidthSpec::Fixed(width),
+            },
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_spec_materialization() {
+        assert_eq!(WidthSpec::Fixed(0.4).materialize(0.7), 0.4);
+        assert_eq!(WidthSpec::UniformRange(0.2, 0.6).materialize(0.0), 0.2);
+        assert_eq!(WidthSpec::UniformRange(0.2, 0.6).materialize(1.0), 0.6);
+        assert_eq!(WidthSpec::UniformRange(0.2, 0.6).materialize(0.5), 0.4);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let s = DatasetSpec::paper_default(20, 0.4, 1);
+        assert_eq!(s.n, 20);
+        assert_eq!(s.centers, CenterLayout::UniformRandom);
+        assert!(matches!(
+            s.family,
+            PdfFamily::Uniform {
+                width: WidthSpec::Fixed(w)
+            } if w == 0.4
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Dataset materialization: turns a [`DatasetSpec`] into an
+//! [`UncertainTable`], deterministically.
+
+use crate::config::{CenterLayout, DatasetSpec, PdfFamily};
+use ctk_prob::{ScoreDist, UncertainTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the table described by `spec`. The same spec always produces
+/// the same table.
+pub fn generate(spec: &DatasetSpec) -> UncertainTable {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let centers = generate_centers(&spec.centers, spec.n, &mut rng);
+    let dists = centers
+        .iter()
+        .enumerate()
+        .map(|(idx, &c)| make_dist(&spec.family, c, idx, &mut rng))
+        .collect();
+    UncertainTable::new(dists).expect("spec.n >= 1 produces a non-empty table")
+}
+
+fn generate_centers(layout: &CenterLayout, n: usize, rng: &mut StdRng) -> Vec<f64> {
+    match *layout {
+        CenterLayout::UniformRandom => (0..n).map(|_| rng.gen::<f64>()).collect(),
+        CenterLayout::EvenlySpaced => {
+            if n == 1 {
+                vec![0.5]
+            } else {
+                (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+            }
+        }
+        CenterLayout::Clustered { clusters, spread } => {
+            let clusters = clusters.max(1);
+            let anchors: Vec<f64> = (0..clusters)
+                .map(|c| (c as f64 + 0.5) / clusters as f64)
+                .collect();
+            (0..n)
+                .map(|i| {
+                    let anchor = anchors[i % clusters];
+                    // Box-Muller-free Gaussian-ish jitter: sum of uniforms
+                    // (Irwin–Hall with 4 terms, rescaled) keeps datagen free
+                    // of distribution machinery.
+                    let jitter: f64 =
+                        (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0 - 0.5;
+                    anchor + jitter * spread * 3.46 // std of IH(4)/4 ≈ 0.144
+                })
+                .collect()
+        }
+    }
+}
+
+fn make_dist(family: &PdfFamily, center: f64, idx: usize, rng: &mut StdRng) -> ScoreDist {
+    match *family {
+        PdfFamily::Uniform { width } => {
+            let w = width.materialize(rng.gen::<f64>()).max(1e-6);
+            ScoreDist::uniform_centered(center, w).expect("positive width")
+        }
+        PdfFamily::Gaussian { sigma } => {
+            let s = sigma.materialize(rng.gen::<f64>()).max(1e-6);
+            ScoreDist::gaussian(center, s).expect("positive sigma")
+        }
+        PdfFamily::MixedFamilies { width } => {
+            let w = width.materialize(rng.gen::<f64>()).max(1e-6);
+            match idx % 3 {
+                0 => ScoreDist::uniform_centered(center, w).expect("positive width"),
+                1 => ScoreDist::gaussian(center, w / 4.0).expect("positive sigma"),
+                _ => ScoreDist::triangular(center - w / 2.0, center, center + w / 2.0)
+                    .expect("valid triangular"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WidthSpec;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::paper_default(15, 0.4, 42);
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = DatasetSpec::paper_default(15, 0.4, 43);
+        assert_ne!(generate(&spec), generate(&other));
+    }
+
+    #[test]
+    fn paper_default_produces_uniform_pdfs() {
+        let t = generate(&DatasetSpec::paper_default(10, 0.4, 1));
+        assert_eq!(t.len(), 10);
+        for tu in t.iter() {
+            match &tu.dist {
+                ScoreDist::Uniform(u) => {
+                    assert!((u.hi() - u.lo() - 0.4).abs() < 1e-12);
+                }
+                other => panic!("expected uniform, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn evenly_spaced_centers() {
+        let spec = DatasetSpec {
+            n: 5,
+            centers: CenterLayout::EvenlySpaced,
+            family: PdfFamily::Uniform {
+                width: WidthSpec::Fixed(0.1),
+            },
+            seed: 0,
+        };
+        let t = generate(&spec);
+        let means: Vec<f64> = t.iter().map(|tu| tu.dist.mean()).collect();
+        for (i, m) in means.iter().enumerate() {
+            assert!((m - i as f64 * 0.25).abs() < 1e-9, "mean {m} at {i}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_widths_vary() {
+        let spec = DatasetSpec {
+            n: 30,
+            centers: CenterLayout::UniformRandom,
+            family: PdfFamily::Uniform {
+                width: WidthSpec::UniformRange(0.1, 0.8),
+            },
+            seed: 5,
+        };
+        let t = generate(&spec);
+        let widths: Vec<f64> = t
+            .iter()
+            .map(|tu| {
+                let (lo, hi) = tu.dist.support();
+                hi - lo
+            })
+            .collect();
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = widths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.2, "widths should spread: [{min}, {max}]");
+        assert!(min >= 0.1 - 1e-9 && max <= 0.8 + 1e-9);
+    }
+
+    #[test]
+    fn mixed_families_cycle() {
+        let spec = DatasetSpec {
+            n: 6,
+            centers: CenterLayout::EvenlySpaced,
+            family: PdfFamily::MixedFamilies {
+                width: WidthSpec::Fixed(0.3),
+            },
+            seed: 9,
+        };
+        let t = generate(&spec);
+        assert!(matches!(t.dist_at(0), ScoreDist::Uniform(_)));
+        assert!(matches!(t.dist_at(1), ScoreDist::Gaussian(_)));
+        assert!(matches!(t.dist_at(2), ScoreDist::Piecewise(_)));
+        assert!(matches!(t.dist_at(3), ScoreDist::Uniform(_)));
+    }
+
+    #[test]
+    fn clustered_centers_form_groups() {
+        let spec = DatasetSpec {
+            n: 40,
+            centers: CenterLayout::Clustered {
+                clusters: 2,
+                spread: 0.01,
+            },
+            family: PdfFamily::Uniform {
+                width: WidthSpec::Fixed(0.05),
+            },
+            seed: 3,
+        };
+        let t = generate(&spec);
+        let mut means: Vec<f64> = t.iter().map(|tu| tu.dist.mean()).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Two groups near 0.25 and 0.75: the largest gap should be big.
+        let max_gap = means
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 0.2, "expected a clear inter-cluster gap, got {max_gap}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # ctk-datagen — synthetic uncertain-score datasets
+//!
+//! Data generation for the `crowd-topk` workspace (reproduction of
+//! *“Crowdsourcing for Top-K Query Processing over Uncertain Data”*, Ciceri
+//! et al., ICDE 2016 / TKDE 28(1)).
+//!
+//! The paper's evaluation uses synthetic relations whose score pdfs are
+//! controlled by a handful of structural knobs — table size `N`, score
+//! center layout, pdf family, and uncertainty width. [`DatasetSpec`]
+//! captures those knobs, [`generate`] materializes a table
+//! deterministically, and [`scenarios`] provides one named preset per
+//! figure/table of the paper (see DESIGN.md §6).
+//!
+//! ## Example
+//!
+//! ```
+//! use ctk_datagen::{DatasetSpec, generate};
+//!
+//! // The paper's default workload: N=20, U[0,1] centers, width-0.4 pdfs.
+//! let table = generate(&DatasetSpec::paper_default(20, 0.4, 42));
+//! assert_eq!(table.len(), 20);
+//!
+//! // Same spec, same data — experiments are reproducible.
+//! assert_eq!(table, generate(&DatasetSpec::paper_default(20, 0.4, 42)));
+//! ```
+
+pub mod config;
+pub mod generator;
+pub mod scenarios;
+
+pub use config::{CenterLayout, DatasetSpec, PdfFamily, WidthSpec};
+pub use generator::generate;
+pub use scenarios::{HeteroVariant, Scenario};

@@ -1,0 +1,177 @@
+//! Named experiment scenarios: one preset per figure/table of the paper
+//! (see DESIGN.md §6 for the experiment index). Every preset is a pure
+//! function of the run seed, so experiment repetitions are fully
+//! reproducible.
+
+use crate::config::{CenterLayout, DatasetSpec, PdfFamily, WidthSpec};
+use crate::generator::generate;
+use ctk_prob::UncertainTable;
+
+/// A ready-to-run scenario: the dataset plus the query depth the paper
+/// uses for it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name (used in harness output).
+    pub name: &'static str,
+    /// The uncertain relation.
+    pub table: UncertainTable,
+    /// Query depth `K`.
+    pub k: usize,
+}
+
+/// Figure 1(a)/(b) workload: `N = 20`, uniform pdfs of width 0.4 over
+/// random centers in `[0, 1]`, `K = 5`.
+pub fn fig1(seed: u64) -> Scenario {
+    Scenario {
+        name: "fig1",
+        table: generate(&DatasetSpec::paper_default(20, 0.4, seed)),
+        k: 5,
+    }
+}
+
+/// Measures-comparison workload (T-measures): smaller table so all four
+/// measures (including the ORA-based one) stay cheap across many runs.
+pub fn measures(seed: u64) -> Scenario {
+    Scenario {
+        name: "measures",
+        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)),
+        k: 5,
+    }
+}
+
+/// A*-comparison workload (T-astar): tiny instance where the optimal
+/// algorithms are feasible.
+pub fn astar(seed: u64) -> Scenario {
+    Scenario {
+        name: "astar",
+        table: generate(&DatasetSpec::paper_default(10, 0.35, seed)),
+        k: 3,
+    }
+}
+
+/// Noisy-crowd workload (T-noise).
+pub fn noise(seed: u64) -> Scenario {
+    Scenario {
+        name: "noise",
+        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)),
+        k: 5,
+    }
+}
+
+/// Heterogeneous-distribution workloads (T-hetero): four variants on the
+/// same centers.
+pub fn hetero(variant: HeteroVariant, seed: u64) -> Scenario {
+    let family = match variant {
+        HeteroVariant::Uniform => PdfFamily::Uniform {
+            width: WidthSpec::Fixed(0.4),
+        },
+        HeteroVariant::Gaussian => PdfFamily::Gaussian {
+            sigma: WidthSpec::Fixed(0.1),
+        },
+        HeteroVariant::MixedWidths => PdfFamily::Uniform {
+            width: WidthSpec::UniformRange(0.1, 0.7),
+        },
+        HeteroVariant::MixedFamilies => PdfFamily::MixedFamilies {
+            width: WidthSpec::Fixed(0.4),
+        },
+    };
+    Scenario {
+        name: variant.name(),
+        table: generate(&DatasetSpec {
+            n: 20,
+            centers: CenterLayout::UniformRandom,
+            family,
+            seed,
+        }),
+        k: 5,
+    }
+}
+
+/// The four §IV “non-uniform score distribution” variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroVariant {
+    /// Fixed-width uniforms (baseline).
+    Uniform,
+    /// Gaussian pdfs.
+    Gaussian,
+    /// Uniforms with per-tuple random widths.
+    MixedWidths,
+    /// Alternating uniform / Gaussian / triangular.
+    MixedFamilies,
+}
+
+impl HeteroVariant {
+    /// Scenario name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeteroVariant::Uniform => "hetero-uniform",
+            HeteroVariant::Gaussian => "hetero-gaussian",
+            HeteroVariant::MixedWidths => "hetero-mixed-widths",
+            HeteroVariant::MixedFamilies => "hetero-mixed-families",
+        }
+    }
+
+    /// All variants, for sweeps.
+    pub fn all() -> [HeteroVariant; 4] {
+        [
+            HeteroVariant::Uniform,
+            HeteroVariant::Gaussian,
+            HeteroVariant::MixedWidths,
+            HeteroVariant::MixedFamilies,
+        ]
+    }
+}
+
+/// Scaling workload (T-incr / T-scaling): `n` tuples, `K = 5`, moderate
+/// overlap.
+pub fn scaling(n: usize, seed: u64) -> Scenario {
+    Scenario {
+        name: "scaling",
+        table: generate(&DatasetSpec::paper_default(n, 0.3, seed)),
+        k: 5.min(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let s = fig1(0);
+        assert_eq!(s.table.len(), 20);
+        assert_eq!(s.k, 5);
+        assert_eq!(s.name, "fig1");
+        assert!(s.table.all_continuous());
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        assert_eq!(fig1(7).table, fig1(7).table);
+        assert_ne!(fig1(7).table, fig1(8).table);
+        assert_eq!(astar(1).table.len(), 10);
+        assert_eq!(noise(1).table.len(), 15);
+        assert_eq!(measures(1).table.len(), 15);
+    }
+
+    #[test]
+    fn hetero_variants_differ() {
+        let seed = 3;
+        let u = hetero(HeteroVariant::Uniform, seed);
+        let g = hetero(HeteroVariant::Gaussian, seed);
+        assert_ne!(u.table, g.table);
+        assert_eq!(HeteroVariant::all().len(), 4);
+        for v in HeteroVariant::all() {
+            let s = hetero(v, seed);
+            assert_eq!(s.table.len(), 20);
+            assert!(s.name.starts_with("hetero-"));
+        }
+    }
+
+    #[test]
+    fn scaling_adapts_k() {
+        assert_eq!(scaling(3, 0).k, 3);
+        assert_eq!(scaling(40, 0).k, 5);
+        assert_eq!(scaling(40, 0).table.len(), 40);
+    }
+}

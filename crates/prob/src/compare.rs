@@ -1,0 +1,276 @@
+//! Pairwise score-comparison probabilities `P(s_i > s_j)`.
+//!
+//! These drive three parts of the system: the relevant-question set `Q_K`
+//! (a question is worth asking only if the order of the pair is uncertain),
+//! the splitting of path mass for answers a path leaves undetermined, and
+//! the noisy-worker Bayesian update.
+//!
+//! Ties between continuous scores have measure zero; ties between atoms are
+//! split evenly (`P(A > B) + ½·P(A = B)`), matching the deterministic
+//! tie-breaking rule assumed by the paper (any fixed rule yields the same
+//! expected behaviour under the symmetric split).
+
+use crate::dist::ScoreDist;
+use crate::grid::SupportGrid;
+use crate::quad::trapezoid;
+use crate::table::UncertainTable;
+
+/// Tolerance under which an order probability counts as certain.
+pub const ORDER_EPS: f64 = 1e-9;
+
+/// Resolution used for the pairwise quadrature grid.
+const PAIR_RESOLUTION: usize = 2048;
+
+/// `P(A > B) + ½ P(A = B)` for independent scores `A`, `B`.
+pub fn pr_greater(a: &ScoreDist, b: &ScoreDist) -> f64 {
+    // The summation arms can overshoot [0, 1] by a few ulps (normalized
+    // discrete weights sum to 1 only within float error); clamp once here.
+    pr_greater_raw(a, b).clamp(0.0, 1.0)
+}
+
+fn pr_greater_raw(a: &ScoreDist, b: &ScoreDist) -> f64 {
+    use ScoreDist::*;
+    match (a, b) {
+        // Two atoms: direct comparison with symmetric tie split.
+        (Point(x), Point(y)) => {
+            if x > y {
+                1.0
+            } else if x < y {
+                0.0
+            } else {
+                0.5
+            }
+        }
+        // Closed form for the Gaussian pair.
+        (Gaussian(ga), Gaussian(gb)) => ga.pr_greater_than(gb),
+        // A is an atom at v: P(v > B) = P(B < v) + ½ P(B = v).
+        (Point(v), _) => b.cdf(*v) - 0.5 * b.mass_at(*v),
+        (_, Point(v)) => 1.0 - a.cdf(*v) + 0.5 * a.mass_at(*v),
+        // Discrete A: sum over atoms.
+        (Discrete(da), _) => da
+            .values()
+            .iter()
+            .zip(da.probabilities())
+            .map(|(&x, &p)| p * (b.cdf(x) - 0.5 * b.mass_at(x)))
+            .sum(),
+        // Discrete B, continuous A: P(A > B) = sum_k p_k (1 - F_A(x_k)).
+        (_, Discrete(db)) => db
+            .values()
+            .iter()
+            .zip(db.probabilities())
+            .map(|(&x, &p)| p * (1.0 - a.cdf(x)))
+            .sum(),
+        // Mixtures: P is linear in each argument, so recurse per component
+        // (this also routes mixture atoms through the exact discrete arms).
+        (Mixture(ma), _) => ma
+            .components()
+            .iter()
+            .map(|(w, c)| w * pr_greater(c, b))
+            .sum(),
+        (_, Mixture(mb)) => mb
+            .components()
+            .iter()
+            .map(|(w, c)| w * pr_greater(a, c))
+            .sum(),
+        // Both continuous: quick support check, then quadrature.
+        _ => {
+            let (alo, ahi) = a.support();
+            let (blo, bhi) = b.support();
+            if alo >= bhi {
+                return 1.0;
+            }
+            if ahi <= blo {
+                return 0.0;
+            }
+            let grid = SupportGrid::build([a, b], PAIR_RESOLUTION);
+            let x = grid.points();
+            let y: Vec<f64> = x.iter().map(|&xi| a.pdf(xi) * b.cdf(xi)).collect();
+            trapezoid(x, &y).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// True if the relative order of `a` and `b` is uncertain, i.e. neither
+/// `P(a > b)` nor `P(b > a)` is (numerically) one.
+pub fn order_uncertain(a: &ScoreDist, b: &ScoreDist) -> bool {
+    let p = pr_greater(a, b);
+    p > ORDER_EPS && p < 1.0 - ORDER_EPS
+}
+
+/// Dense matrix of pairwise probabilities for a table:
+/// `m[i][j] = P(s_i > s_j)`, with `m[i][i] = 0.5` by convention.
+#[derive(Debug, Clone)]
+pub struct PairwiseMatrix {
+    n: usize,
+    p: Vec<f64>,
+}
+
+impl PairwiseMatrix {
+    /// Computes all `n(n-1)/2` comparison probabilities of `table`.
+    pub fn compute(table: &UncertainTable) -> Self {
+        let n = table.len();
+        let mut p = vec![0.5; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pij = pr_greater(table.dist_at(i), table.dist_at(j));
+                p[i * n + j] = pij;
+                p[j * n + i] = 1.0 - pij;
+            }
+        }
+        Self { n, p }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is over an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `P(s_i > s_j)` by tuple index.
+    pub fn pr(&self, i: usize, j: usize) -> f64 {
+        self.p[i * self.n + j]
+    }
+
+    /// True if the relative order of tuples `i` and `j` is uncertain.
+    pub fn uncertain(&self, i: usize, j: usize) -> bool {
+        let p = self.pr(i, j);
+        p > ORDER_EPS && p < 1.0 - ORDER_EPS
+    }
+
+    /// Number of unordered pairs whose relative order is uncertain — the
+    /// size of the paper's relevant-question space over the whole table.
+    pub fn uncertain_pair_count(&self) -> usize {
+        let mut c = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.uncertain(i, j) {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(lo: f64, hi: f64) -> ScoreDist {
+        ScoreDist::uniform(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn identical_uniforms_tie_at_half() {
+        let a = u(0.0, 1.0);
+        let p = pr_greater(&a, &a.clone());
+        assert!((p - 0.5).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn disjoint_supports_are_certain() {
+        let hi = u(2.0, 3.0);
+        let lo = u(0.0, 1.0);
+        assert_eq!(pr_greater(&hi, &lo), 1.0);
+        assert_eq!(pr_greater(&lo, &hi), 0.0);
+        assert!(!order_uncertain(&hi, &lo));
+    }
+
+    #[test]
+    fn overlapping_uniform_closed_form() {
+        // A ~ U[0,2], B ~ U[1,3]: P(A > B) = area computation = 1/8.
+        let a = u(0.0, 2.0);
+        let b = u(1.0, 3.0);
+        let p = pr_greater(&a, &b);
+        assert!((p - 0.125).abs() < 1e-5, "p = {p}");
+        assert!(order_uncertain(&a, &b));
+    }
+
+    #[test]
+    fn complementarity_across_families() {
+        let dists = [
+            u(0.0, 1.0),
+            ScoreDist::gaussian(0.4, 0.2).unwrap(),
+            ScoreDist::discrete(&[(0.1, 0.4), (0.9, 0.6)]).unwrap(),
+            ScoreDist::histogram(&[0.0, 0.4, 1.0], &[2.0, 1.0]).unwrap(),
+            ScoreDist::triangular(0.0, 0.7, 1.0).unwrap(),
+            ScoreDist::point(0.45),
+        ];
+        for a in &dists {
+            for b in &dists {
+                let p = pr_greater(a, b);
+                let q = pr_greater(b, a);
+                assert!(
+                    (p + q - 1.0).abs() < 1e-5,
+                    "complementarity failed: {a:?} vs {b:?}: {p} + {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_vs_point_ties() {
+        let a = ScoreDist::point(1.0);
+        assert_eq!(pr_greater(&a, &ScoreDist::point(1.0)), 0.5);
+        assert_eq!(pr_greater(&a, &ScoreDist::point(0.0)), 1.0);
+        assert_eq!(pr_greater(&a, &ScoreDist::point(2.0)), 0.0);
+    }
+
+    #[test]
+    fn discrete_tie_mass_split() {
+        // A and B both have an atom at 1.0 with mass 0.5.
+        let a = ScoreDist::discrete(&[(1.0, 0.5), (2.0, 0.5)]).unwrap();
+        let b = ScoreDist::discrete(&[(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        // P(A>B): A=1: beats 0 (0.5), ties 1 (0.5*0.5 credit=0.25) -> 0.5*(0.5+0.25)
+        //         A=2: beats everything -> 0.5*1
+        let p = pr_greater(&a, &b);
+        assert!((p - (0.5 * 0.75 + 0.5)).abs() < 1e-12, "p = {p}");
+        let q = pr_greater(&b, &a);
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_closed_form_agrees_with_quadrature_of_mixed_pair() {
+        // Compare a Gaussian with a histogram approximating it: p ~ 0.5.
+        let g = ScoreDist::gaussian(0.5, 0.1).unwrap();
+        let h = ScoreDist::histogram(
+            &[0.2, 0.35, 0.45, 0.55, 0.65, 0.8],
+            &[0.0668, 0.2417, 0.3829, 0.2417, 0.0668],
+        )
+        .unwrap();
+        let p = pr_greater(&g, &h);
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn pairwise_matrix_consistency() {
+        let table = UncertainTable::new(vec![
+            u(0.0, 1.0),
+            u(0.5, 1.5),
+            u(2.0, 3.0),
+            ScoreDist::point(0.75),
+        ])
+        .unwrap();
+        let m = PairwiseMatrix::compute(&table);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        for i in 0..4 {
+            assert_eq!(m.pr(i, i), 0.5);
+            for j in 0..4 {
+                assert!((m.pr(i, j) + m.pr(j, i) - 1.0).abs() < 1e-9);
+            }
+        }
+        // Tuple 2 dominates everyone: certain orders.
+        assert!(!m.uncertain(2, 0));
+        assert!(!m.uncertain(2, 1));
+        assert!(!m.uncertain(2, 3));
+        // Tuples 0 and 1 overlap.
+        assert!(m.uncertain(0, 1));
+        // Uncertain pairs: (0,1), (0,3), (1,3).
+        assert_eq!(m.uncertain_pair_count(), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Histogram (piecewise-constant density) score distribution.
+//!
+//! Histograms are the workhorse representation for empirical score
+//! uncertainty (e.g. a classifier's calibrated confidence binned over a
+//! validation set), and they exercise the quadrature engine on densities
+//! with jump discontinuities.
+
+use crate::error::{ProbError, Result};
+use rand::Rng;
+
+/// Piecewise-constant density over contiguous bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin edges, strictly increasing, `len = bins + 1`.
+    edges: Vec<f64>,
+    /// Normalized bin masses, `len = bins`, summing to 1.
+    masses: Vec<f64>,
+    /// Cumulative masses at the right edge of each bin.
+    cum: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from bin `edges` (strictly increasing) and
+    /// nonnegative `weights` (one per bin, positive sum; normalized).
+    pub fn new(edges: &[f64], weights: &[f64]) -> Result<Self> {
+        if edges.len() < 2 {
+            return Err(ProbError::InvalidParameter {
+                param: "edges",
+                reason: "need at least two edges".into(),
+            });
+        }
+        if weights.len() != edges.len() - 1 {
+            return Err(ProbError::InvalidParameter {
+                param: "weights",
+                reason: format!(
+                    "expected {} weights for {} edges, got {}",
+                    edges.len() - 1,
+                    edges.len(),
+                    weights.len()
+                ),
+            });
+        }
+        for w in edges.windows(2) {
+            if !w[0].is_finite() || !w[1].is_finite() || w[0] >= w[1] {
+                return Err(ProbError::InvalidParameter {
+                    param: "edges",
+                    reason: format!("edges must be finite and strictly increasing near {w:?}"),
+                });
+            }
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ProbError::InvalidWeights(format!(
+                    "bin weight {w} is negative or non-finite"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ProbError::InvalidWeights("all bin weights zero".into()));
+        }
+        let masses: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cum = Vec::with_capacity(masses.len());
+        let mut acc = 0.0;
+        for &m in &masses {
+            acc += m;
+            cum.push(acc);
+        }
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self {
+            edges: edges.to_vec(),
+            masses,
+            cum,
+        })
+    }
+
+    /// Builds an equal-width histogram over `[lo, hi]`.
+    pub fn equal_width(lo: f64, hi: f64, weights: &[f64]) -> Result<Self> {
+        if lo >= hi {
+            return Err(ProbError::InvalidParameter {
+                param: "lo/hi",
+                reason: format!("require lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        let n = weights.len();
+        let edges: Vec<f64> = (0..=n)
+            .map(|i| lo + (hi - lo) * i as f64 / n as f64)
+            .collect();
+        Self::new(&edges, weights)
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Normalized bin masses.
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    fn bin_of(&self, x: f64) -> Option<usize> {
+        if x < self.edges[0] || x > *self.edges.last().expect("non-empty") {
+            return None;
+        }
+        // partition_point returns the first edge > x; bin index is that - 1.
+        let i = self.edges.partition_point(|&e| e <= x);
+        Some(i.saturating_sub(1).min(self.masses.len() - 1))
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        match self.bin_of(x) {
+            None => 0.0,
+            Some(b) => self.masses[b] / (self.edges[b + 1] - self.edges[b]),
+        }
+    }
+
+    /// Cumulative distribution `P(X <= x)` (piecewise linear).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.edges[0] {
+            return 0.0;
+        }
+        if x >= *self.edges.last().expect("non-empty") {
+            return 1.0;
+        }
+        let b = self.bin_of(x).expect("x within support");
+        let left = if b == 0 { 0.0 } else { self.cum[b - 1] };
+        let frac = (x - self.edges[b]) / (self.edges[b + 1] - self.edges[b]);
+        left + self.masses[b] * frac
+    }
+
+    /// Quantile function (inverse of the piecewise-linear cdf).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.edges[0];
+        }
+        let b = self.cum.partition_point(|&c| c < p);
+        let b = b.min(self.masses.len() - 1);
+        let left = if b == 0 { 0.0 } else { self.cum[b - 1] };
+        let need = p - left;
+        let frac = if self.masses[b] > 0.0 {
+            need / self.masses[b]
+        } else {
+            0.0
+        };
+        self.edges[b] + frac.clamp(0.0, 1.0) * (self.edges[b + 1] - self.edges[b])
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.masses
+            .iter()
+            .enumerate()
+            .map(|(b, m)| m * 0.5 * (self.edges[b] + self.edges[b + 1]))
+            .sum()
+    }
+
+    /// Variance of the distribution (exact for piecewise-constant density).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.masses
+            .iter()
+            .enumerate()
+            .map(|(b, m)| {
+                let (a, c) = (self.edges[b], self.edges[b + 1]);
+                // E[X^2] over a uniform piece = (a^2 + ac + c^2)/3.
+                m * ((a * a + a * c + c * c) / 3.0)
+            })
+            .sum::<f64>()
+            - mean * mean
+    }
+
+    /// Support hull.
+    pub fn support(&self) -> (f64, f64) {
+        (self.edges[0], *self.edges.last().expect("non-empty"))
+    }
+
+    /// Draws one sample (bin by mass, then uniform within the bin).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Histogram {
+        Histogram::new(&[0.0, 1.0, 2.0, 4.0], &[1.0, 2.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(&[0.0], &[]).is_err());
+        assert!(Histogram::new(&[0.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(Histogram::new(&[1.0, 0.0], &[1.0]).is_err());
+        assert!(Histogram::new(&[0.0, 1.0], &[-1.0]).is_err());
+        assert!(Histogram::new(&[0.0, 1.0], &[0.0]).is_err());
+        assert!(Histogram::equal_width(3.0, 1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn pdf_is_mass_over_width() {
+        let h = simple();
+        assert!((h.pdf(0.5) - 0.25).abs() < 1e-15);
+        assert!((h.pdf(1.5) - 0.5).abs() < 1e-15);
+        assert!((h.pdf(3.0) - 0.125).abs() < 1e-15);
+        assert_eq!(h.pdf(-0.1), 0.0);
+        assert_eq!(h.pdf(4.1), 0.0);
+    }
+
+    #[test]
+    fn cdf_piecewise_linear() {
+        let h = simple();
+        assert_eq!(h.cdf(0.0), 0.0);
+        assert!((h.cdf(1.0) - 0.25).abs() < 1e-12);
+        assert!((h.cdf(2.0) - 0.75).abs() < 1e-12);
+        assert_eq!(h.cdf(4.0), 1.0);
+        assert!((h.cdf(3.0) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let h = simple();
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let x = h.quantile(p);
+            assert!((h.cdf(x) - p).abs() < 1e-9, "p={p} x={x} cdf={}", h.cdf(x));
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let h = simple();
+        let (lo, hi) = h.support();
+        // Integrate bin by bin to avoid sampling across discontinuities.
+        let mut total = 0.0;
+        let edges = h.edges().to_vec();
+        for w in edges.windows(2) {
+            total += crate::quad::adaptive_simpson(&|x| h.pdf(x), w[0] + 1e-12, w[1] - 1e-12, 1e-10)
+        }
+        let _ = (lo, hi);
+        assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+    }
+
+    #[test]
+    fn equal_width_bins() {
+        let h = Histogram::equal_width(0.0, 1.0, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(h.edges().len(), 5);
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_uniform_special_case() {
+        // One bin over [0, 1] is just U[0, 1].
+        let h = Histogram::new(&[0.0, 1.0], &[1.0]).unwrap();
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert!((h.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Possible-world sampling.
+//!
+//! A *possible world* instantiates every tuple's uncertain score to a
+//! concrete value; sorting those values yields one total ordering of the
+//! relation. The Monte-Carlo TPO engine, the ground-truth generator and the
+//! `incr` algorithm's belief state are all built on these samples.
+
+use crate::table::UncertainTable;
+use rand::Rng;
+
+/// Samples one concrete score per tuple (a possible world), in id order.
+pub fn sample_scores<R: Rng + ?Sized>(table: &UncertainTable, rng: &mut R) -> Vec<f64> {
+    table.iter().map(|t| t.dist.sample(rng)).collect()
+}
+
+/// Total ordering (tuple ids, highest score first) induced by concrete
+/// `scores`; ties are broken deterministically by ascending tuple id, the
+/// fixed tie-breaking rule the paper assumes.
+pub fn ranking_from_scores(scores: &[f64]) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    ids
+}
+
+/// Samples one possible world and returns its induced total ordering.
+pub fn sample_ranking<R: Rng + ?Sized>(table: &UncertainTable, rng: &mut R) -> Vec<u32> {
+    ranking_from_scores(&sample_scores(table, rng))
+}
+
+/// Samples `m` worlds and returns their orderings (used to bootstrap the
+/// Monte-Carlo TPO and the `incr` belief state).
+pub fn sample_rankings<R: Rng + ?Sized>(
+    table: &UncertainTable,
+    m: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    (0..m).map(|_| sample_ranking(table, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::ScoreDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> UncertainTable {
+        UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.4, 1.4).unwrap(),
+            ScoreDist::point(2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scores_align_with_ids() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sample_scores(&t, &mut rng);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], 2.0, "point mass is deterministic");
+    }
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let r = ranking_from_scores(&[0.3, 0.9, 0.1]);
+        assert_eq!(r, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let r = ranking_from_scores(&[0.5, 0.5, 0.9, 0.5]);
+        assert_eq!(r, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn dominant_tuple_always_first() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let r = sample_ranking(&t, &mut rng);
+            assert_eq!(r[0], 2, "point mass at 2.0 dominates");
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let t = table();
+        let a = sample_rankings(&t, 50, &mut StdRng::seed_from_u64(9));
+        let b = sample_rankings(&t, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = sample_rankings(&t, 50, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn empirical_pair_frequency_matches_pr_greater() {
+        let t = UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 2.0).unwrap(),
+            ScoreDist::uniform(1.0, 3.0).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        const M: usize = 40_000;
+        let wins = (0..M)
+            .filter(|_| {
+                let s = sample_scores(&t, &mut rng);
+                s[0] > s[1]
+            })
+            .count();
+        let freq = wins as f64 / M as f64;
+        let p = crate::compare::pr_greater(t.dist_at(0), t.dist_at(1));
+        assert!((freq - p).abs() < 0.01, "freq {freq} vs exact {p}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Borda-count heuristic: rank candidates by total pairwise support.
+//!
+//! A 5-approximation for Kemeny aggregation on majority tournaments; cheap
+//! (`O(n^2)`) and a strong seed for local search.
+
+use crate::tournament::Tournament;
+
+/// Orders candidate indices by descending Borda score
+/// `score(a) = Σ_b w(a, b)`; ties break by candidate index for determinism.
+pub fn borda(t: &Tournament) -> Vec<usize> {
+    let n = t.len();
+    let mut scored: Vec<(f64, usize)> = (0..n)
+        .map(|a| {
+            let s: f64 = (0..n).filter(|&b| b != a).map(|b| t.weight(a, b)).sum();
+            (s, a)
+        })
+        .collect();
+    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite scores").then(x.1.cmp(&y.1)));
+    scored.into_iter().map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::RankList;
+
+    #[test]
+    fn unanimous_input_is_recovered() {
+        let l = RankList::new(vec![2, 0, 1]).unwrap();
+        let t = Tournament::from_weighted_lists(&[(l, 1.0)]);
+        let order = borda(&t);
+        let items: Vec<u32> = order.iter().map(|&i| t.items()[i]).collect();
+        assert_eq!(items, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let t = Tournament::from_fn((0..7).collect(), |u, v| if u < v { 0.3 } else { 0.7 });
+        let mut order = borda(&t);
+        order.sort_unstable();
+        assert_eq!(order, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reversed_majority_reverses_order() {
+        // w(u,v) = 0.7 when u > v: larger ids tend to precede.
+        let t = Tournament::from_fn((0..5).collect(), |u, v| if u > v { 0.7 } else { 0.3 });
+        let order = borda(&t);
+        let items: Vec<u32> = order.iter().map(|&i| t.items()[i]).collect();
+        assert_eq!(items, vec![4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Copeland heuristic: rank candidates by number of majority wins.
+
+use crate::tournament::Tournament;
+
+/// Orders candidate indices by descending Copeland score (number of
+/// opponents beaten by strict majority; ties at `w = 0.5` count half).
+/// Secondary key: Borda score; tertiary: index, for determinism.
+pub fn copeland(t: &Tournament) -> Vec<usize> {
+    let n = t.len();
+    let mut scored: Vec<(f64, f64, usize)> = (0..n)
+        .map(|a| {
+            let mut wins = 0.0;
+            let mut support = 0.0;
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let w = t.weight(a, b);
+                support += w;
+                if w > 0.5 {
+                    wins += 1.0;
+                } else if w == 0.5 {
+                    wins += 0.5;
+                }
+            }
+            (wins, support, a)
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        y.0.partial_cmp(&x.0)
+            .expect("finite")
+            .then(y.1.partial_cmp(&x.1).expect("finite"))
+            .then(x.2.cmp(&y.2))
+    });
+    scored.into_iter().map(|(_, _, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::RankList;
+
+    #[test]
+    fn unanimous_input_is_recovered() {
+        let l = RankList::new(vec![1, 3, 0, 2]).unwrap();
+        let t = Tournament::from_weighted_lists(&[(l, 2.0)]);
+        let order = copeland(&t);
+        let items: Vec<u32> = order.iter().map(|&i| t.items()[i]).collect();
+        assert_eq!(items, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let t = Tournament::from_fn((0..9).collect(), |u, v| {
+            if (u + v) % 2 == 0 {
+                0.6
+            } else {
+                0.4
+            }
+        });
+        let mut order = copeland(&t);
+        order.sort_unstable();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn condorcet_winner_ranks_first() {
+        // Candidate 2 beats everyone; others form a cycle.
+        let t = Tournament::from_fn(vec![0, 1, 2, 3], |u, v| {
+            if u == 2 {
+                0.9
+            } else if v == 2 {
+                0.1
+            } else {
+                // 0 beats 1 beats 3 beats 0 (cycle).
+                match (u, v) {
+                    (0, 1) | (1, 3) | (3, 0) => 0.8,
+                    _ => 0.2,
+                }
+            }
+        });
+        let order = copeland(&t);
+        assert_eq!(t.items()[order[0]], 2);
+    }
+}

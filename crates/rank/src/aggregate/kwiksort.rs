@@ -1,0 +1,93 @@
+//! KwikSort (Ailon, Charikar & Newman): randomized quicksort on the
+//! majority tournament — an expected 11/7-approximation for weighted
+//! feedback arc set on majority tournaments.
+
+use crate::tournament::Tournament;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs one seeded KwikSort pass and returns the ordering (indices).
+pub fn kwiksort(t: &Tournament, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx: Vec<usize> = (0..t.len()).collect();
+    let mut out = Vec::with_capacity(idx.len());
+    sort(t, &mut rng, &idx, &mut out);
+    out
+}
+
+fn sort(t: &Tournament, rng: &mut StdRng, items: &[usize], out: &mut Vec<usize>) {
+    match items.len() {
+        0 => {}
+        1 => out.push(items[0]),
+        _ => {
+            let pivot = items[rng.gen_range(0..items.len())];
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for &a in items.iter() {
+                if a == pivot {
+                    continue;
+                }
+                // a goes before the pivot if the majority prefers it above.
+                if t.weight(a, pivot) > 0.5 {
+                    left.push(a);
+                } else {
+                    right.push(a);
+                }
+            }
+            sort(t, rng, &left, out);
+            out.push(pivot);
+            sort(t, rng, &right, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::RankList;
+
+    #[test]
+    fn unanimous_input_is_recovered() {
+        let l = RankList::new(vec![4, 1, 0, 3, 2]).unwrap();
+        let t = Tournament::from_weighted_lists(&[(l, 1.0)]);
+        for seed in 0..5 {
+            let order = kwiksort(&t, seed);
+            let items: Vec<u32> = order.iter().map(|&i| t.items()[i]).collect();
+            assert_eq!(items, vec![4, 1, 0, 3, 2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let t = Tournament::from_fn((0..11).collect(), |u, v| {
+            if (u * 7 + v) % 3 == 0 {
+                0.7
+            } else {
+                0.4
+            }
+        });
+        for seed in 0..8 {
+            let mut order = kwiksort(&t, seed);
+            order.sort_unstable();
+            assert_eq!(order, (0..11).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let t = Tournament::from_fn((0..9).collect(), |u, v| {
+            if u.wrapping_mul(31) % 5 > v % 5 {
+                0.8
+            } else {
+                0.2
+            }
+        });
+        assert_eq!(kwiksort(&t, 123), kwiksort(&t, 123));
+    }
+
+    #[test]
+    fn empty_tournament() {
+        let t = Tournament::from_weighted_lists(&[]);
+        assert!(kwiksort(&t, 0).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for ranking operations.
+
+use std::fmt;
+
+/// Errors raised by rank-list and aggregation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankError {
+    /// An item appeared twice in a rank list.
+    DuplicateItem(u32),
+    /// Two lists were expected to rank the same item set but did not.
+    ItemSetMismatch,
+    /// Aggregation was asked for an empty candidate set.
+    NoCandidates,
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::DuplicateItem(it) => write!(f, "item t{it} appears more than once"),
+            RankError::ItemSetMismatch => write!(f, "rank lists are over different item sets"),
+            RankError::NoCandidates => write!(f, "no candidates to aggregate"),
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RankError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(RankError::DuplicateItem(3).to_string().contains("t3"));
+        assert!(RankError::ItemSetMismatch.to_string().contains("different"));
+        assert!(RankError::NoCandidates.to_string().contains("candidates"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Spearman footrule distance with location parameter (Fagin et al.'s
+//! `F^(ℓ)`), an alternative to the top-k Kendall distance. Provided both for
+//! completeness of the rank substrate and as a cross-check metric in the
+//! experiment harness (footrule and Kendall are within a factor 2 of each
+//! other, a classic diaconis–graham bound the tests verify).
+
+use crate::list::RankList;
+
+/// Raw footrule distance: items absent from a list are charged position
+/// `len + 1` (1-based ranks).
+pub fn topk_footrule(a: &RankList, b: &RankList) -> f64 {
+    let la = a.len() + 1;
+    let lb = b.len() + 1;
+    let mut union: Vec<u32> = a.items().to_vec();
+    for &it in b.items() {
+        if !a.contains(it) {
+            union.push(it);
+        }
+    }
+    union
+        .iter()
+        .map(|&it| {
+            let pa = a.position(it).map(|p| p + 1).unwrap_or(la) as f64;
+            let pb = b.position(it).map(|p| p + 1).unwrap_or(lb) as f64;
+            (pa - pb).abs()
+        })
+        .sum()
+}
+
+/// Maximum footrule for lists of lengths `ka`, `kb` (disjoint lists).
+pub fn topk_footrule_max(ka: usize, kb: usize) -> f64 {
+    // Each item of a: |r - (kb+1)|; summed r=1..ka, plus symmetric term.
+    let sum_to = |k: usize, l: usize| -> f64 {
+        (1..=k).map(|r| (l as f64 + 1.0 - r as f64).abs()).sum()
+    };
+    sum_to(ka, kb) + sum_to(kb, ka)
+}
+
+/// Footrule normalized to `[0, 1]`.
+pub fn topk_footrule_normalized(a: &RankList, b: &RankList) -> f64 {
+    let max = topk_footrule_max(a.len(), b.len());
+    if max <= 0.0 {
+        return 0.0;
+    }
+    (topk_footrule(a, b) / max).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::kendall_distance;
+
+    fn rl(items: &[u32]) -> RankList {
+        RankList::new(items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_lists_at_zero() {
+        let a = rl(&[2, 0, 1]);
+        assert_eq!(topk_footrule(&a, &a.clone()), 0.0);
+        assert_eq!(topk_footrule_normalized(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn full_permutation_footrule() {
+        // a=[0,1,2], b=[2,1,0]: |1-3| + |2-2| + |3-1| = 4.
+        let a = rl(&[0, 1, 2]);
+        let b = rl(&[2, 1, 0]);
+        assert_eq!(topk_footrule(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn disjoint_lists_hit_max() {
+        let a = rl(&[0, 1]);
+        let b = rl(&[2, 3]);
+        let d = topk_footrule(&a, &b);
+        assert!((d - topk_footrule_max(2, 2)).abs() < 1e-12);
+        assert_eq!(topk_footrule_normalized(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = rl(&[0, 1, 2]);
+        let b = rl(&[1, 4, 0]);
+        assert_eq!(topk_footrule(&a, &b), topk_footrule(&b, &a));
+    }
+
+    #[test]
+    fn diaconis_graham_bound_on_permutations() {
+        // For full permutations: K <= F <= 2K.
+        let perms = [
+            vec![0u32, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![1, 0, 3, 2],
+            vec![2, 3, 0, 1],
+            vec![0, 2, 1, 3],
+        ];
+        let base = rl(&[0, 1, 2, 3]);
+        for p in &perms {
+            let l = rl(p);
+            let k = kendall_distance(&base, &l).unwrap() as f64;
+            let f = topk_footrule(&base, &l);
+            assert!(k <= f + 1e-12, "K={k} F={f}");
+            assert!(f <= 2.0 * k + 1e-12, "K={k} F={f}");
+        }
+    }
+
+    #[test]
+    fn empty_lists() {
+        let e = rl(&[]);
+        assert_eq!(topk_footrule(&e, &e.clone()), 0.0);
+        assert_eq!(topk_footrule_normalized(&e, &e.clone()), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Kendall tau distance between full permutations of the same item set.
+//!
+//! Counts discordant pairs in `O(n log n)` by mapping one permutation
+//! through the other's positions and counting inversions with a merge sort.
+
+use crate::error::{RankError, Result};
+use crate::list::RankList;
+
+/// Number of discordant pairs between two permutations of the same items.
+pub fn kendall_distance(a: &RankList, b: &RankList) -> Result<u64> {
+    if a.len() != b.len() {
+        return Err(RankError::ItemSetMismatch);
+    }
+    // Map: item -> rank in `a`.
+    let mut pos_in_a = std::collections::HashMap::with_capacity(a.len());
+    for (r, &it) in a.items().iter().enumerate() {
+        pos_in_a.insert(it, r as u32);
+    }
+    // Sequence of a-ranks in b's order; inversions in it = discordant pairs.
+    let mut seq = Vec::with_capacity(b.len());
+    for &it in b.items() {
+        match pos_in_a.get(&it) {
+            Some(&r) => seq.push(r),
+            None => return Err(RankError::ItemSetMismatch),
+        }
+    }
+    Ok(count_inversions(&mut seq))
+}
+
+/// Kendall tau distance normalized to `[0, 1]` by the maximum `n(n-1)/2`.
+/// Lists of length < 2 are at distance 0.
+pub fn kendall_distance_normalized(a: &RankList, b: &RankList) -> Result<f64> {
+    let n = a.len() as u64;
+    if n < 2 {
+        // Still validate the item sets.
+        kendall_distance(a, b)?;
+        return Ok(0.0);
+    }
+    let d = kendall_distance(a, b)?;
+    Ok(d as f64 / (n * (n - 1) / 2) as f64)
+}
+
+/// Counts inversions of `seq` in `O(n log n)` (merge sort, in place on a
+/// scratch buffer). `seq` is left sorted afterwards.
+pub fn count_inversions(seq: &mut [u32]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vec![0u32; n];
+    merge_count(seq, &mut buf)
+}
+
+fn merge_count(seq: &mut [u32], buf: &mut [u32]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = seq.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut buf[..mid]) + merge_count(right, &mut buf[mid..]);
+    // Merge, counting right-before-left crossings.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            buf[k] = right[j];
+            j += 1;
+            inv += (left.len() - i) as u64;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    seq.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl(items: &[u32]) -> RankList {
+        RankList::new(items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_lists_at_zero() {
+        let a = rl(&[0, 1, 2, 3]);
+        assert_eq!(kendall_distance(&a, &a.clone()).unwrap(), 0);
+        assert_eq!(kendall_distance_normalized(&a, &a.clone()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reversal_is_maximal() {
+        let a = rl(&[0, 1, 2, 3]);
+        let b = rl(&[3, 2, 1, 0]);
+        assert_eq!(kendall_distance(&a, &b).unwrap(), 6);
+        assert_eq!(kendall_distance_normalized(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_adjacent_swap_is_one() {
+        let a = rl(&[0, 1, 2, 3]);
+        let b = rl(&[0, 2, 1, 3]);
+        assert_eq!(kendall_distance(&a, &b).unwrap(), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = rl(&[4, 2, 0, 3, 1]);
+        let b = rl(&[1, 0, 2, 3, 4]);
+        assert_eq!(
+            kendall_distance(&a, &b).unwrap(),
+            kendall_distance(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_sets_rejected() {
+        let a = rl(&[0, 1]);
+        let b = rl(&[0, 2]);
+        assert!(matches!(
+            kendall_distance(&a, &b),
+            Err(RankError::ItemSetMismatch)
+        ));
+        let c = rl(&[0, 1, 2]);
+        assert!(kendall_distance(&a, &c).is_err());
+    }
+
+    #[test]
+    fn short_lists() {
+        let a = rl(&[7]);
+        assert_eq!(kendall_distance_normalized(&a, &a.clone()).unwrap(), 0.0);
+        let e = rl(&[]);
+        assert_eq!(kendall_distance(&e, &e.clone()).unwrap(), 0);
+    }
+
+    #[test]
+    fn inversion_count_brute_force_agreement() {
+        // Compare merge-sort count against O(n^2) brute force.
+        let cases: Vec<Vec<u32>> = vec![
+            vec![3, 1, 4, 1_0, 5, 9, 2, 6],
+            vec![1, 2, 3],
+            vec![3, 2, 1],
+            vec![5, 5, 5],
+            vec![2, 1, 2, 1],
+        ];
+        for case in cases {
+            let brute = {
+                let mut c = 0u64;
+                for i in 0..case.len() {
+                    for j in (i + 1)..case.len() {
+                        if case[i] > case[j] {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            };
+            let mut seq = case.clone();
+            assert_eq!(count_inversions(&mut seq), brute, "case {case:?}");
+            let mut sorted = case.clone();
+            sorted.sort_unstable();
+            assert_eq!(seq, sorted, "sequence should end sorted");
+        }
+    }
+}

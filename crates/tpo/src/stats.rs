@@ -1,0 +1,126 @@
+//! Statistics over path sets: level-wise prefix distributions (for the
+//! weighted-entropy measure), pairwise precedence probabilities (for
+//! question selection), and assorted summaries.
+
+use crate::answers::{implication, Implication};
+use crate::path::PathSet;
+use std::collections::HashMap;
+
+/// For each level `ℓ = 1..=depth`, the probability distribution over the
+/// distinct length-`ℓ` prefixes of the path set (each inner vector sums to
+/// ~1). Level `ℓ`'s entropy is the paper's `H(T_K, ℓ)` ingredient of
+/// `U_Hw`.
+pub fn level_distributions(ps: &PathSet) -> Vec<Vec<f64>> {
+    let depth = ps.paths().iter().map(|p| p.items.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(depth);
+    for l in 1..=depth {
+        let mut groups: HashMap<&[u32], f64> = HashMap::new();
+        for p in ps.paths() {
+            let pre = &p.items[..l.min(p.items.len())];
+            *groups.entry(pre).or_insert(0.0) += p.prob;
+        }
+        let mut probs: Vec<f64> = groups.into_values().collect();
+        // Deterministic order for reproducible entropy summation.
+        probs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        out.push(probs);
+    }
+    out
+}
+
+/// Probability that tuple `i` ranks above tuple `j` under the path
+/// distribution; paths that do not determine the pair contribute `prior`.
+pub fn precedence_probability(ps: &PathSet, i: u32, j: u32, prior: f64) -> f64 {
+    let mut p = 0.0;
+    for path in ps.paths() {
+        p += path.prob
+            * match implication(&path.items, i, j) {
+                Implication::Yes => 1.0,
+                Implication::No => 0.0,
+                Implication::Undetermined => prior,
+            };
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Marginal probability that tuple `t` appears at rank `r` (0-based).
+pub fn rank_probability(ps: &PathSet, t: u32, r: usize) -> f64 {
+    // `+ 0.0` normalizes the empty sum, which is -0.0 in std.
+    ps.paths()
+        .iter()
+        .filter(|p| p.items.get(r) == Some(&t))
+        .map(|p| p.prob)
+        .sum::<f64>()
+        + 0.0
+}
+
+/// Marginal probability that tuple `t` appears anywhere in the top-k.
+pub fn membership_probability(ps: &PathSet, t: u32) -> f64 {
+    ps.paths()
+        .iter()
+        .filter(|p| p.items.contains(&t))
+        .map(|p| p.prob)
+        .sum::<f64>()
+        + 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps() -> PathSet {
+        PathSet::from_weighted(
+            2,
+            vec![
+                (vec![0, 1], 0.5),
+                (vec![0, 2], 0.2),
+                (vec![1, 0], 0.3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn level_distributions_shape_and_mass() {
+        let levels = level_distributions(&ps());
+        assert_eq!(levels.len(), 2);
+        // Level 1: prefixes [0] (0.7) and [1] (0.3).
+        assert_eq!(levels[0].len(), 2);
+        assert!((levels[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((levels[0][0] - 0.7).abs() < 1e-12);
+        // Level 2: three distinct prefixes.
+        assert_eq!(levels[1].len(), 3);
+        assert!((levels[1].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_probabilities() {
+        let s = ps();
+        // 0 above 1: paths [0,1] yes (0.5), [0,2] yes via membership (0.2),
+        // [1,0] no. => 0.7
+        assert!((precedence_probability(&s, 0, 1, 0.5) - 0.7).abs() < 1e-12);
+        assert!((precedence_probability(&s, 1, 0, 0.5) - 0.3).abs() < 1e-12);
+        // Pair (5,6) absent everywhere: prior.
+        assert!((precedence_probability(&s, 5, 6, 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_and_membership() {
+        let s = ps();
+        assert!((rank_probability(&s, 0, 0) - 0.7).abs() < 1e-12);
+        assert!((rank_probability(&s, 0, 1) - 0.3).abs() < 1e-12);
+        assert!((rank_probability(&s, 2, 1) - 0.2).abs() < 1e-12);
+        assert!((membership_probability(&s, 0) - 1.0).abs() < 1e-12);
+        assert!((membership_probability(&s, 2) - 0.2).abs() < 1e-12);
+        assert_eq!(membership_probability(&s, 9), 0.0);
+    }
+
+    #[test]
+    fn complementarity_of_precedence() {
+        let s = ps();
+        for &(i, j) in &[(0u32, 1u32), (0, 2), (1, 2)] {
+            let p = precedence_probability(&s, i, j, 0.5);
+            let q = precedence_probability(&s, j, i, 0.5);
+            assert!((p + q - 1.0).abs() < 1e-12, "({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Sampled possible-worlds belief state.
+//!
+//! A [`WorldModel`] holds `M` sampled possible worlds (full orderings of
+//! the relation) with weights. It serves two roles:
+//!
+//! * the sampling backend of the Monte-Carlo TPO builder (group the
+//!   worlds' top-K prefixes → the path set);
+//! * the belief state of the `incr` algorithm, which alternates tree
+//!   construction with question rounds: answers filter (or, for noisy
+//!   workers, reweight) whole worlds, so a deeper tree can be materialized
+//!   *after* pruning at a shallower depth — the core trick that makes
+//!   `incr` cheap on large, highly uncertain datasets (§III-D).
+
+use crate::error::{Result, TpoError};
+use crate::path::PathSet;
+use ctk_prob::sample::sample_ranking;
+use ctk_prob::UncertainTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Weighted sampled worlds over a relation of `n` tuples.
+#[derive(Debug, Clone)]
+pub struct WorldModel {
+    n: usize,
+    /// Each world as a full ranking (tuple ids, best first).
+    rankings: Vec<Vec<u32>>,
+    /// Nonnegative world weights (not necessarily normalized).
+    weights: Vec<f64>,
+}
+
+impl WorldModel {
+    /// Samples `m` worlds from the table's score distributions.
+    pub fn sample(table: &UncertainTable, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rankings: Vec<Vec<u32>> = (0..m.max(1))
+            .map(|_| sample_ranking(table, &mut rng))
+            .collect();
+        let weights = vec![1.0; rankings.len()];
+        Self {
+            n: table.len(),
+            rankings,
+            weights,
+        }
+    }
+
+    /// Builds from explicit rankings (each must be a permutation of
+    /// `0..n`); used by tests and by deterministic replays.
+    pub fn from_rankings(n: usize, rankings: Vec<Vec<u32>>) -> Self {
+        let weights = vec![1.0; rankings.len()];
+        debug_assert!(rankings.iter().all(|r| r.len() == n));
+        Self {
+            n,
+            rankings,
+            weights,
+        }
+    }
+
+    /// Number of tuples in the underlying relation.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sampled worlds (including zero-weight ones).
+    pub fn num_worlds(&self) -> usize {
+        self.rankings.len()
+    }
+
+    /// Number of worlds with positive weight.
+    pub fn effective_worlds(&self) -> usize {
+        self.weights.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    /// Total surviving weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// True if world `w` ranks `i` above `j`.
+    fn world_prefers(&self, w: usize, i: u32, j: u32) -> bool {
+        for &it in &self.rankings[w] {
+            if it == i {
+                return true;
+            }
+            if it == j {
+                return false;
+            }
+        }
+        unreachable!("ranking is a full permutation");
+    }
+
+    /// Weighted probability that `i` ranks above `j` under the current
+    /// belief.
+    pub fn pr_precedes(&self, i: u32, j: u32) -> f64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return 0.5;
+        }
+        let mass: f64 = (0..self.rankings.len())
+            .filter(|&w| self.weights[w] > 0.0 && self.world_prefers(w, i, j))
+            .map(|w| self.weights[w])
+            .sum();
+        mass / total
+    }
+
+    /// Filters out worlds contradicting a reliable answer to
+    /// “does `i` rank above `j`?”. On contradiction (no world would
+    /// survive) the belief is left untouched.
+    pub fn apply_answer_hard(&mut self, i: u32, j: u32, yes: bool) -> Result<()> {
+        let any_survivor = (0..self.rankings.len())
+            .any(|w| self.weights[w] > 0.0 && self.world_prefers(w, i, j) == yes);
+        if !any_survivor {
+            return Err(TpoError::ContradictoryAnswer);
+        }
+        for w in 0..self.rankings.len() {
+            if self.weights[w] > 0.0 && self.world_prefers(w, i, j) != yes {
+                self.weights[w] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reweights worlds by the likelihood of a noisy answer (worker
+    /// accuracy `eta`, clamped to `[0.5, 1]`). On contradiction (the
+    /// update would zero every weight, possible at `eta = 1`) the belief
+    /// is left untouched.
+    pub fn apply_answer_noisy(&mut self, i: u32, j: u32, yes: bool, eta: f64) -> Result<()> {
+        let eta = eta.clamp(0.5, 1.0);
+        let disagree_factor = 1.0 - eta;
+        if disagree_factor == 0.0 {
+            return self.apply_answer_hard(i, j, yes);
+        }
+        for w in 0..self.rankings.len() {
+            if self.weights[w] <= 0.0 {
+                continue;
+            }
+            let agrees = self.world_prefers(w, i, j) == yes;
+            self.weights[w] *= if agrees { eta } else { disagree_factor };
+        }
+        Ok(())
+    }
+
+    /// Groups surviving worlds by their depth-`k` prefix into a normalized
+    /// [`PathSet`] — the (partial) TPO under the current belief.
+    pub fn path_set(&self, k: usize) -> Result<PathSet> {
+        if k == 0 || k > self.n {
+            return Err(TpoError::InvalidK { k, n: self.n });
+        }
+        let mut groups: HashMap<&[u32], f64> = HashMap::new();
+        for (w, r) in self.rankings.iter().enumerate() {
+            if self.weights[w] <= 0.0 {
+                continue;
+            }
+            *groups.entry(&r[..k]).or_insert(0.0) += self.weights[w];
+        }
+        PathSet::from_weighted(
+            k,
+            groups
+                .into_iter()
+                .map(|(prefix, w)| (prefix.to_vec(), w))
+                .collect(),
+        )
+    }
+
+    /// The single surviving full ordering, if the belief is resolved to one
+    /// ranking prefix pattern (used by tests).
+    pub fn surviving_rankings(&self) -> Vec<&[u32]> {
+        (0..self.rankings.len())
+            .filter(|&w| self.weights[w] > 0.0)
+            .map(|w| self.rankings[w].as_slice())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_prob::ScoreDist;
+
+    fn model() -> WorldModel {
+        WorldModel::from_rankings(
+            3,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 2],
+                vec![1, 0, 2],
+                vec![2, 1, 0],
+            ],
+        )
+    }
+
+    #[test]
+    fn path_set_groups_prefixes() {
+        let ps = model().path_set(2).unwrap();
+        assert_eq!(ps.len(), 3);
+        let top = ps.most_probable();
+        assert_eq!(top.items, vec![0, 1]);
+        assert!((top.prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(matches!(
+            model().path_set(0),
+            Err(TpoError::InvalidK { .. })
+        ));
+        assert!(model().path_set(4).is_err());
+        assert!(model().path_set(3).is_ok());
+    }
+
+    #[test]
+    fn hard_answers_filter_worlds() {
+        let mut m = model();
+        m.apply_answer_hard(0, 1, true).unwrap();
+        assert_eq!(m.effective_worlds(), 2);
+        let ps = m.path_set(2).unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.paths()[0].items, vec![0, 1]);
+        // A second consistent answer changes nothing.
+        m.apply_answer_hard(1, 2, true).unwrap();
+        assert_eq!(m.effective_worlds(), 2);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut m = WorldModel::from_rankings(2, vec![vec![0, 1]]);
+        assert!(matches!(
+            m.apply_answer_hard(1, 0, true),
+            Err(TpoError::ContradictoryAnswer)
+        ));
+    }
+
+    #[test]
+    fn noisy_answers_reweight() {
+        let mut m = model();
+        m.apply_answer_noisy(0, 1, true, 0.8).unwrap();
+        // Worlds preferring 0 above 1: weights 0.8; others 0.2.
+        assert_eq!(m.effective_worlds(), 4, "noisy updates never eliminate");
+        let p = m.pr_precedes(0, 1);
+        // (0.8+0.8) / (0.8+0.8+0.2+0.2) = 1.6/2.0
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_precedes_counts_weighted_fraction() {
+        let m = model();
+        assert!((m.pr_precedes(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.pr_precedes(1, 2) - 0.75).abs() < 1e-12);
+        assert!((m.pr_precedes(2, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let table = UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.5, 1.5).unwrap(),
+            ScoreDist::uniform(1.0, 2.0).unwrap(),
+        ])
+        .unwrap();
+        let a = WorldModel::sample(&table, 500, 42);
+        let b = WorldModel::sample(&table, 500, 42);
+        assert_eq!(a.num_worlds(), 500);
+        assert_eq!(a.surviving_rankings(), b.surviving_rankings());
+        assert_eq!(a.n(), 3);
+        assert!((a.total_weight() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_paths_after_filtering() {
+        // The incr pattern: filter first, then materialize deeper.
+        let mut m = model();
+        m.apply_answer_hard(0, 1, true).unwrap();
+        let deep = m.path_set(3).unwrap();
+        assert_eq!(deep.len(), 1);
+        assert_eq!(deep.paths()[0].items, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the TPO: construction, pruning and Bayesian
+//! updates must preserve distribution invariants for arbitrary tables and
+//! answer sequences.
+
+use ctk_prob::{ScoreDist, UncertainTable};
+use ctk_tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+use ctk_tpo::prune::prune;
+use ctk_tpo::stats::{level_distributions, membership_probability, precedence_probability};
+use ctk_tpo::tree::Tpo;
+use ctk_tpo::update::bayes_update;
+use ctk_tpo::worlds::WorldModel;
+use proptest::prelude::*;
+
+/// A random table of `n` overlapping uniform scores.
+fn uniform_table(n: usize) -> impl Strategy<Value = UncertainTable> {
+    proptest::collection::vec((0.0..1.0f64, 0.1..0.6f64), n..=n).prop_map(|params| {
+        UncertainTable::new(
+            params
+                .into_iter()
+                .map(|(c, w)| ScoreDist::uniform_centered(c, w).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mc_paths_are_valid_prefixes((table, seed) in (uniform_table(6), any::<u64>())) {
+        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed }).unwrap();
+        prop_assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+        for p in ps.paths() {
+            prop_assert_eq!(p.items.len(), 3);
+            let mut sorted = p.items.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), 3, "distinct tuples");
+            prop_assert!(p.items.iter().all(|&t| (t as usize) < table.len()));
+            prop_assert!(p.prob > 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_children_sum_to_parents(table in uniform_table(5)) {
+        let k = 3;
+        let ps = build_exact(&table, k, &ExactConfig::default()).unwrap();
+        // For every depth-2 prefix: mass equals sum of its depth-3 children
+        // (within quadrature tolerance) — verified via the arena tree.
+        let tree = Tpo::from_path_set(&ps);
+        for idx in 0..tree.len() {
+            let node = tree.node(idx);
+            if !node.children.is_empty() {
+                let child_mass: f64 = node.children.iter().map(|&c| tree.node(c).prob).sum();
+                prop_assert!((child_mass - node.prob).abs() < 1e-9,
+                    "node depth {} mass {} children {}", node.depth, node.prob, child_mass);
+            }
+        }
+    }
+
+    #[test]
+    fn mc_close_to_exact((table, seed) in (uniform_table(4), any::<u64>())) {
+        let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
+        let mc = build_mc(&table, 2, &McConfig { worlds: 60_000, seed }).unwrap();
+        for ep in exact.paths() {
+            let mp = mc.paths().iter().find(|p| p.items == ep.items).map(|p| p.prob).unwrap_or(0.0);
+            prop_assert!((ep.prob - mp).abs() < 0.02,
+                "path {:?}: exact {} vs mc {}", ep.items, ep.prob, mp);
+        }
+    }
+
+    #[test]
+    fn pruning_conserves_and_shrinks((table, seed) in (uniform_table(6), any::<u64>())) {
+        let ps = build_mc(&table, 3, &McConfig { worlds: 3000, seed }).unwrap();
+        // Take the most probable path's top pair as a consistent answer.
+        let best = ps.most_probable().clone();
+        let (i, j) = (best.items[0], best.items[1]);
+        let (pruned, stats) = prune(&ps, i, j, true, 0.5).unwrap();
+        prop_assert!(pruned.len() <= ps.len(), "consistent answers never grow the tree");
+        prop_assert!((pruned.total_prob() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(stats.paths_before, ps.len());
+        prop_assert_eq!(stats.paths_after, pruned.len());
+        // Pruning preserves relative masses of surviving paths that
+        // *determine* the pair (undetermined paths are scaled by the split
+        // factor instead, so they are excluded here).
+        for p in pruned.paths() {
+            if !(p.items.contains(&i) || p.items.contains(&j)) {
+                continue;
+            }
+            if let Some(orig) = ps.paths().iter().find(|o| o.items == p.items) {
+                let ratio = p.prob / orig.prob;
+                let expect = 1.0 / (1.0 - stats.mass_removed);
+                prop_assert!((ratio - expect).abs() < 1e-6 || stats.mass_removed < 1e-12,
+                    "restriction must scale determined paths uniformly");
+            }
+        }
+    }
+
+    #[test]
+    fn bayes_update_preserves_support((table, seed, eta) in (uniform_table(5), any::<u64>(), 0.55..0.95f64)) {
+        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed }).unwrap();
+        let best = ps.most_probable().clone();
+        let updated = bayes_update(&ps, best.items[0], best.items[1], true, eta, 0.5).unwrap();
+        prop_assert_eq!(updated.len(), ps.len(), "noisy updates never eliminate paths");
+        prop_assert!((updated.total_prob() - 1.0).abs() < 1e-9);
+        // The agreeing path's mass must not decrease.
+        let new_best = updated.paths().iter().find(|p| p.items == best.items).unwrap();
+        prop_assert!(new_best.prob >= best.prob - 1e-12);
+    }
+
+    #[test]
+    fn world_filtering_matches_path_pruning((table, seed) in (uniform_table(5), any::<u64>())) {
+        // Hard-filtering worlds then grouping must equal pruning the grouped
+        // paths, for pairs that appear in every path (here: the top pair of
+        // the most probable path, answered consistently).
+        let mut wm = WorldModel::sample(&table, 4000, seed);
+        let ps = wm.path_set(3).unwrap();
+        let best = ps.most_probable().clone();
+        let (i, j) = (best.items[0], best.items[1]);
+        if wm.apply_answer_hard(i, j, true).is_ok() {
+            let via_worlds = wm.path_set(3).unwrap();
+            if let Ok((via_prune, _)) = prune(&ps, i, j, true, wm.pr_precedes(i, j)) {
+                // Same support set.
+                let a: Vec<&[u32]> = via_worlds.paths().iter().map(|p| p.items.as_slice()).collect();
+                for p in via_prune.paths() {
+                    // Paths where the pair was determined must survive in both.
+                    if p.items.contains(&i) || p.items.contains(&j) {
+                        prop_assert!(a.contains(&p.items.as_slice()),
+                            "path {:?} missing from world-filtered set", p.items);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_distributions_are_distributions(table in uniform_table(6)) {
+        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed: 1 }).unwrap();
+        let levels = level_distributions(&ps);
+        prop_assert_eq!(levels.len(), 3);
+        let mut prev_len = 0usize;
+        for l in &levels {
+            prop_assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(l.iter().all(|&p| p > 0.0));
+            prop_assert!(l.len() >= prev_len, "levels refine");
+            prev_len = l.len();
+        }
+    }
+
+    #[test]
+    fn precedence_and_membership_consistent(table in uniform_table(5)) {
+        let ps = build_mc(&table, 2, &McConfig { worlds: 3000, seed: 9 }).unwrap();
+        for i in 0..table.len() as u32 {
+            let m = membership_probability(&ps, i);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+            for j in 0..table.len() as u32 {
+                if i != j {
+                    let p = precedence_probability(&ps, i, j, 0.5);
+                    let q = precedence_probability(&ps, j, i, 0.5);
+                    prop_assert!((p + q - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

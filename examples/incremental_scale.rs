@@ -1,0 +1,60 @@
+//! The `incr` algorithm (§III-D) on a large, highly uncertain table: build
+//! the tree of possible orderings level by level, pruning with crowd
+//! answers *between* levels, so the full (potentially huge) depth-K tree
+//! is never materialized under the initial uncertainty.
+//!
+//! Run with: `cargo run --example incremental_scale`
+
+use crowd_topk::datagen::{generate, DatasetSpec};
+use crowd_topk::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    const K: usize = 5;
+    const BUDGET: usize = 25;
+
+    println!("K={K}, B={BUDGET}, perfect crowd; wall-clock includes TPO construction\n");
+    println!("     N   algorithm   final D   questions   time");
+
+    for n in [20usize, 40, 60] {
+        let table = generate(&DatasetSpec::paper_default(n, 0.35, 7));
+        let truth = GroundTruth::sample(&table, 123);
+        let top = truth.top_k(K);
+
+        for algorithm in [
+            Algorithm::T1On,
+            Algorithm::Incr {
+                questions_per_round: 5,
+            },
+        ] {
+            let name = algorithm.name();
+            let mut crowd = CrowdSimulator::new(
+                GroundTruth::sample(&table, 123),
+                PerfectWorker,
+                VotePolicy::Single,
+                BUDGET,
+            );
+            let start = Instant::now();
+            let report = CrowdTopK::new(table.clone())
+                .k(K)
+                .budget(BUDGET)
+                .algorithm(algorithm)
+                .monte_carlo(10_000, 1)
+                .run_with_truth(&mut crowd, &top)
+                .unwrap();
+            let elapsed = start.elapsed();
+            println!(
+                "{n:6}   {name:9}   {:7.4}   {:9}   {:?}",
+                report.final_distance().unwrap(),
+                report.questions_asked(),
+                elapsed
+            );
+        }
+    }
+
+    println!(
+        "\nincr trades a little quality for far less work on large N: it\n\
+         selects questions on shallow trees and only deepens once answers\n\
+         have pruned the branching."
+    );
+}

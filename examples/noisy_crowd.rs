@@ -1,0 +1,57 @@
+//! Noisy crowds (§III-C): when workers err, answers reweight the space of
+//! orderings (Bayesian update) instead of pruning it. This example sweeps
+//! worker accuracy and shows what majority-of-3 voting buys.
+//!
+//! Run with: `cargo run --example noisy_crowd`
+
+use crowd_topk::datagen::scenarios;
+use crowd_topk::prelude::*;
+
+fn main() {
+    const BUDGET: usize = 20;
+    const RUNS: u64 = 12;
+
+    println!("N=15, K=5, B={BUDGET}, T1-on, averaged over {RUNS} runs\n");
+    println!("accuracy   single-vote D   majority-3 D   (lower is better)");
+
+    for accuracy in [0.6, 0.7, 0.8, 0.9, 1.0] {
+        let mut d_single = 0.0;
+        let mut d_major = 0.0;
+        for run in 0..RUNS {
+            let scenario = scenarios::noise(run);
+            let truth = GroundTruth::sample(&scenario.table, 9000 + run);
+            let top = truth.top_k(scenario.k);
+
+            for (policy, acc) in [
+                (VotePolicy::Single, &mut d_single),
+                (VotePolicy::Majority(3), &mut d_major),
+            ] {
+                let mut crowd = CrowdSimulator::new(
+                    GroundTruth::sample(&scenario.table, 9000 + run),
+                    NoisyWorker::new(accuracy, 31 * run + 7),
+                    policy,
+                    BUDGET,
+                );
+                let report = CrowdTopK::new(scenario.table.clone())
+                    .k(scenario.k)
+                    .budget(BUDGET)
+                    .algorithm(Algorithm::T1On)
+                    .monte_carlo(6_000, run)
+                    .run_with_truth(&mut crowd, &top)
+                    .unwrap();
+                *acc += report.final_distance().unwrap();
+            }
+        }
+        println!(
+            "{accuracy:8.2}   {:13.4}   {:12.4}",
+            d_single / RUNS as f64,
+            d_major / RUNS as f64
+        );
+    }
+
+    println!(
+        "\nPerfect workers prune orderings outright; noisy ones only shift\n\
+         probability mass, so more budget is needed for the same certainty.\n\
+         Majority voting recovers much of the loss at 3x the vote cost."
+    );
+}

@@ -1,0 +1,96 @@
+//! Quickstart: resolve a top-3 query over uncertain scores with a handful
+//! of crowd questions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crowd_topk::prelude::*;
+use crowd_topk::prob::{ScoreDist, UncertainTable};
+use crowd_topk::tpo::{build::Engine, Tpo};
+
+fn main() {
+    // A relation of 8 restaurants with uncertain review scores: each score
+    // is known only up to an interval (aggregated star ratings with small
+    // samples).
+    let table = UncertainTable::with_labels(
+        [
+            ("Trattoria Da Nadia", 0.82, 0.20),
+            ("Osteria del Ponte", 0.78, 0.30),
+            ("La Lanterna", 0.74, 0.25),
+            ("Il Girasole", 0.70, 0.35),
+            ("Piccola Cucina", 0.66, 0.30),
+            ("Bar Centrale", 0.55, 0.25),
+            ("Paninoteca 21", 0.42, 0.30),
+            ("Chiosco Verde", 0.30, 0.20),
+        ]
+        .into_iter()
+        .map(|(name, center, width)| {
+            (
+                name.to_string(),
+                ScoreDist::uniform_centered(center, width).unwrap(),
+            )
+        })
+        .collect(),
+    )
+    .unwrap();
+
+    // How uncertain is the top-3 before asking anyone anything?
+    let ps = Engine::default().build(&table, 3).unwrap();
+    println!("Initial space of possible top-3 orderings: {}", ps.len());
+    let tree = Tpo::from_path_set(&ps);
+    println!(
+        "TPO: {} nodes, {} leaves (export with Tpo::to_dot for graphviz)\n",
+        tree.len(),
+        tree.num_orderings()
+    );
+
+    // Hidden reality (in production this is the world; here we sample it).
+    let truth = GroundTruth::sample(&table, 2024);
+    let real_top3 = truth.top_k(3);
+
+    // A perfect crowd with a budget of 12 pairwise questions.
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 12);
+
+    let report = CrowdTopK::new(table.clone())
+        .k(3)
+        .budget(12)
+        .measure(MeasureKind::WeightedEntropy)
+        .algorithm(Algorithm::T1On)
+        .run_with_truth(&mut crowd, &real_top3)
+        .unwrap();
+
+    println!("question                         answer   orderings  D(truth)");
+    for s in &report.steps {
+        let qi = table.label(crowd_topk::prob::TupleId(s.question.i));
+        let qj = table.label(crowd_topk::prob::TupleId(s.question.j));
+        println!(
+            "{:20} ≻ {:12}? {:6}   {:9}  {:.4}",
+            qi,
+            qj,
+            if s.answer_yes { "yes" } else { "no" },
+            s.orderings,
+            s.distance_to_truth.unwrap()
+        );
+    }
+
+    println!(
+        "\nAsked {} of 12 budgeted questions (early termination: {}).",
+        report.questions_asked(),
+        report.resolved
+    );
+    println!("Reported top-3:");
+    for (rank, id) in report.final_topk.iter().enumerate() {
+        println!(
+            "  {}. {}",
+            rank + 1,
+            table.label(crowd_topk::prob::TupleId(*id))
+        );
+    }
+    println!("True top-3:");
+    for (rank, id) in real_top3.items().iter().enumerate() {
+        println!(
+            "  {}. {}",
+            rank + 1,
+            table.label(crowd_topk::prob::TupleId(*id))
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Explore the tree of possible orderings itself: build it with both
+//! engines, inspect levels and marginals, and export Graphviz DOT — the
+//! picture the paper draws when introducing the TPO.
+//!
+//! Run with: `cargo run --release --example tpo_explore [> tpo.dot]`
+//! (the DOT goes to stdout; diagnostics to stderr).
+
+use crowd_topk::prob::compare::PairwiseMatrix;
+use crowd_topk::prob::{ScoreDist, UncertainTable};
+use crowd_topk::tpo::build::{build_exact, ExactConfig};
+use crowd_topk::tpo::stats::{membership_probability, rank_probability};
+use crowd_topk::tpo::Tpo;
+
+fn main() {
+    // Four contenders; t3 leads but overlaps t2, t2 overlaps t1, t0 trails.
+    let table = UncertainTable::with_labels(vec![
+        ("bronze".into(), ScoreDist::uniform(0.10, 0.45).unwrap()),
+        ("silver".into(), ScoreDist::uniform(0.30, 0.70).unwrap()),
+        ("gold".into(), ScoreDist::uniform(0.55, 0.95).unwrap()),
+        ("champ".into(), ScoreDist::uniform(0.75, 1.10).unwrap()),
+    ])
+    .unwrap();
+    const K: usize = 3;
+
+    let ps = build_exact(&table, K, &ExactConfig::default()).unwrap();
+    eprintln!("space of ordered top-{K} results: {} orderings", ps.len());
+    for p in ps.paths() {
+        eprintln!("  {p}");
+    }
+
+    // Which pairs would a crowd question actually help with?
+    let pw = PairwiseMatrix::compute(&table);
+    eprintln!("\nuncertain pairs (candidate questions):");
+    for i in 0..table.len() {
+        for j in (i + 1)..table.len() {
+            if pw.uncertain(i, j) {
+                eprintln!(
+                    "  {} ?≺ {}   P = {:.3}",
+                    table.get(i).label,
+                    table.get(j).label,
+                    pw.pr(i, j)
+                );
+            }
+        }
+    }
+
+    // Per-tuple marginals inside the tree.
+    eprintln!("\nmarginals:");
+    for t in table.iter() {
+        eprintln!(
+            "  {:6}  P(in top-{K}) = {:.3}   P(rank 1) = {:.3}",
+            t.label,
+            membership_probability(&ps, t.id.0),
+            rank_probability(&ps, t.id.0, 0)
+        );
+    }
+
+    // The tree itself, as Graphviz DOT on stdout.
+    let tree = Tpo::from_path_set(&ps);
+    eprintln!(
+        "\ntree: {} nodes, {} leaves, depth {K}; DOT on stdout:",
+        tree.len(),
+        tree.num_orderings()
+    );
+    println!(
+        "{}",
+        tree.to_dot(|id| table.get(id as usize).label.clone())
+    );
+}

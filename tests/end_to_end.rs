@@ -1,0 +1,135 @@
+//! End-to-end integration: full pipeline (datagen → TPO → measures →
+//! selection → crowd → report) for every algorithm, plus the paper's
+//! headline quality ordering at equal budget.
+
+use crowd_topk::datagen::scenarios;
+use crowd_topk::prelude::*;
+
+fn run_once(algorithm: Algorithm, budget: usize, run: u64) -> UrReport {
+    let scenario = scenarios::fig1(run);
+    let truth = GroundTruth::sample(&scenario.table, 5000 + run);
+    let top = truth.top_k(scenario.k);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget);
+    CrowdTopK::new(scenario.table)
+        .k(scenario.k)
+        .budget(budget)
+        .measure(MeasureKind::WeightedEntropy)
+        .algorithm(algorithm)
+        .monte_carlo(6_000, run)
+        .selector_seed(run)
+        .run_with_truth(&mut crowd, &top)
+        .unwrap()
+}
+
+#[test]
+fn every_algorithm_completes_and_reduces_uncertainty() {
+    for algorithm in [
+        Algorithm::Random,
+        Algorithm::Naive,
+        Algorithm::TbOff,
+        Algorithm::COff,
+        Algorithm::T1On,
+        Algorithm::Incr {
+            questions_per_round: 5,
+        },
+    ] {
+        let name = algorithm.name();
+        let r = run_once(algorithm, 10, 1);
+        assert!(r.questions_asked() <= 10, "{name} overspent");
+        assert!(
+            r.final_uncertainty() <= r.initial_uncertainty + 1e-9,
+            "{name} grew uncertainty"
+        );
+        assert!(
+            r.final_orderings() <= r.initial_orderings,
+            "{name} grew the tree"
+        );
+        assert!(!r.final_topk.is_empty(), "{name} reported no result");
+    }
+}
+
+#[test]
+fn smart_selection_beats_baselines_on_average() {
+    const RUNS: u64 = 6;
+    const BUDGET: usize = 15;
+    let avg = |alg: Algorithm| -> f64 {
+        (0..RUNS)
+            .map(|run| run_once(alg.clone(), BUDGET, run).final_distance().unwrap())
+            .sum::<f64>()
+            / RUNS as f64
+    };
+    let t1 = avg(Algorithm::T1On);
+    let c_off = avg(Algorithm::COff);
+    let naive = avg(Algorithm::Naive);
+    let random = avg(Algorithm::Random);
+
+    // The paper's Fig. 1(a) ordering: T1-on and C-off clearly beat naive,
+    // which beats random. Averages over few runs are noisy, so allow slack
+    // on the naive/random comparison but be strict about smart vs random.
+    assert!(
+        t1 < random - 1e-6,
+        "T1-on ({t1:.4}) must beat random ({random:.4})"
+    );
+    assert!(
+        c_off < random - 1e-6,
+        "C-off ({c_off:.4}) must beat random ({random:.4})"
+    );
+    assert!(
+        t1 <= naive + 0.02,
+        "T1-on ({t1:.4}) should not lose to naive ({naive:.4})"
+    );
+    assert!(
+        naive <= random + 0.02,
+        "naive ({naive:.4}) should not lose to random ({random:.4})"
+    );
+}
+
+#[test]
+fn bigger_budgets_reduce_distance_monotonically_in_expectation() {
+    const RUNS: u64 = 5;
+    let mut prev = f64::INFINITY;
+    for budget in [0usize, 5, 15, 30] {
+        let avg: f64 = (0..RUNS)
+            .map(|run| {
+                run_once(Algorithm::T1On, budget, run)
+                    .final_distance()
+                    .unwrap()
+            })
+            .sum::<f64>()
+            / RUNS as f64;
+        assert!(
+            avg <= prev + 0.02,
+            "budget {budget}: distance {avg:.4} worse than smaller budget {prev:.4}"
+        );
+        prev = avg;
+    }
+}
+
+#[test]
+fn perfect_crowd_with_ample_budget_nearly_resolves() {
+    let r = run_once(Algorithm::T1On, 200, 3);
+    // The MC tree may lack a handful of tail orderings, but a perfect
+    // crowd given ~unbounded budget must get (close to) a single ordering.
+    assert!(
+        r.final_orderings() <= 2,
+        "{} orderings left after 200 questions",
+        r.final_orderings()
+    );
+    assert!(r.final_distance().unwrap() < 0.05);
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let r = run_once(Algorithm::COff, 12, 9);
+    assert_eq!(r.algorithm, "C-off");
+    assert_eq!(r.measure, "UHw");
+    assert!(r.total_time >= r.selection_time);
+    // Step records are monotone in orderings for a perfect crowd.
+    let mut prev = r.initial_orderings;
+    for s in &r.steps {
+        assert!(s.orderings <= prev, "orderings grew within a step");
+        prev = s.orderings;
+        assert!(s.uncertainty.is_finite());
+        assert!(s.distance_to_truth.unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-validation of the two TPO construction engines: the Monte-Carlo
+//! possible-worlds builder must converge to the exact nested-quadrature
+//! probabilities on every scenario family.
+
+use crowd_topk::datagen::{scenarios, HeteroVariant};
+use crowd_topk::prob::{ScoreDist, UncertainTable};
+use crowd_topk::tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+
+fn compare_engines(table: &UncertainTable, k: usize, tolerance: f64) {
+    let exact = build_exact(table, k, &ExactConfig::default()).unwrap();
+    let mc = build_mc(
+        table,
+        k,
+        &McConfig {
+            worlds: 120_000,
+            seed: 2024,
+        },
+    )
+    .unwrap();
+    // Total variation distance between the two distributions over paths.
+    let mut tv = 0.0;
+    for p in exact.paths() {
+        let q = mc
+            .paths()
+            .iter()
+            .find(|m| m.items == p.items)
+            .map(|m| m.prob)
+            .unwrap_or(0.0);
+        tv += (p.prob - q).abs();
+    }
+    for m in mc.paths() {
+        if !exact.paths().iter().any(|p| p.items == m.items) {
+            tv += m.prob;
+        }
+    }
+    tv *= 0.5;
+    assert!(
+        tv < tolerance,
+        "engines disagree: total variation {tv:.4} (N={}, k={k})",
+        table.len()
+    );
+}
+
+#[test]
+fn engines_agree_on_small_uniform_tables() {
+    let table = UncertainTable::new(
+        (0..6)
+            .map(|i| ScoreDist::uniform_centered(0.15 * i as f64, 0.4).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    compare_engines(&table, 3, 0.02);
+}
+
+#[test]
+fn engines_agree_on_gaussian_tables() {
+    let table = UncertainTable::new(
+        (0..5)
+            .map(|i| ScoreDist::gaussian(0.2 * i as f64, 0.12).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    compare_engines(&table, 3, 0.02);
+}
+
+#[test]
+fn engines_agree_on_mixed_families() {
+    let scenario = scenarios::hetero(HeteroVariant::MixedFamilies, 3);
+    // Use a k small enough for the exact engine to stay quick on N=20.
+    compare_engines(&scenario.table, 2, 0.02);
+}
+
+#[test]
+fn exact_engine_is_deterministic_and_normalized() {
+    let scenario = scenarios::astar(1);
+    let a = build_exact(&scenario.table, scenario.k, &ExactConfig::default()).unwrap();
+    let b = build_exact(&scenario.table, scenario.k, &ExactConfig::default()).unwrap();
+    assert_eq!(a, b);
+    assert!((a.total_prob() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn monte_carlo_error_shrinks_with_more_worlds() {
+    let table = UncertainTable::new(
+        (0..5)
+            .map(|i| ScoreDist::uniform_centered(0.2 * i as f64, 0.5).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
+    let mut errs = Vec::new();
+    for worlds in [500usize, 5_000, 50_000] {
+        let mc = build_mc(&table, 2, &McConfig { worlds, seed: 7 }).unwrap();
+        let mut tv = 0.0;
+        for p in exact.paths() {
+            let q = mc
+                .paths()
+                .iter()
+                .find(|m| m.items == p.items)
+                .map(|m| m.prob)
+                .unwrap_or(0.0);
+            tv += (p.prob - q).abs();
+        }
+        errs.push(0.5 * tv);
+    }
+    assert!(
+        errs[2] < errs[0],
+        "error should shrink with worlds: {errs:?}"
+    );
+    assert!(errs[2] < 0.01, "50k worlds should be accurate: {errs:?}");
+}

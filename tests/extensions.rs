@@ -1,0 +1,213 @@
+//! Extension features beyond the paper's core: mixture score pdfs,
+//! difficulty-aware workers, and the uncertainty-target stopping rule.
+
+use crowd_topk::crowd::DifficultyWorker;
+use crowd_topk::prelude::*;
+use crowd_topk::prob::{ScoreDist, UncertainTable};
+use crowd_topk::tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+
+fn bimodal_table() -> UncertainTable {
+    // Items whose quality depends on an unresolved categorical fact:
+    // bimodal score pdfs with a shared ambiguous band.
+    UncertainTable::new(
+        (0..6)
+            .map(|i| {
+                let c = 0.15 * i as f64;
+                ScoreDist::bimodal(
+                    0.5,
+                    ScoreDist::uniform_centered(c + 0.1, 0.15).unwrap(),
+                    0.5,
+                    ScoreDist::uniform_centered(c + 0.45, 0.15).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn mixture_tables_run_end_to_end() {
+    let table = bimodal_table();
+    assert!(table.all_continuous());
+    let truth = GroundTruth::sample(&table, 11);
+    let top = truth.top_k(3);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 15);
+    let report = CrowdTopK::new(table)
+        .k(3)
+        .budget(15)
+        .algorithm(Algorithm::T1On)
+        .monte_carlo(5_000, 3)
+        .run_with_truth(&mut crowd, &top)
+        .unwrap();
+    assert!(report.final_distance().unwrap() <= report.initial_distance.unwrap() + 1e-9);
+    assert!(report.final_orderings() < report.initial_orderings);
+}
+
+#[test]
+fn mixture_engines_agree() {
+    let table = bimodal_table();
+    let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
+    let mc = build_mc(
+        &table,
+        2,
+        &McConfig {
+            worlds: 120_000,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    let mut tv = 0.0;
+    for p in exact.paths() {
+        let q = mc
+            .paths()
+            .iter()
+            .find(|m| m.items == p.items)
+            .map(|m| m.prob)
+            .unwrap_or(0.0);
+        tv += (p.prob - q).abs();
+    }
+    for m in mc.paths() {
+        if !exact.paths().iter().any(|p| p.items == m.items) {
+            tv += m.prob;
+        }
+    }
+    assert!(tv * 0.5 < 0.02, "mixture engines disagree: tv = {}", tv * 0.5);
+}
+
+#[test]
+fn difficulty_workers_degrade_gracefully() {
+    // A difficulty-aware crowd errs on close calls; the session must still
+    // reduce distance, just less than a constant-accuracy crowd of the
+    // same nominal eta.
+    let table = UncertainTable::new(
+        (0..10)
+            .map(|i| ScoreDist::uniform_centered(0.1 * i as f64, 0.35).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    const B: usize = 15;
+    const RUNS: u64 = 8;
+    let mut d_const = 0.0;
+    let mut d_diff = 0.0;
+    for run in 0..RUNS {
+        let truth = GroundTruth::sample(&table, 900 + run);
+        let top = truth.top_k(4);
+        let run_with = |is_diff: bool| -> f64 {
+            let mut q = CrowdTopK::new(table.clone())
+                .k(4)
+                .budget(B)
+                .algorithm(Algorithm::T1On)
+                .monte_carlo(4_000, run);
+            q = q.selector_seed(run);
+            if is_diff {
+                let mut crowd = CrowdSimulator::new(
+                    GroundTruth::sample(&table, 900 + run),
+                    DifficultyWorker::new(0.9, 0.05, run),
+                    VotePolicy::Single,
+                    B,
+                );
+                q.run_with_truth(&mut crowd, &top).unwrap().final_distance().unwrap()
+            } else {
+                let mut crowd = CrowdSimulator::new(
+                    GroundTruth::sample(&table, 900 + run),
+                    NoisyWorker::new(0.9, run),
+                    VotePolicy::Single,
+                    B,
+                );
+                q.run_with_truth(&mut crowd, &top).unwrap().final_distance().unwrap()
+            }
+        };
+        d_const += run_with(false);
+        d_diff += run_with(true);
+    }
+    let d_const = d_const / RUNS as f64;
+    let d_diff = d_diff / RUNS as f64;
+    // Difficulty-aware workers are *worse* than constant-accuracy ones at
+    // the same nominal eta, because UR asks exactly the close-call
+    // questions they bungle. Both must still be finite and sane.
+    assert!(
+        d_diff + 0.02 >= d_const,
+        "difficulty workers unexpectedly beat constant: {d_diff:.4} vs {d_const:.4}"
+    );
+    assert!(d_diff < 0.5, "session collapsed: {d_diff:.4}");
+}
+
+#[test]
+fn uncertainty_target_stops_early() {
+    let table = UncertainTable::new(
+        (0..8)
+            .map(|i| ScoreDist::uniform_centered(0.1 * i as f64, 0.4).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let truth = GroundTruth::sample(&table, 4);
+    let top = truth.top_k(3);
+    let run = |target: Option<f64>| -> UrReport {
+        let mut q = CrowdTopK::new(table.clone())
+            .k(3)
+            .budget(40)
+            .algorithm(Algorithm::T1On)
+            .monte_carlo(4_000, 1);
+        if let Some(t) = target {
+            q = q.uncertainty_target(t);
+        }
+        let mut crowd = CrowdSimulator::new(
+            GroundTruth::sample(&table, 4),
+            PerfectWorker,
+            VotePolicy::Single,
+            40,
+        );
+        q.run_with_truth(&mut crowd, &top).unwrap()
+    };
+    let unbounded = run(None);
+    let stopped = run(Some(0.3));
+    assert!(
+        stopped.questions_asked() < unbounded.questions_asked(),
+        "target should save questions: {} vs {}",
+        stopped.questions_asked(),
+        unbounded.questions_asked()
+    );
+    assert!(
+        stopped.final_uncertainty() <= 0.3 + 1e-9,
+        "target not reached: {}",
+        stopped.final_uncertainty()
+    );
+}
+
+#[test]
+fn uncertainty_target_applies_to_offline_and_incr() {
+    let table = UncertainTable::new(
+        (0..8)
+            .map(|i| ScoreDist::uniform_centered(0.1 * i as f64, 0.4).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let truth = GroundTruth::sample(&table, 9);
+    for algorithm in [
+        Algorithm::TbOff,
+        Algorithm::Incr {
+            questions_per_round: 3,
+        },
+    ] {
+        let mut crowd = CrowdSimulator::new(
+            GroundTruth::sample(&table, 9),
+            PerfectWorker,
+            VotePolicy::Single,
+            40,
+        );
+        let report = CrowdTopK::new(table.clone())
+            .k(3)
+            .budget(40)
+            .algorithm(algorithm.clone())
+            .monte_carlo(4_000, 2)
+            .uncertainty_target(0.25)
+            .run_with_truth(&mut crowd, &truth.top_k(3))
+            .unwrap();
+        assert!(
+            report.questions_asked() < 40,
+            "{} ignored the target",
+            algorithm.name()
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! §IV prose claims: (1) structure-aware measures guide selection at least
+//! as well as plain entropy; (2) `incr` is much cheaper than full-tree
+//! selection with only slightly lower quality.
+
+use crowd_topk::datagen::{generate, scenarios, DatasetSpec};
+use crowd_topk::prelude::*;
+use std::time::{Duration, Instant};
+
+fn run_measure(measure: MeasureKind, run: u64, budget: usize) -> f64 {
+    let scenario = scenarios::measures(run);
+    let truth = GroundTruth::sample(&scenario.table, 70 + run);
+    let top = truth.top_k(scenario.k);
+    let mut crowd = CrowdSimulator::new(
+        GroundTruth::sample(&scenario.table, 70 + run),
+        PerfectWorker,
+        VotePolicy::Single,
+        budget,
+    );
+    CrowdTopK::new(scenario.table)
+        .k(scenario.k)
+        .budget(budget)
+        .measure(measure)
+        .algorithm(Algorithm::T1On)
+        .monte_carlo(3_000, run)
+        .run_with_truth(&mut crowd, &top)
+        .unwrap()
+        .final_distance()
+        .unwrap()
+}
+
+#[test]
+fn structural_measures_do_not_lose_to_plain_entropy() {
+    const RUNS: u64 = 6;
+    const B: usize = 10;
+    let avg = |m: MeasureKind| -> f64 {
+        (0..RUNS).map(|r| run_measure(m, r, B)).sum::<f64>() / RUNS as f64
+    };
+    let uh = avg(MeasureKind::Entropy);
+    let uhw = avg(MeasureKind::WeightedEntropy);
+    let umpo = avg(MeasureKind::Mpo);
+    // Paper: structure-aware measures perform better than UH. With few
+    // runs we assert "not worse" with a small noise allowance.
+    assert!(
+        uhw <= uh + 0.02,
+        "UHw ({uhw:.4}) should not lose to UH ({uh:.4})"
+    );
+    assert!(
+        umpo <= uh + 0.03,
+        "UMPO ({umpo:.4}) should be competitive with UH ({uh:.4})"
+    );
+}
+
+fn run_incr_vs_t1(n: usize, budget: usize) -> (Duration, Duration, f64, f64) {
+    let table = generate(&DatasetSpec::paper_default(n, 0.35, 11));
+    let truth = GroundTruth::sample(&table, 500);
+    let top = truth.top_k(5);
+
+    let run = |alg: Algorithm| -> (Duration, f64) {
+        let mut crowd = CrowdSimulator::new(
+            GroundTruth::sample(&table, 500),
+            PerfectWorker,
+            VotePolicy::Single,
+            budget,
+        );
+        let start = Instant::now();
+        let r = CrowdTopK::new(table.clone())
+            .k(5)
+            .budget(budget)
+            .algorithm(alg)
+            .monte_carlo(8_000, 3)
+            .run_with_truth(&mut crowd, &top)
+            .unwrap();
+        (start.elapsed(), r.final_distance().unwrap())
+    };
+    let (t1_time, t1_d) = run(Algorithm::T1On);
+    let (incr_time, incr_d) = run(Algorithm::Incr {
+        questions_per_round: 5,
+    });
+    (t1_time, incr_time, t1_d, incr_d)
+}
+
+#[test]
+fn incr_is_cheaper_with_comparable_quality() {
+    let (t1_time, incr_time, t1_d, incr_d) = run_incr_vs_t1(40, 20);
+    // Quality: incr may be slightly worse, but must stay in the same
+    // ballpark (the paper: “slightly lower quality”).
+    assert!(
+        incr_d <= t1_d + 0.15,
+        "incr quality collapsed: {incr_d:.4} vs T1-on {t1_d:.4}"
+    );
+    // Cost: on N=40 the full-depth tree is much bigger than the
+    // incrementally pruned one; incr must not be slower than T1-on by more
+    // than a small factor (it is usually several times faster).
+    assert!(
+        incr_time <= t1_time * 2,
+        "incr ({incr_time:?}) should not be slower than T1-on ({t1_time:?})"
+    );
+}
+
+#[test]
+fn incr_respects_round_size_and_budget() {
+    let scenario = scenarios::fig1(5);
+    let truth = GroundTruth::sample(&scenario.table, 2);
+    let top = truth.top_k(scenario.k);
+    for rounds in [1usize, 5, 10] {
+        let mut crowd = CrowdSimulator::new(
+            GroundTruth::sample(&scenario.table, 2),
+            PerfectWorker,
+            VotePolicy::Single,
+            12,
+        );
+        let r = CrowdTopK::new(scenario.table.clone())
+            .k(scenario.k)
+            .budget(12)
+            .algorithm(Algorithm::Incr {
+                questions_per_round: rounds,
+            })
+            .monte_carlo(4_000, 1)
+            .run_with_truth(&mut crowd, &top)
+            .unwrap();
+        assert!(r.questions_asked() <= 12, "rounds={rounds} overspent");
+        assert!(
+            r.final_distance().unwrap() <= r.initial_distance.unwrap() + 1e-9,
+            "rounds={rounds} made things worse"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! §III-C / §IV: the system keeps working under noisy crowds — Bayesian
+//! updates degrade gracefully with worker accuracy, and majority voting
+//! buys accuracy back.
+
+use crowd_topk::datagen::scenarios;
+use crowd_topk::prelude::*;
+
+fn avg_final_distance(accuracy: f64, policy: VotePolicy, runs: u64, budget: usize) -> f64 {
+    let mut total = 0.0;
+    for run in 0..runs {
+        let scenario = scenarios::noise(run);
+        let truth = GroundTruth::sample(&scenario.table, 400 + run);
+        let top = truth.top_k(scenario.k);
+        let mut crowd = CrowdSimulator::new(
+            GroundTruth::sample(&scenario.table, 400 + run),
+            NoisyWorker::new(accuracy, 77 * run + 3),
+            policy,
+            budget,
+        );
+        let r = CrowdTopK::new(scenario.table)
+            .k(scenario.k)
+            .budget(budget)
+            .algorithm(Algorithm::T1On)
+            .monte_carlo(4_000, run)
+            .run_with_truth(&mut crowd, &top)
+            .unwrap();
+        total += r.final_distance().unwrap();
+    }
+    total / runs as f64
+}
+
+#[test]
+fn accuracy_improves_outcomes() {
+    const RUNS: u64 = 8;
+    const B: usize = 15;
+    let d_low = avg_final_distance(0.6, VotePolicy::Single, RUNS, B);
+    let d_high = avg_final_distance(0.95, VotePolicy::Single, RUNS, B);
+    assert!(
+        d_high < d_low + 0.01,
+        "higher accuracy should help: 0.95 -> {d_high:.4}, 0.6 -> {d_low:.4}"
+    );
+}
+
+#[test]
+fn majority_voting_helps_at_moderate_accuracy() {
+    const RUNS: u64 = 8;
+    const B: usize = 15;
+    let single = avg_final_distance(0.7, VotePolicy::Single, RUNS, B);
+    let majority = avg_final_distance(0.7, VotePolicy::Majority(3), RUNS, B);
+    assert!(
+        majority <= single + 0.02,
+        "majority-of-3 should not hurt: single {single:.4}, majority {majority:.4}"
+    );
+}
+
+#[test]
+fn noisy_sessions_never_panic_and_keep_all_orderings() {
+    let scenario = scenarios::noise(0);
+    let truth = GroundTruth::sample(&scenario.table, 5);
+    let top = truth.top_k(scenario.k);
+    let mut crowd = CrowdSimulator::new(
+        GroundTruth::sample(&scenario.table, 5),
+        NoisyWorker::new(0.75, 1),
+        VotePolicy::Single,
+        12,
+    );
+    let r = CrowdTopK::new(scenario.table)
+        .k(scenario.k)
+        .budget(12)
+        .algorithm(Algorithm::T1On)
+        .monte_carlo(3_000, 0)
+        .run_with_truth(&mut crowd, &top)
+        .unwrap();
+    // Noisy answers only reweight: the ordering count never shrinks.
+    for s in &r.steps {
+        assert_eq!(
+            s.orderings, r.initial_orderings,
+            "noisy updates must not prune"
+        );
+    }
+    // But probability mass should still concentrate (uncertainty falls).
+    assert!(r.final_uncertainty() <= r.initial_uncertainty + 1e-9);
+}
+
+#[test]
+fn heterogeneous_pools_work() {
+    let scenario = scenarios::noise(2);
+    let truth = GroundTruth::sample(&scenario.table, 8);
+    let top = truth.top_k(scenario.k);
+    let mut crowd = CrowdSimulator::new(
+        GroundTruth::sample(&scenario.table, 8),
+        WorkerPool::uniform(20, 0.65, 0.95, 3),
+        VotePolicy::Single,
+        15,
+    );
+    let r = CrowdTopK::new(scenario.table)
+        .k(scenario.k)
+        .budget(15)
+        .algorithm(Algorithm::T1On)
+        .monte_carlo(3_000, 2)
+        .run_with_truth(&mut crowd, &top)
+        .unwrap();
+    assert!(r.questions_asked() > 0);
+    assert!(r.final_distance().unwrap() <= r.initial_distance.unwrap() + 0.05);
+}

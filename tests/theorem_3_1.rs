@@ -1,0 +1,109 @@
+//! Theorem 3.1: *no deterministic UR algorithm is optimal* — a concrete,
+//! exhaustively verified witness.
+//!
+//! Take 3 i.i.d. tuples (all 6 orderings possible, K = 3). Every ordering
+//! `ω` has a 2-question certificate (its two adjacent comparisons imply
+//! the third by transitivity), so an optimal algorithm would resolve
+//! *every* realized ordering with 2 questions. But any deterministic
+//! adaptive strategy is a binary decision tree of depth 2 with at most 4
+//! leaves — it cannot distinguish 6 orderings. Hence for every strategy
+//! some realized ordering needs a third question: no deterministic
+//! algorithm matches the per-ordering optimum.
+
+use crowd_topk::prob::{ScoreDist, UncertainTable};
+use crowd_topk::tpo::build::{build_exact, ExactConfig};
+use crowd_topk::tpo::prune::prune;
+use crowd_topk::tpo::PathSet;
+
+/// All pairwise questions over 3 tuples, as (i, j) with i < j.
+const QUESTIONS: [(u32, u32); 3] = [(0, 1), (0, 2), (1, 2)];
+
+fn iid_table() -> UncertainTable {
+    UncertainTable::new(vec![
+        ScoreDist::uniform(0.0, 1.0).unwrap(),
+        ScoreDist::uniform(0.0, 1.0).unwrap(),
+        ScoreDist::uniform(0.0, 1.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn full_tpo() -> PathSet {
+    build_exact(&iid_table(), 3, &ExactConfig::default()).unwrap()
+}
+
+fn answer_for(ordering: &[u32], i: u32, j: u32) -> bool {
+    let pi = ordering.iter().position(|&x| x == i).unwrap();
+    let pj = ordering.iter().position(|&x| x == j).unwrap();
+    pi < pj
+}
+
+#[test]
+fn all_six_orderings_are_possible() {
+    let ps = full_tpo();
+    assert_eq!(ps.len(), 6, "i.i.d. scores admit every ordering");
+}
+
+#[test]
+fn every_ordering_has_a_two_question_certificate() {
+    let ps = full_tpo();
+    for path in ps.paths() {
+        let omega = &path.items;
+        // The two adjacent comparisons of omega certify it.
+        let q1 = (omega[0], omega[1]);
+        let q2 = (omega[1], omega[2]);
+        let (after1, _) = prune(&ps, q1.0, q1.1, true, 0.5).unwrap();
+        let (after2, _) = prune(&after1, q2.0, q2.1, true, 0.5).unwrap();
+        assert!(
+            after2.is_resolved(),
+            "ordering {omega:?} not resolved by its certificate"
+        );
+        assert_eq!(&after2.paths()[0].items, omega);
+    }
+}
+
+#[test]
+fn no_deterministic_strategy_resolves_all_orderings_in_two_questions() {
+    let ps = full_tpo();
+    let orderings: Vec<Vec<u32>> = ps.paths().iter().map(|p| p.items.clone()).collect();
+
+    // Enumerate every deterministic depth-2 adaptive strategy: a first
+    // question, then a (possibly different) second question per answer.
+    let mut some_strategy_fails = true;
+    for &first in &QUESTIONS {
+        for &second_if_yes in &QUESTIONS {
+            for &second_if_no in &QUESTIONS {
+                // Does this strategy resolve every realized ordering?
+                let resolves_all = orderings.iter().all(|omega| {
+                    let a1 = answer_for(omega, first.0, first.1);
+                    let (after1, _) = prune(&ps, first.0, first.1, a1, 0.5)
+                        .expect("consistent answer");
+                    let second = if a1 { second_if_yes } else { second_if_no };
+                    if second == first {
+                        return after1.is_resolved();
+                    }
+                    let a2 = answer_for(omega, second.0, second.1);
+                    match prune(&after1, second.0, second.1, a2, 0.5) {
+                        Ok((after2, _)) => after2.is_resolved(),
+                        Err(_) => false,
+                    }
+                });
+                if resolves_all {
+                    some_strategy_fails = false;
+                }
+            }
+        }
+    }
+    assert!(
+        some_strategy_fails,
+        "a depth-2 deterministic strategy distinguished 6 orderings with 4 leaves"
+    );
+}
+
+#[test]
+fn counting_argument_holds() {
+    // The information-theoretic core of the theorem: 2 binary answers give
+    // at most 4 distinguishable outcomes < 6 orderings, while each single
+    // ordering needs only 2 answers once known.
+    let ps = full_tpo();
+    assert!(ps.len() > 4);
+}
