@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctk_core::measures::MeasureKind;
-use ctk_core::residual::{
-    expected_residual_set, expected_residual_set_bruteforce, ResidualCtx,
-};
+use ctk_core::residual::{expected_residual_set, expected_residual_set_bruteforce, ResidualCtx};
 use ctk_core::select::relevant_questions;
 use ctk_crowd::Question;
 use ctk_datagen::{generate, scenarios, DatasetSpec};
@@ -62,13 +60,9 @@ fn bench_mc_worlds(c: &mut Criterion) {
     let mut group = c.benchmark_group("mc_worlds");
     quick(&mut group);
     for worlds in [1_000usize, 10_000, 50_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(worlds),
-            &worlds,
-            |b, &w| {
-                b.iter(|| build_mc(&table, 5, &McConfig { worlds: w, seed: 0 }).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(worlds), &worlds, |b, &w| {
+            b.iter(|| build_mc(&table, 5, &McConfig { worlds: w, seed: 0 }).unwrap())
+        });
     }
     group.finish();
 }

@@ -35,21 +35,15 @@ fn bench_selection(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1500));
 
     for budget in [5usize, 15] {
-        group.bench_with_input(
-            BenchmarkId::new("TB-off", budget),
-            &budget,
-            |bch, &b| bch.iter(|| TbOff.select(&ps, b, &ctx)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("C-off", budget),
-            &budget,
-            |bch, &b| bch.iter(|| COff.select(&ps, b, &ctx)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive", budget),
-            &budget,
-            |bch, &b| bch.iter(|| NaiveSelector::new(1).select(&ps, b, &ctx)),
-        );
+        group.bench_with_input(BenchmarkId::new("TB-off", budget), &budget, |bch, &b| {
+            bch.iter(|| TbOff.select(&ps, b, &ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("C-off", budget), &budget, |bch, &b| {
+            bch.iter(|| COff.select(&ps, b, &ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", budget), &budget, |bch, &b| {
+            bch.iter(|| NaiveSelector::new(1).select(&ps, b, &ctx))
+        });
     }
     group.finish();
 }

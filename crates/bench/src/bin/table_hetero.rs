@@ -44,9 +44,5 @@ fn main() {
             }
         }
     }
-    emit_tsv(
-        "table_hetero",
-        &["family", "algorithm", "B", "D"],
-        &rows,
-    );
+    emit_tsv("table_hetero", &["family", "algorithm", "B", "D"], &rows);
 }

@@ -43,12 +43,7 @@ fn main() {
             ),
         ];
         for (label, algorithm) in algorithms {
-            let s = evaluate(
-                |seed| scenarios::scaling(n, seed),
-                algorithm,
-                BUDGET,
-                &opts,
-            );
+            let s = evaluate(|seed| scenarios::scaling(n, seed), algorithm, BUDGET, &opts);
             rows.push(vec![
                 n.to_string(),
                 label.to_string(),

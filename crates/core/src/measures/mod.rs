@@ -104,11 +104,7 @@ pub(crate) mod test_util {
     pub fn sample_set() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.5),
-                (vec![0, 2], 0.2),
-                (vec![1, 0], 0.3),
-            ],
+            vec![(vec![0, 1], 0.5), (vec![0, 2], 0.2), (vec![1, 0], 0.3)],
         )
         .unwrap()
     }
@@ -156,12 +152,21 @@ mod tests {
 
     #[test]
     fn entropy_family_has_reduction_bound() {
-        assert!(MeasureKind::Entropy.build().per_question_reduction_bound().is_some());
+        assert!(MeasureKind::Entropy
+            .build()
+            .per_question_reduction_bound()
+            .is_some());
         assert!(MeasureKind::WeightedEntropy
             .build()
             .per_question_reduction_bound()
             .is_some());
-        assert!(MeasureKind::Ora.build().per_question_reduction_bound().is_none());
-        assert!(MeasureKind::Mpo.build().per_question_reduction_bound().is_none());
+        assert!(MeasureKind::Ora
+            .build()
+            .per_question_reduction_bound()
+            .is_none());
+        assert!(MeasureKind::Mpo
+            .build()
+            .per_question_reduction_bound()
+            .is_none());
     }
 }

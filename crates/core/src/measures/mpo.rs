@@ -77,11 +77,9 @@ mod tests {
         // Paths over disjoint tails: the penalty parameter affects both the
         // case-4 pair count and the normalizer, so different penalties give
         // different (but always bounded) values.
-        let s = ctk_tpo::PathSet::from_weighted(
-            3,
-            vec![(vec![0, 1, 2], 0.6), (vec![0, 4, 5], 0.4)],
-        )
-        .unwrap();
+        let s =
+            ctk_tpo::PathSet::from_weighted(3, vec![(vec![0, 1, 2], 0.6), (vec![0, 4, 5], 0.4)])
+                .unwrap();
         let optimistic = MpoDistance { penalty: 0.0 }.uncertainty(&s);
         let neutral = MpoDistance { penalty: 0.5 }.uncertainty(&s);
         assert!((neutral - optimistic).abs() > 1e-6, "penalty must matter");

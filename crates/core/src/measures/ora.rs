@@ -68,16 +68,11 @@ mod tests {
 
     #[test]
     fn near_consensus_is_small() {
-        let consensus = ctk_tpo::PathSet::from_weighted(
-            2,
-            vec![(vec![0, 1], 0.95), (vec![1, 0], 0.05)],
-        )
-        .unwrap();
-        let split = ctk_tpo::PathSet::from_weighted(
-            2,
-            vec![(vec![0, 1], 0.5), (vec![1, 0], 0.5)],
-        )
-        .unwrap();
+        let consensus =
+            ctk_tpo::PathSet::from_weighted(2, vec![(vec![0, 1], 0.95), (vec![1, 0], 0.05)])
+                .unwrap();
+        let split =
+            ctk_tpo::PathSet::from_weighted(2, vec![(vec![0, 1], 0.5), (vec![1, 0], 0.5)]).unwrap();
         let m = OraDistance::default();
         assert!(
             m.uncertainty(&consensus) < m.uncertainty(&split),

@@ -100,17 +100,11 @@ mod tests {
     fn top_level_uncertainty_weighs_more() {
         // Same leaf entropy, different level-1 entropy.
         // A: uncertainty at the top (two distinct first elements).
-        let top = ctk_tpo::PathSet::from_weighted(
-            2,
-            vec![(vec![0, 2], 0.5), (vec![1, 2], 0.5)],
-        )
-        .unwrap();
+        let top =
+            ctk_tpo::PathSet::from_weighted(2, vec![(vec![0, 2], 0.5), (vec![1, 2], 0.5)]).unwrap();
         // B: uncertainty at the bottom (same first element).
-        let bottom = ctk_tpo::PathSet::from_weighted(
-            2,
-            vec![(vec![0, 1], 0.5), (vec![0, 2], 0.5)],
-        )
-        .unwrap();
+        let bottom =
+            ctk_tpo::PathSet::from_weighted(2, vec![(vec![0, 1], 0.5), (vec![0, 2], 0.5)]).unwrap();
         let m = WeightedEntropy::default();
         assert!(
             m.uncertainty(&top) > m.uncertainty(&bottom),

@@ -54,11 +54,7 @@ mod tests {
     fn set() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.6),
-                (vec![1, 0], 0.3),
-                (vec![0, 2], 0.1),
-            ],
+            vec![(vec![0, 1], 0.6), (vec![1, 0], 0.3), (vec![0, 2], 0.1)],
         )
         .unwrap()
     }

@@ -321,11 +321,7 @@ mod tests {
     fn sample() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.5),
-                (vec![0, 2], 0.2),
-                (vec![1, 0], 0.3),
-            ],
+            vec![(vec![0, 1], 0.5), (vec![0, 2], 0.2), (vec![1, 0], 0.3)],
         )
         .unwrap()
     }
@@ -352,9 +348,7 @@ mod tests {
             pairwise: &pw,
         };
         let s = sample();
-        assert!(
-            (expected_residual_set(&s, &[], &ctx) - Entropy.uncertainty(&s)).abs() < 1e-12
-        );
+        assert!((expected_residual_set(&s, &[], &ctx) - Entropy.uncertainty(&s)).abs() < 1e-12);
     }
 
     #[test]

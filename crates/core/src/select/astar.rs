@@ -272,8 +272,6 @@ pub struct AStarOn {
     pub max_expansions: Option<usize>,
 }
 
-
-
 impl OnlineSelector for AStarOn {
     fn name(&self) -> &'static str {
         "A*-on"
@@ -296,11 +294,7 @@ impl OnlineSelector for AStarOn {
         let inner = AStarOff {
             max_expansions: self.max_expansions,
         };
-        inner
-            .search(ps, horizon, ctx)
-            .questions
-            .into_iter()
-            .next()
+        inner.search(ps, horizon, ctx).questions.into_iter().next()
     }
 }
 
@@ -377,7 +371,13 @@ mod tests {
     }
 
     fn enumerate_sets(n: usize, b: usize, f: &mut impl FnMut(&[usize])) {
-        fn rec(start: usize, n: usize, b: usize, cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        fn rec(
+            start: usize,
+            n: usize,
+            b: usize,
+            cur: &mut Vec<usize>,
+            f: &mut impl FnMut(&[usize]),
+        ) {
             if cur.len() == b {
                 f(cur);
                 return;
@@ -448,11 +448,8 @@ mod tests {
             pairwise: &pw,
         };
         // Two-ordering set: exactly one relevant question.
-        let tiny = ctk_tpo::PathSet::from_weighted(
-            2,
-            vec![(vec![0, 1], 0.6), (vec![1, 0], 0.4)],
-        )
-        .unwrap();
+        let tiny =
+            ctk_tpo::PathSet::from_weighted(2, vec![(vec![0, 1], 0.6), (vec![1, 0], 0.4)]).unwrap();
         let out = AStarOff::new().search(&tiny, 5, &ctx);
         assert!(out.optimal);
         assert_eq!(out.expansions, 0, "pool <= budget short-circuit");

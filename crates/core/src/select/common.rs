@@ -56,11 +56,7 @@ mod tests {
             ScoreDist::uniform(2.0, 3.0).unwrap(),
         ])
         .unwrap();
-        let ps = PathSet::from_weighted(
-            2,
-            vec![(vec![2, 0], 0.4), (vec![2, 1], 0.6)],
-        )
-        .unwrap();
+        let ps = PathSet::from_weighted(2, vec![(vec![2, 0], 0.4), (vec![2, 1], 0.6)]).unwrap();
         (table, ps)
     }
 

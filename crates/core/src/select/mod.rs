@@ -94,11 +94,7 @@ pub(crate) mod test_util {
 
     /// Asserts the selection is a set of distinct canonical questions over
     /// valid tuples.
-    pub fn assert_valid_selection(
-        qs: &[ctk_crowd::Question],
-        ps: &PathSet,
-        budget: usize,
-    ) {
+    pub fn assert_valid_selection(qs: &[ctk_crowd::Question], ps: &PathSet, budget: usize) {
         assert!(qs.len() <= budget, "selection exceeds budget");
         let tuples = ps.tuples();
         let mut seen = std::collections::HashSet::new();

@@ -81,7 +81,10 @@ mod tests {
         let b = RandomSelector::new(7).select(&ps, 5, &ctx);
         assert_eq!(a, b, "same seed, same selection");
         let c = RandomSelector::new(8).select(&ps, 5, &ctx);
-        assert!(a != c || a.len() < 5, "different seed should usually differ");
+        assert!(
+            a != c || a.len() < 5,
+            "different seed should usually differ"
+        );
         assert_eq!(RandomSelector::new(7).name(), "random");
     }
 }

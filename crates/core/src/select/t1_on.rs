@@ -71,8 +71,7 @@ mod tests {
             measure: &Entropy,
             pairwise: &pw,
         };
-        let resolved =
-            ctk_tpo::PathSet::from_weighted(3, vec![(vec![4, 3, 2], 1.0)]).unwrap();
+        let resolved = ctk_tpo::PathSet::from_weighted(3, vec![(vec![4, 3, 2], 1.0)]).unwrap();
         assert!(T1On.next_question(&resolved, 10, &ctx).is_none());
     }
 

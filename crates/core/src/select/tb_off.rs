@@ -100,7 +100,12 @@ mod tests {
         const RUNS: u64 = 8;
         for seed in 0..RUNS {
             naive_sum += residual_of(&ps, &NaiveSelector::new(seed).select(&ps, b, &ctx), &m, &pw);
-            rand_sum += residual_of(&ps, &RandomSelector::new(seed).select(&ps, b, &ctx), &m, &pw);
+            rand_sum += residual_of(
+                &ps,
+                &RandomSelector::new(seed).select(&ps, b, &ctx),
+                &m,
+                &pw,
+            );
         }
         let naive_avg = naive_sum / RUNS as f64;
         let rand_avg = rand_sum / RUNS as f64;

@@ -50,7 +50,12 @@ pub enum Algorithm {
         max_expansions: Option<usize>,
     },
     /// Incremental hybrid: builds the TPO level by level, interleaving
-    /// rounds of `questions_per_round` questions (§III-D).
+    /// rounds of `questions_per_round` questions (§III-D). Requires a
+    /// sampled-worlds belief, so a configured [`Engine::Exact`] is
+    /// substituted with a 20 000-world Monte-Carlo sample. Report caveat:
+    /// intermediate [`StepRecord`]s are taken at the current construction
+    /// depth; only `initial_*` and the final step are full-depth, so the
+    /// per-step series is not depth-homogeneous like the other algorithms'.
     Incr {
         /// Questions asked per round (the paper's `n`, `1 <= n <= B`).
         questions_per_round: usize,
@@ -91,7 +96,13 @@ pub struct SessionConfig {
     /// Optional early-stop threshold: the session ends once the measured
     /// uncertainty drops to this value or below, even with budget left
     /// (useful when crowd cost matters more than squeezing out the last
-    /// bit of certainty).
+    /// bit of certainty). For [`Algorithm::Incr`] the first check (before
+    /// any question) uses the full-depth baseline uncertainty; once steps
+    /// are recorded the check uses the uncertainty at the current
+    /// construction depth (incr never rebuilds the full-depth tree during
+    /// the loop), which is systematically lower than the full-depth value
+    /// — so incr can stop with the *reported* final (full-depth)
+    /// uncertainty still above the target.
     pub uncertainty_target: Option<f64>,
 }
 
@@ -270,7 +281,15 @@ impl UrSession {
         match &self.config.algorithm {
             Algorithm::T1On => {
                 let mut sel = T1On;
-                self.online_loop(&mut sel, &mut ps, crowd, truth, &ctx, &mut report, &mut selection_time);
+                self.online_loop(
+                    &mut sel,
+                    &mut ps,
+                    crowd,
+                    truth,
+                    &ctx,
+                    &mut report,
+                    &mut selection_time,
+                );
             }
             Algorithm::AStarOn {
                 lookahead,
@@ -280,7 +299,15 @@ impl UrSession {
                     lookahead: *lookahead,
                     max_expansions: *max_expansions,
                 };
-                self.online_loop(&mut sel, &mut ps, crowd, truth, &ctx, &mut report, &mut selection_time);
+                self.online_loop(
+                    &mut sel,
+                    &mut ps,
+                    crowd,
+                    truth,
+                    &ctx,
+                    &mut report,
+                    &mut selection_time,
+                );
             }
             offline => {
                 let mut sel: Box<dyn OfflineSelector> = match offline {
@@ -297,11 +324,23 @@ impl UrSession {
                 let batch = sel.select(&ps, self.config.budget.min(crowd.remaining()), &ctx);
                 selection_time += t.elapsed();
                 for q in batch {
-                    if self.target_reached(ctx.measure.uncertainty(&ps)) {
+                    // `apply_answer` records the post-update uncertainty of
+                    // `ps` in every step, so the last recorded value (or the
+                    // initial one) *is* the current uncertainty — no need to
+                    // re-evaluate the measure per question.
+                    if self.target_reached(report.final_uncertainty()) {
                         break;
                     }
                     let Some(ans) = crowd.ask(q) else { break };
-                    self.apply_answer(&mut ps, &q, ans.yes, crowd.answer_accuracy(), &ctx, &mut report, truth);
+                    self.apply_answer(
+                        &mut ps,
+                        &q,
+                        ans.yes,
+                        crowd.answer_accuracy(),
+                        &ctx,
+                        &mut report,
+                        truth,
+                    );
                 }
             }
         }
@@ -325,7 +364,9 @@ impl UrSession {
         selection_time: &mut Duration,
     ) {
         while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
-            if self.target_reached(ctx.measure.uncertainty(ps)) {
+            // Same reuse as the batch loop: the steps already carry the
+            // current uncertainty of `ps`.
+            if self.target_reached(report.final_uncertainty()) {
                 break;
             }
             let t = Instant::now();
@@ -387,6 +428,11 @@ impl UrSession {
     ) -> Result<UrReport> {
         let start = Instant::now();
         let ctx = ResidualCtx { measure, pairwise };
+        // incr interleaves construction with pruning on a *sampled-worlds*
+        // belief (§III-D) — an exact engine cannot drive it. When the
+        // config asks for Engine::Exact we fall back to a generously sized
+        // world sample rather than erroring, trading exactness for incr's
+        // construction savings.
         let (worlds, seed) = match &self.config.engine {
             Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
             Engine::Exact(_) => (20_000, self.config.seed),
@@ -394,22 +440,35 @@ impl UrSession {
         let mut wm = WorldModel::sample(table, worlds, seed);
         let k = self.config.k;
         let mut depth = 1usize;
-        let mut ps = wm.path_set(depth)?;
-        let mut report = self.report_skeleton(&ps, measure, truth);
+        // Baseline numbers come from the *full-depth* tree so reports are
+        // comparable with the full-tree algorithms; selection still works
+        // level by level (grouping worlds at depth k is cheap and does not
+        // touch the belief or the selection clock).
+        let mut report = self.report_skeleton(&wm.path_set(k)?, measure, truth);
         let mut selection_time = Duration::ZERO;
 
         while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
-            if self.target_reached(
-                ctx.measure.uncertainty(&wm.path_set(depth)?),
-            ) {
+            // Early-stop on the last *recorded* uncertainty: every step
+            // below records it, so no extra path-set build or measure
+            // evaluation is needed here. Before the first question this
+            // falls back to the full-depth baseline above; afterwards the
+            // recorded values are taken at the current construction depth
+            // (all incr can see without the full-depth build it exists to
+            // avoid), so later checks compare shallow-depth uncertainty.
+            if self.target_reached(report.final_uncertainty()) {
                 break;
             }
             let t = Instant::now();
-            ps = wm.path_set(depth)?;
+            let mut ps = wm.path_set(depth)?;
             let mut pool = crate::select::relevant_questions(&ps, &ctx);
             // “We only build new levels if there are not enough questions
-            // to ask.”
-            while pool.len() < n_per_round && depth < k {
+            // to ask.” — where "enough" is the *effective* round size: the
+            // last round of a nearly spent budget must not force deep tree
+            // construction it can never use.
+            let cap = n_per_round
+                .min(crowd.remaining())
+                .min(self.config.budget - report.steps.len());
+            while pool.len() < cap && depth < k {
                 depth += 1;
                 ps = wm.path_set(depth)?;
                 pool = crate::select::relevant_questions(&ps, &ctx);
@@ -418,13 +477,20 @@ impl UrSession {
                 selection_time += t.elapsed();
                 break; // fully resolved at full depth
             }
-            let n = n_per_round
-                .min(crowd.remaining())
-                .min(self.config.budget - report.steps.len())
-                .min(pool.len());
+            let n = cap.min(pool.len());
             let round = TbOff.select(&ps, n, &ctx);
             selection_time += t.elapsed();
             for q in round {
+                // Like the batch loop in `run_tree`, stop mid-round as soon
+                // as the target is hit — each remaining question would spend
+                // real crowd budget past the promised threshold.
+                if report
+                    .steps
+                    .last()
+                    .is_some_and(|s| self.target_reached(s.uncertainty))
+                {
+                    break;
+                }
                 let Some(ans) = crowd.ask(q) else { break };
                 let accuracy = crowd.answer_accuracy();
                 let res = if accuracy >= RELIABLE_ACCURACY {
@@ -451,21 +517,13 @@ impl UrSession {
         let final_ps = wm.path_set(k)?;
         report.resolved = final_ps.is_resolved();
         report.final_topk = final_ps.most_probable().items.clone();
-        match report.steps.last_mut() {
-            Some(last) => {
-                last.orderings = final_ps.len();
-                last.uncertainty = ctx.measure.uncertainty(&final_ps);
-                if let Some(t) = truth {
-                    last.distance_to_truth = Some(expected_distance_to_truth(&final_ps, t));
-                }
-            }
-            None => {
-                // Zero-budget run: report the full-depth baseline so the
-                // numbers are comparable with the full-tree algorithms.
-                report.initial_orderings = final_ps.len();
-                report.initial_uncertainty = ctx.measure.uncertainty(&final_ps);
-                report.initial_distance =
-                    truth.map(|t| expected_distance_to_truth(&final_ps, t));
+        // (On a zero-budget run there is nothing to fix up: the baseline
+        // above was already computed at full depth.)
+        if let Some(last) = report.steps.last_mut() {
+            last.orderings = final_ps.len();
+            last.uncertainty = ctx.measure.uncertainty(&final_ps);
+            if let Some(t) = truth {
+                last.distance_to_truth = Some(expected_distance_to_truth(&final_ps, t));
             }
         }
         report.selection_time = selection_time;
@@ -621,12 +679,8 @@ mod tests {
         let table = table();
         let truth = GroundTruth::sample(&table, 3);
         let top = truth.top_k(3);
-        let mut crowd = CrowdSimulator::new(
-            truth,
-            NoisyWorker::new(0.8, 5),
-            VotePolicy::Single,
-            10,
-        );
+        let mut crowd =
+            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10);
         let session = UrSession::new(config(Algorithm::T1On, 10)).unwrap();
         let r = session
             .run_with_truth(&table, &mut crowd, Some(&top))

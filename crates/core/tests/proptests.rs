@@ -5,11 +5,10 @@ use ctk_core::residual::{
     answer_probability, expected_residual_set, expected_residual_set_bruteforce,
     expected_residual_single, ResidualCtx,
 };
-use ctk_core::select::{
-    relevant_questions, AStarOff, COff, NaiveSelector, OfflineSelector, RandomSelector, T1On,
-    TbOff,
-};
 use ctk_core::select::OnlineSelector;
+use ctk_core::select::{
+    relevant_questions, AStarOff, COff, NaiveSelector, OfflineSelector, RandomSelector, T1On, TbOff,
+};
 use ctk_crowd::Question;
 use ctk_prob::compare::PairwiseMatrix;
 use ctk_prob::{ScoreDist, UncertainTable};
@@ -33,15 +32,8 @@ fn fixture(n: usize) -> impl Strategy<Value = (UncertainTable, PairwiseMatrix, P
             )
             .unwrap();
             let pw = PairwiseMatrix::compute(&table);
-            let ps = build_mc(
-                &table,
-                3.min(table.len()),
-                &McConfig {
-                    worlds: 1500,
-                    seed,
-                },
-            )
-            .unwrap();
+            let ps =
+                build_mc(&table, 3.min(table.len()), &McConfig { worlds: 1500, seed }).unwrap();
             (table, pw, ps)
         })
 }

@@ -28,9 +28,9 @@ impl VotePolicy {
         match self {
             VotePolicy::Single => Ok(()),
             VotePolicy::Majority(n) if *n >= 3 && n % 2 == 1 => Ok(()),
-            VotePolicy::Majority(n) => Err(format!(
-                "majority policy needs an odd count >= 3, got {n}"
-            )),
+            VotePolicy::Majority(n) => {
+                Err(format!("majority policy needs an odd count >= 3, got {n}"))
+            }
         }
     }
 
@@ -44,7 +44,8 @@ impl VotePolicy {
                 let n = *n;
                 let mut p = 0.0;
                 for correct in (n / 2 + 1)..=n {
-                    p += binomial(n, correct) * eta.powi(correct as i32)
+                    p += binomial(n, correct)
+                        * eta.powi(correct as i32)
                         * (1.0 - eta).powi((n - correct) as i32);
                 }
                 p

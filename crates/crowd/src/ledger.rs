@@ -73,9 +73,7 @@ impl BudgetLedger {
     /// before.
     pub fn already_asked(&self, q: &Question) -> bool {
         let c = q.canonical();
-        self.history
-            .iter()
-            .any(|a| a.question.canonical() == c)
+        self.history.iter().any(|a| a.question.canonical() == c)
     }
 }
 

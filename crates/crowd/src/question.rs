@@ -98,8 +98,22 @@ mod tests {
     #[test]
     fn implied_order() {
         let q = Question::new(1, 4);
-        assert_eq!(Answer { question: q, yes: true }.implied_order(), (1, 4));
-        assert_eq!(Answer { question: q, yes: false }.implied_order(), (4, 1));
+        assert_eq!(
+            Answer {
+                question: q,
+                yes: true
+            }
+            .implied_order(),
+            (1, 4)
+        );
+        assert_eq!(
+            Answer {
+                question: q,
+                yes: false
+            }
+            .implied_order(),
+            (4, 1)
+        );
     }
 
     #[test]

@@ -246,7 +246,10 @@ mod tests {
     #[test]
     fn difficulty_worker_errs_more_on_close_calls() {
         let w = DifficultyWorker::new(0.95, 0.1, 0);
-        assert!((w.accuracy_at(0.0) - 0.5).abs() < 1e-12, "ties are coin flips");
+        assert!(
+            (w.accuracy_at(0.0) - 0.5).abs() < 1e-12,
+            "ties are coin flips"
+        );
         assert!(w.accuracy_at(0.05) < w.accuracy_at(0.2));
         assert!(w.accuracy_at(10.0) > 0.9499, "easy pairs approach eta_max");
         assert_eq!(w.accuracy(), 0.95);

@@ -40,8 +40,7 @@ fn generate_centers(layout: &CenterLayout, n: usize, rng: &mut StdRng) -> Vec<f6
                     // Box-Muller-free Gaussian-ish jitter: sum of uniforms
                     // (Irwin–Hall with 4 terms, rescaled) keeps datagen free
                     // of distribution machinery.
-                    let jitter: f64 =
-                        (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0 - 0.5;
+                    let jitter: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0 - 0.5;
                     anchor + jitter * spread * 3.46 // std of IH(4)/4 ≈ 0.144
                 })
                 .collect()
@@ -173,10 +172,10 @@ mod tests {
         let mut means: Vec<f64> = t.iter().map(|tu| tu.dist.mean()).collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Two groups near 0.25 and 0.75: the largest gap should be big.
-        let max_gap = means
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .fold(0.0f64, f64::max);
-        assert!(max_gap > 0.2, "expected a clear inter-cluster gap, got {max_gap}");
+        let max_gap = means.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
+        assert!(
+            max_gap > 0.2,
+            "expected a clear inter-cluster gap, got {max_gap}"
+        );
     }
 }

@@ -93,7 +93,10 @@ impl Discrete {
 
     /// Probability mass at exactly `x` (0 if `x` is not a support point).
     pub fn pmf(&self, x: f64) -> f64 {
-        match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => self.ps[i],
             Err(_) => 0.0,
         }

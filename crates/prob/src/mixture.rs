@@ -79,10 +79,7 @@ impl Mixture {
 
     /// Point mass at `x` (weighted sum of component atoms).
     pub fn mass_at(&self, x: f64) -> f64 {
-        self.components
-            .iter()
-            .map(|(w, d)| w * d.mass_at(x))
-            .sum()
+        self.components.iter().map(|(w, d)| w * d.mass_at(x)).sum()
     }
 
     /// Mixture cdf.
@@ -146,7 +143,9 @@ impl Mixture {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen();
         let idx = self.cum.partition_point(|&c| c < u);
-        self.components[idx.min(self.components.len() - 1)].1.sample(rng)
+        self.components[idx.min(self.components.len() - 1)]
+            .1
+            .sample(rng)
     }
 }
 
@@ -182,13 +181,7 @@ mod tests {
 
     #[test]
     fn weights_normalize() {
-        let m = Mixture::bimodal(
-            3.0,
-            ScoreDist::point(0.0),
-            1.0,
-            ScoreDist::point(1.0),
-        )
-        .unwrap();
+        let m = Mixture::bimodal(3.0, ScoreDist::point(0.0), 1.0, ScoreDist::point(1.0)).unwrap();
         assert!((m.components()[0].0 - 0.75).abs() < 1e-12);
         assert!((m.mass_at(0.0) - 0.75).abs() < 1e-12);
         assert!(!m.is_continuous());

@@ -254,11 +254,7 @@ mod tests {
         for i in 0..=100 {
             let q = i as f64 / 100.0;
             let x = p.quantile(q);
-            assert!(
-                (p.cdf(x) - q).abs() < 1e-9,
-                "q={q} x={x} cdf={}",
-                p.cdf(x)
-            );
+            assert!((p.cdf(x) - q).abs() < 1e-9, "q={q} x={x} cdf={}", p.cdf(x));
         }
     }
 

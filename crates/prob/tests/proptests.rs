@@ -14,8 +14,7 @@ use rand::SeedableRng;
 /// support roughly inside [-10, 10].
 fn continuous_dist() -> impl Strategy<Value = ScoreDist> {
     prop_oneof![
-        (-5.0..5.0f64, 0.01..3.0f64)
-            .prop_map(|(c, w)| ScoreDist::uniform_centered(c, w).unwrap()),
+        (-5.0..5.0f64, 0.01..3.0f64).prop_map(|(c, w)| ScoreDist::uniform_centered(c, w).unwrap()),
         (-5.0..5.0f64, 0.01..1.0f64).prop_map(|(m, s)| ScoreDist::gaussian(m, s).unwrap()),
         (-5.0..5.0f64, 0.1..2.0f64, 0.0..1.0f64).prop_map(|(lo, w, frac)| {
             let hi = lo + w;

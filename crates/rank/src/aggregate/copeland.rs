@@ -51,13 +51,16 @@ mod tests {
 
     #[test]
     fn output_is_a_permutation() {
-        let t = Tournament::from_fn((0..9).collect(), |u, v| {
-            if (u + v) % 2 == 0 {
-                0.6
-            } else {
-                0.4
-            }
-        });
+        let t = Tournament::from_fn(
+            (0..9).collect(),
+            |u, v| {
+                if (u + v) % 2 == 0 {
+                    0.6
+                } else {
+                    0.4
+                }
+            },
+        );
         let mut order = copeland(&t);
         order.sort_unstable();
         assert_eq!(order, (0..9).collect::<Vec<_>>());

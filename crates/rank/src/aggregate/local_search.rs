@@ -134,13 +134,16 @@ mod tests {
         // but reinsertion does it in one move regardless.
         let target = [1u32, 2, 3, 0];
         let pos = |x: u32| target.iter().position(|&t| t == x).unwrap();
-        let t = Tournament::from_fn(vec![0, 1, 2, 3], move |u, v| {
-            if pos(u) < pos(v) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let t = Tournament::from_fn(
+            vec![0, 1, 2, 3],
+            move |u, v| {
+                if pos(u) < pos(v) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let out = local_search(&t, &[0, 1, 2, 3]);
         let items: Vec<u32> = out.iter().map(|&i| t.items()[i]).collect();
         assert_eq!(items, target.to_vec());

@@ -30,9 +30,8 @@ pub fn topk_footrule(a: &RankList, b: &RankList) -> f64 {
 /// Maximum footrule for lists of lengths `ka`, `kb` (disjoint lists).
 pub fn topk_footrule_max(ka: usize, kb: usize) -> f64 {
     // Each item of a: |r - (kb+1)|; summed r=1..ka, plus symmetric term.
-    let sum_to = |k: usize, l: usize| -> f64 {
-        (1..=k).map(|r| (l as f64 + 1.0 - r as f64).abs()).sum()
-    };
+    let sum_to =
+        |k: usize, l: usize| -> f64 { (1..=k).map(|r| (l as f64 + 1.0 - r as f64).abs()).sum() };
     sum_to(ka, kb) + sum_to(kb, ka)
 }
 

@@ -158,10 +158,7 @@ mod tests {
         let b = rl(&[3, 4, 5]);
         for p in [0.0, 0.5, 1.0] {
             let d = topk_kendall(&a, &b, p);
-            assert!(
-                (d - topk_kendall_max(3, 3, p)).abs() < 1e-12,
-                "p={p}: {d}"
-            );
+            assert!((d - topk_kendall_max(3, 3, p)).abs() < 1e-12, "p={p}: {d}");
             assert_eq!(topk_kendall_normalized(&a, &b, p), 1.0);
         }
     }
@@ -214,7 +211,12 @@ mod tests {
     #[test]
     fn normalized_is_bounded() {
         let a = rl(&[0, 1, 2]);
-        let cases = [rl(&[0, 1, 2]), rl(&[2, 1, 0]), rl(&[5, 6, 7]), rl(&[1, 5, 0])];
+        let cases = [
+            rl(&[0, 1, 2]),
+            rl(&[2, 1, 0]),
+            rl(&[5, 6, 7]),
+            rl(&[1, 5, 0]),
+        ];
         for b in &cases {
             let d = topk_distance(&a, b);
             assert!((0.0..=1.0).contains(&d), "d = {d}");

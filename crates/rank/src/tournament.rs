@@ -229,13 +229,16 @@ mod tests {
         // absent case occurs needs k < |items|; craft: lists [0,1] and [0,2]
         // cover all pairs, so instead use from_fn for the prior check.
         let lists = [(rl(&[0]), 1.0), (rl(&[1]), 1.0), (rl(&[2]), 1.0)];
-        let t = Tournament::from_weighted_lists_with_prior(&lists, |u, v| {
-            if u < v {
-                0.9
-            } else {
-                0.1
-            }
-        });
+        let t = Tournament::from_weighted_lists_with_prior(
+            &lists,
+            |u, v| {
+                if u < v {
+                    0.9
+                } else {
+                    0.1
+                }
+            },
+        );
         let (i1, i2) = (t.index_of(1).unwrap(), t.index_of(2).unwrap());
         // For the list [0]: both 1 and 2 absent -> prior 0.9 for (1,2).
         // For [1]: 1 present -> 1.0. For [2]: 2 present -> 0.0.

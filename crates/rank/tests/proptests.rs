@@ -3,7 +3,7 @@
 use ctk_rank::aggregate::{optimal_rank_aggregation, AggregateConfig};
 use ctk_rank::footrule::{topk_footrule, topk_footrule_normalized};
 use ctk_rank::kendall::{count_inversions, kendall_distance, kendall_distance_normalized};
-use ctk_rank::topk::{topk_kendall, topk_kendall_normalized, topk_distance};
+use ctk_rank::topk::{topk_distance, topk_kendall, topk_kendall_normalized};
 use ctk_rank::{RankList, Tournament};
 use proptest::prelude::*;
 

@@ -1,0 +1,283 @@
+//! TPO construction engines.
+//!
+//! Two ways to materialize the tree of possible orderings of a top-K query
+//! (Ciceri et al., §II-B):
+//!
+//! * [`build_mc`] — Monte-Carlo: sample `M` possible worlds (full score
+//!   realizations), rank each, and group the depth-`K` prefixes. Cost
+//!   `O(M · N log N)`, error `O(1/√M)` per path.
+//! * [`build_exact`] — exact: enumerate prefixes level by level, scoring
+//!   each with the nested-quadrature integral of
+//!   [`ctk_prob::nested::prefix_probability`] (after Li & Deshpande,
+//!   PVLDB'10) and pruning zero-mass branches. Exact up to quadrature
+//!   error, but enumeration can explode on highly overlapping tables —
+//!   bounded by [`ExactConfig::max_paths`].
+//!
+//! Both return the flat [`PathSet`]; see `tests/engines_agree.rs` for the
+//! cross-validation of the two engines.
+
+use crate::error::{Result, TpoError};
+use crate::path::PathSet;
+use crate::worlds::WorldModel;
+use ctk_prob::nested::{prefix_probability_with, NestedScratch};
+use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
+
+/// Configuration of the Monte-Carlo engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of sampled possible worlds `M`.
+    pub worlds: usize,
+    /// PRNG seed (sampling is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            worlds: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration of the exact nested-quadrature engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactConfig {
+    /// Number of uniform quadrature cells over the union support.
+    pub resolution: usize,
+    /// Abort with [`TpoError::PathExplosion`] once more than this many
+    /// prefixes are alive at any level.
+    pub max_paths: usize,
+    /// Prefixes with probability at or below this mass are pruned during
+    /// enumeration (they cannot contribute visible leaves).
+    pub prune_threshold: f64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 4096,
+            max_paths: 250_000,
+            prune_threshold: 1e-10,
+        }
+    }
+}
+
+/// Which construction engine a session should use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Engine {
+    /// Monte-Carlo possible worlds.
+    MonteCarlo(McConfig),
+    /// Exact nested quadrature.
+    Exact(ExactConfig),
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::MonteCarlo(McConfig::default())
+    }
+}
+
+impl Engine {
+    /// Human-readable engine name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::MonteCarlo(_) => "mc",
+            Engine::Exact(_) => "exact",
+        }
+    }
+
+    /// Builds the depth-`k` path set of `table` with this engine.
+    pub fn build(&self, table: &UncertainTable, k: usize) -> Result<PathSet> {
+        match self {
+            Engine::MonteCarlo(cfg) => build_mc(table, k, cfg),
+            Engine::Exact(cfg) => build_exact(table, k, cfg),
+        }
+    }
+}
+
+/// Monte-Carlo TPO construction: sample `cfg.worlds` possible worlds and
+/// group their depth-`k` prefixes into a normalized [`PathSet`].
+pub fn build_mc(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
+    if k == 0 || k > table.len() {
+        return Err(TpoError::InvalidK { k, n: table.len() });
+    }
+    WorldModel::sample(table, cfg.worlds.max(1), cfg.seed).path_set(k)
+}
+
+/// Exact TPO construction by level-wise prefix enumeration.
+///
+/// A prefix `t_1 ≻ … ≻ t_d` is scored with the nested integral
+/// `P(prefix is exactly the ordered top-d)`; children of zero-mass
+/// prefixes are never enumerated (an extension's event is a subset of its
+/// parent's, so its probability cannot exceed the parent's).
+///
+/// Requires every score distribution in `table` to be continuous; returns
+/// [`TpoError::PathExplosion`] if more than `cfg.max_paths` prefixes
+/// survive at any level.
+pub fn build_exact(table: &UncertainTable, k: usize, cfg: &ExactConfig) -> Result<PathSet> {
+    let n = table.len();
+    if k == 0 || k > n {
+        return Err(TpoError::InvalidK { k, n });
+    }
+    let dists: Vec<&ScoreDist> = table.dists().collect();
+    let grid = SupportGrid::build(dists.iter().copied(), cfg.resolution.max(16));
+    let mut scratch = NestedScratch::default();
+
+    // Frontier of live prefixes (tuple ids) with their probabilities.
+    let mut frontier: Vec<(Vec<u32>, f64)> = vec![(Vec::new(), 1.0)];
+    let mut prefix_dists: Vec<&ScoreDist> = Vec::with_capacity(k);
+    let mut rest: Vec<&ScoreDist> = Vec::with_capacity(n);
+
+    for depth in 1..=k {
+        let mut next: Vec<(Vec<u32>, f64)> = Vec::new();
+        for (prefix, _parent_prob) in &frontier {
+            for t in 0..n as u32 {
+                if prefix.contains(&t) {
+                    continue;
+                }
+                prefix_dists.clear();
+                prefix_dists.extend(prefix.iter().map(|&i| dists[i as usize]));
+                prefix_dists.push(dists[t as usize]);
+                rest.clear();
+                rest.extend(
+                    (0..n as u32)
+                        .filter(|i| !prefix.contains(i) && *i != t)
+                        .map(|i| dists[i as usize]),
+                );
+                let p = prefix_probability_with(&grid, &prefix_dists, &rest, &mut scratch)?;
+                if p > cfg.prune_threshold {
+                    let mut items = prefix.clone();
+                    items.push(t);
+                    next.push((items, p));
+                }
+            }
+            if next.len() > cfg.max_paths {
+                return Err(TpoError::PathExplosion {
+                    paths: next.len(),
+                    max: cfg.max_paths,
+                });
+            }
+        }
+        if next.is_empty() {
+            // Numerically possible only on pathological inputs where every
+            // extension fell below the prune threshold.
+            return Err(TpoError::EmptyPathSet);
+        }
+        frontier = next;
+        let _ = depth;
+    }
+    PathSet::from_weighted(k, frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize, width: f64) -> UncertainTable {
+        UncertainTable::new(
+            (0..n)
+                .map(|i| ScoreDist::uniform_centered(0.2 * i as f64, width).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_k_rejected_by_both_engines() {
+        let t = table(3, 0.5);
+        assert!(matches!(
+            build_mc(&t, 0, &McConfig::default()),
+            Err(TpoError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            build_exact(&t, 4, &ExactConfig::default()),
+            Err(TpoError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn disjoint_supports_give_single_path() {
+        // Far-apart narrow supports: the ordering is certain.
+        let t = table(4, 0.1);
+        let exact = build_exact(&t, 3, &ExactConfig::default()).unwrap();
+        assert!(exact.is_resolved());
+        assert_eq!(exact.paths()[0].items, vec![3, 2, 1]);
+        let mc = build_mc(&t, 3, &McConfig::default()).unwrap();
+        assert_eq!(mc.paths()[0].items, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn iid_pair_is_even_money() {
+        let t = UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let exact = build_exact(&t, 2, &ExactConfig::default()).unwrap();
+        assert_eq!(exact.len(), 2);
+        for p in exact.paths() {
+            assert!((p.prob - 0.5).abs() < 1e-6, "{p}");
+        }
+    }
+
+    #[test]
+    fn engines_roughly_agree_here_too() {
+        let t = table(4, 0.6);
+        let exact = build_exact(&t, 2, &ExactConfig::default()).unwrap();
+        let mc = build_mc(
+            &t,
+            2,
+            &McConfig {
+                worlds: 60_000,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        for p in exact.paths() {
+            let q = mc
+                .paths()
+                .iter()
+                .find(|m| m.items == p.items)
+                .map(|m| m.prob)
+                .unwrap_or(0.0);
+            assert!(
+                (p.prob - q).abs() < 0.02,
+                "{:?}: {} vs {q}",
+                p.items,
+                p.prob
+            );
+        }
+    }
+
+    #[test]
+    fn path_explosion_is_reported() {
+        // 7 iid tuples, k=4: 7·6·5·4 = 840 paths > 100.
+        let t = UncertainTable::new(
+            (0..7)
+                .map(|_| ScoreDist::uniform(0.0, 1.0).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let err = build_exact(
+            &t,
+            4,
+            &ExactConfig {
+                max_paths: 100,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TpoError::PathExplosion { .. }));
+    }
+
+    #[test]
+    fn engine_dispatch_and_default() {
+        let t = table(3, 0.5);
+        assert_eq!(Engine::default().name(), "mc");
+        let ps = Engine::Exact(ExactConfig::default()).build(&t, 2).unwrap();
+        assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+        let ps = Engine::default().build(&t, 2).unwrap();
+        assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+    }
+}

@@ -26,7 +26,10 @@ impl fmt::Display for TpoError {
                 write!(f, "k = {k} out of range for a table of {n} tuples")
             }
             TpoError::PathExplosion { paths, max } => {
-                write!(f, "tree of possible orderings exceeded {max} paths ({paths} found)")
+                write!(
+                    f,
+                    "tree of possible orderings exceeded {max} paths ({paths} found)"
+                )
             }
             TpoError::ContradictoryAnswer => {
                 write!(f, "answer contradicts every remaining ordering")

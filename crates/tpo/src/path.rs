@@ -131,10 +131,7 @@ impl PathSet {
 
     /// The paths as weighted [`RankList`]s (for tournaments / measures).
     pub fn to_weighted_lists(&self) -> Vec<(RankList, f64)> {
-        self.paths
-            .iter()
-            .map(|p| (p.rank_list(), p.prob))
-            .collect()
+        self.paths.iter().map(|p| (p.rank_list(), p.prob)).collect()
     }
 
     /// Shannon entropy (nats) of the path distribution.

@@ -93,11 +93,7 @@ mod tests {
     fn ps3() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.5),
-                (vec![1, 0], 0.3),
-                (vec![1, 2], 0.2),
-            ],
+            vec![(vec![0, 1], 0.5), (vec![1, 0], 0.3), (vec![1, 2], 0.2)],
         )
         .unwrap()
     }
@@ -149,7 +145,12 @@ mod tests {
     #[test]
     fn consistent_answer_never_increases_paths() {
         let s = ps3();
-        for &(i, j, yes) in &[(0u32, 1u32, true), (0, 1, false), (1, 2, true), (0, 2, false)] {
+        for &(i, j, yes) in &[
+            (0u32, 1u32, true),
+            (0, 1, false),
+            (1, 2, true),
+            (0, 2, false),
+        ] {
             if let Ok((pruned, _)) = prune(&s, i, j, yes, 0.5) {
                 assert!(pruned.len() <= s.len());
                 assert!((pruned.total_prob() - 1.0).abs() < 1e-9);

@@ -70,11 +70,7 @@ mod tests {
     fn ps() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.5),
-                (vec![0, 2], 0.2),
-                (vec![1, 0], 0.3),
-            ],
+            vec![(vec![0, 1], 0.5), (vec![0, 2], 0.2), (vec![1, 0], 0.3)],
         )
         .unwrap()
     }

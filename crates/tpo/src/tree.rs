@@ -160,11 +160,7 @@ impl Tpo {
         }
         for (i, n) in self.nodes.iter().enumerate() {
             for &c in &n.children {
-                let _ = writeln!(
-                    out,
-                    "  n{i} -> n{c} [label=\"{:.3}\"];",
-                    self.nodes[c].prob
-                );
+                let _ = writeln!(out, "  n{i} -> n{c} [label=\"{:.3}\"];", self.nodes[c].prob);
             }
         }
         out.push_str("}\n");
@@ -179,11 +175,7 @@ mod tests {
     fn ps() -> PathSet {
         PathSet::from_weighted(
             2,
-            vec![
-                (vec![0, 1], 0.5),
-                (vec![0, 2], 0.2),
-                (vec![1, 0], 0.3),
-            ],
+            vec![(vec![0, 1], 0.5), (vec![0, 2], 0.2), (vec![1, 0], 0.3)],
         )
         .unwrap()
     }

@@ -180,12 +180,7 @@ mod tests {
     fn model() -> WorldModel {
         WorldModel::from_rankings(
             3,
-            vec![
-                vec![0, 1, 2],
-                vec![0, 1, 2],
-                vec![1, 0, 2],
-                vec![2, 1, 0],
-            ],
+            vec![vec![0, 1, 2], vec![0, 1, 2], vec![1, 0, 2], vec![2, 1, 0]],
         )
     }
 

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --example photo_contest`
 
-use crowd_topk::prelude::*;
 use crowd_topk::datagen::{generate, CenterLayout, DatasetSpec, PdfFamily, WidthSpec};
+use crowd_topk::prelude::*;
 
 fn main() {
     // 24 submissions; the model's score uncertainty varies per photo

@@ -66,13 +66,20 @@ fn main() {
         .run_with_truth(&mut crowd, &top)
         .unwrap();
 
-    println!("Scheduled {} site visits (C-off batch):", report.questions_asked());
+    println!(
+        "Scheduled {} site visits (C-off batch):",
+        report.questions_asked()
+    );
     for s in &report.steps {
         println!(
             "  station {:2} vs station {:2}  ->  {}   ({} orderings left, D={:.4})",
             s.question.i,
             s.question.j,
-            if s.answer_yes { "first is higher" } else { "second is higher" },
+            if s.answer_yes {
+                "first is higher"
+            } else {
+                "second is higher"
+            },
             s.orderings,
             s.distance_to_truth.unwrap()
         );

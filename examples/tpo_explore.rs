@@ -62,8 +62,5 @@ fn main() {
         tree.len(),
         tree.num_orderings()
     );
-    println!(
-        "{}",
-        tree.to_dot(|id| table.get(id as usize).label.clone())
-    );
+    println!("{}", tree.to_dot(|id| table.get(id as usize).label.clone()));
 }

@@ -33,10 +33,7 @@ fn astar_off_matches_exhaustive_minimum() {
         let ps = build_mc(
             &scenario.table,
             scenario.k,
-            &McConfig {
-                worlds: 2000,
-                seed,
-            },
+            &McConfig { worlds: 2000, seed },
         )
         .unwrap();
         for kind in [MeasureKind::Entropy, MeasureKind::WeightedEntropy] {
@@ -76,10 +73,7 @@ fn astar_off_dominates_heuristics_under_its_measure() {
         let ps = build_mc(
             &scenario.table,
             scenario.k,
-            &McConfig {
-                worlds: 2000,
-                seed,
-            },
+            &McConfig { worlds: 2000, seed },
         )
         .unwrap();
         let m = MeasureKind::WeightedEntropy.build();

@@ -67,7 +67,10 @@ fn different_seeds_differ_somewhere() {
             .iter()
             .zip(&b.steps)
             .all(|(x, y)| x.question == y.question && x.answer_yes == y.answer_yes);
-    assert!(!same_questions, "distinct seeds produced identical sessions");
+    assert!(
+        !same_questions,
+        "distinct seeds produced identical sessions"
+    );
 }
 
 #[test]

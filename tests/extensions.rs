@@ -72,7 +72,11 @@ fn mixture_engines_agree() {
             tv += m.prob;
         }
     }
-    assert!(tv * 0.5 < 0.02, "mixture engines disagree: tv = {}", tv * 0.5);
+    assert!(
+        tv * 0.5 < 0.02,
+        "mixture engines disagree: tv = {}",
+        tv * 0.5
+    );
 }
 
 #[test]
@@ -107,7 +111,10 @@ fn difficulty_workers_degrade_gracefully() {
                     VotePolicy::Single,
                     B,
                 );
-                q.run_with_truth(&mut crowd, &top).unwrap().final_distance().unwrap()
+                q.run_with_truth(&mut crowd, &top)
+                    .unwrap()
+                    .final_distance()
+                    .unwrap()
             } else {
                 let mut crowd = CrowdSimulator::new(
                     GroundTruth::sample(&table, 900 + run),
@@ -115,7 +122,10 @@ fn difficulty_workers_degrade_gracefully() {
                     VotePolicy::Single,
                     B,
                 );
-                q.run_with_truth(&mut crowd, &top).unwrap().final_distance().unwrap()
+                q.run_with_truth(&mut crowd, &top)
+                    .unwrap()
+                    .final_distance()
+                    .unwrap()
             }
         };
         d_const += run_with(false);

@@ -1,0 +1,77 @@
+//! Smoke test for the facade's re-export surface: everything needed for an
+//! end-to-end run must be reachable through `crowd_topk::prelude` (plus the
+//! re-exported member crates), and a one-step UR session must decrement the
+//! crowd's budget ledger.
+
+use crowd_topk::prelude::*;
+
+fn overlapping_table(n: usize) -> UncertainTable {
+    UncertainTable::new(
+        (0..n)
+            .map(|i| ScoreDist::uniform_centered(0.2 * i as f64, 0.5).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn prelude_covers_one_session_step_and_ledger_decrements() {
+    let table = overlapping_table(5);
+    let truth = GroundTruth::sample(&table, 11);
+    let top2 = truth.top_k(2);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 4);
+    assert_eq!(crowd.remaining(), 4);
+
+    // One UR step: budget 1 forces exactly one question.
+    let report = CrowdTopK::new(table)
+        .k(2)
+        .budget(1)
+        .measure(MeasureKind::WeightedEntropy)
+        .algorithm(Algorithm::T1On)
+        .monte_carlo(3_000, 5)
+        .run_with_truth(&mut crowd, &top2)
+        .unwrap();
+
+    assert_eq!(report.questions_asked(), 1, "budget 1 = one question");
+    assert_eq!(crowd.remaining(), 3, "ledger must decrement by one");
+    assert_eq!(crowd.ledger().asked(), 1);
+    assert_eq!(crowd.history().len(), 1);
+    assert!(report.final_orderings() <= report.initial_orderings);
+    assert!(report.final_uncertainty() <= report.initial_uncertainty + 1e-9);
+}
+
+#[test]
+fn member_crate_reexports_are_wired() {
+    // Substrate types exposed by the prelude.
+    let table = overlapping_table(3);
+    let _id: TupleId = TupleId(0);
+    let list = RankList::new_unchecked(vec![2, 1, 0]);
+    assert_eq!(list.items(), &[2, 1, 0]);
+
+    // Module-path re-exports: prob / tpo / crowd / datagen / rank / core.
+    let ps = crowd_topk::tpo::build::build_mc(
+        &table,
+        2,
+        &crowd_topk::tpo::build::McConfig {
+            worlds: 2_000,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    let ps: PathSet = ps;
+    assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+    let tree = Tpo::from_path_set(&ps);
+    assert_eq!(tree.num_orderings(), ps.len());
+
+    let scenario = crowd_topk::datagen::scenarios::fig1(0);
+    assert!(scenario.table.len() > 1);
+    let pw = crowd_topk::prob::compare::PairwiseMatrix::compute(&table);
+    let m = MeasureKind::Entropy.build();
+    let ctx = crowd_topk::core::residual::ResidualCtx {
+        measure: m.as_ref(),
+        pairwise: &pw,
+    };
+    assert!(m.uncertainty(&ps) >= 0.0);
+    let pool = crowd_topk::core::select::relevant_questions(&ps, &ctx);
+    assert!(pool.iter().all(|q| q.i != q.j));
+}

@@ -75,8 +75,8 @@ fn no_deterministic_strategy_resolves_all_orderings_in_two_questions() {
                 // Does this strategy resolve every realized ordering?
                 let resolves_all = orderings.iter().all(|omega| {
                     let a1 = answer_for(omega, first.0, first.1);
-                    let (after1, _) = prune(&ps, first.0, first.1, a1, 0.5)
-                        .expect("consistent answer");
+                    let (after1, _) =
+                        prune(&ps, first.0, first.1, a1, 0.5).expect("consistent answer");
                     let second = if a1 { second_if_yes } else { second_if_no };
                     if second == first {
                         return after1.is_resolved();
