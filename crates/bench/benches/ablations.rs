@@ -56,7 +56,7 @@ fn bench_partition_vs_bruteforce(c: &mut Criterion) {
 }
 
 fn bench_mc_worlds(c: &mut Criterion) {
-    let table = generate(&DatasetSpec::paper_default(20, 0.4, 1));
+    let table = generate(&DatasetSpec::paper_default(20, 0.4, 1)).expect("valid spec");
     let mut group = c.benchmark_group("mc_worlds");
     quick(&mut group);
     for worlds in [1_000usize, 10_000, 50_000] {
@@ -101,7 +101,7 @@ fn bench_ora_exact_vs_heuristic(c: &mut Criterion) {
 }
 
 fn bench_grid_resolution(c: &mut Criterion) {
-    let table = generate(&DatasetSpec::paper_default(10, 0.35, 1));
+    let table = generate(&DatasetSpec::paper_default(10, 0.35, 1)).expect("valid spec");
     let mut group = c.benchmark_group("exact_grid");
     quick(&mut group);
     for resolution in [256usize, 1024, 4096] {

@@ -1,0 +1,106 @@
+//! Serving-layer throughput: N concurrent sessions multiplexed over one
+//! shared crowd (with cross-session answer caching) versus the same N
+//! sessions run standalone, each with a private crowd.
+//!
+//! The service side pays scheduling overhead but buys every duplicated
+//! pairwise question exactly once; the standalone side re-buys it per
+//! session. The gap is the batching economics the serving layer exists
+//! for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_core::measures::MeasureKind;
+use ctk_core::session::{Algorithm, SessionConfig, UrSession};
+use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+use ctk_datagen::scenarios;
+use ctk_service::{SessionSpec, TopKService};
+use ctk_tpo::build::{Engine, McConfig};
+use std::time::Duration;
+
+const BUDGET: usize = 6;
+
+fn tenant_config(tenant: usize) -> SessionConfig {
+    let algorithm = match tenant % 4 {
+        0 => Algorithm::T1On,
+        1 => Algorithm::TbOff,
+        2 => Algorithm::Naive,
+        _ => Algorithm::Random,
+    };
+    SessionConfig {
+        k: 3,
+        budget: BUDGET,
+        measure: MeasureKind::WeightedEntropy,
+        algorithm,
+        engine: Engine::MonteCarlo(McConfig {
+            worlds: 1500,
+            seed: 17,
+        }),
+        seed: (tenant % 4) as u64,
+        uncertainty_target: None,
+    }
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let scenario = scenarios::astar(7);
+    let truth = GroundTruth::sample(&scenario.table, 4242);
+
+    for tenants in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("multiplexed", tenants),
+            &tenants,
+            |b, &n| {
+                b.iter(|| {
+                    let crowd = CrowdSimulator::new(
+                        truth.clone(),
+                        PerfectWorker,
+                        VotePolicy::Single,
+                        100_000,
+                    );
+                    let mut service = TopKService::new(crowd);
+                    let ids: Vec<_> = (0..n)
+                        .map(|t| {
+                            service
+                                .submit(&scenario.table, SessionSpec::new(tenant_config(t)))
+                                .expect("valid config")
+                        })
+                        .collect();
+                    service.run_to_completion();
+                    ids.iter()
+                        .map(|id| service.report(*id).unwrap().questions_asked())
+                        .sum::<usize>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("standalone", tenants),
+            &tenants,
+            |b, &n| {
+                b.iter(|| {
+                    (0..n)
+                        .map(|t| {
+                            let mut crowd = CrowdSimulator::new(
+                                truth.clone(),
+                                PerfectWorker,
+                                VotePolicy::Single,
+                                BUDGET,
+                            );
+                            UrSession::new(tenant_config(t))
+                                .expect("valid config")
+                                .run(&scenario.table, &mut crowd)
+                                .expect("session runs")
+                                .questions_asked()
+                        })
+                        .sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

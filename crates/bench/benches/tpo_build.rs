@@ -14,7 +14,7 @@ fn bench_builders(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1500));
 
     for n in [10usize, 20, 40] {
-        let table = generate(&DatasetSpec::paper_default(n, 0.4, 1));
+        let table = generate(&DatasetSpec::paper_default(n, 0.4, 1)).expect("valid spec");
         group.bench_with_input(BenchmarkId::new("mc_10k", n), &table, |b, t| {
             b.iter(|| {
                 build_mc(

@@ -24,7 +24,8 @@ fn main() {
             let mut exact_secs = 0.0;
             let mut exact_ok = true;
             for seed in 0..runs {
-                let table = generate(&DatasetSpec::paper_default(n, width, seed));
+                let table =
+                    generate(&DatasetSpec::paper_default(n, width, seed)).expect("valid spec");
                 let t = Instant::now();
                 let mc = build_mc(
                     &table,

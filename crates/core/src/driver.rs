@@ -1,0 +1,792 @@
+//! The sans-IO session driver: the ask/update loop of a session as a pure
+//! state machine.
+//!
+//! [`SessionDriver`] owns the belief state (a [`PathSet`] or, for `incr`, a
+//! [`WorldModel`]) and the selection strategy, but never talks to a crowd.
+//! A caller — [`crate::session::UrSession`] for the classic blocking run,
+//! or a scheduler multiplexing many sessions over one crowd backend —
+//! drives it through the cycle
+//!
+//! ```text
+//! next_batch(crowd_remaining) -> Vec<Question>   // questions to ask now
+//! feed(&answers, accuracy)    -> DriverStatus    // apply crowd answers
+//! ...                                            // until Done
+//! finish()                    -> UrReport
+//! ```
+//!
+//! The driver reproduces the behaviour of the original monolithic loop
+//! exactly: for a given configuration, table, truth and answer stream, the
+//! report produced by driving this machine equals the one `UrSession::run`
+//! produced before the split (and `UrSession::run` is now implemented on
+//! top of it, so the property holds by construction).
+//!
+//! Batching contract: when no early-stop target is configured, offline
+//! strategies emit their whole planned batch and `incr` emits a full
+//! round in one `next_batch` call — answers cannot change the question
+//! set, so a scheduler may farm the batch out at once. With an
+//! `uncertainty_target`, questions are emitted one at a time because the
+//! legacy loop re-checks the target between answers before spending more
+//! budget.
+
+use crate::error::{CoreError, Result};
+use crate::measures::UncertaintyMeasure;
+use crate::metrics::expected_distance_to_truth;
+use crate::residual::ResidualCtx;
+use crate::select::{
+    AStarOff, AStarOn, COff, NaiveSelector, OfflineSelector, OnlineSelector, RandomSelector, T1On,
+    TbOff,
+};
+use crate::session::{Algorithm, SessionConfig, StepRecord, UrReport};
+use ctk_crowd::{Answer, Question};
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_prob::UncertainTable;
+use ctk_rank::RankList;
+use ctk_tpo::build::Engine;
+use ctk_tpo::prune::prune;
+use ctk_tpo::update::bayes_update;
+use ctk_tpo::{PathSet, TpoError, WorldModel};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Accuracy at or above which answers are treated as reliable (hard
+/// pruning); below it the Bayesian update is used (§III-C).
+pub const RELIABLE_ACCURACY: f64 = 1.0 - 1e-9;
+
+/// Where the driver stands after a `feed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverStatus {
+    /// The session wants more questions answered.
+    Active,
+    /// The session is finished; call [`SessionDriver::finish`].
+    Done,
+}
+
+/// Belief state + selection strategy of one running session.
+enum Mode {
+    /// Full-depth tree algorithms (everything except `incr`).
+    Tree { ps: PathSet, sel: TreeSel },
+    /// The incremental §III-D algorithm on a sampled-worlds belief.
+    Incr {
+        wm: WorldModel,
+        depth: usize,
+        n_per_round: usize,
+    },
+}
+
+enum TreeSel {
+    Online(Box<dyn OnlineSelector>),
+    /// Offline strategies plan the whole batch once; `planned` flips after
+    /// that single selection call.
+    Offline {
+        planned: bool,
+    },
+}
+
+/// A sans-IO uncertainty-reduction session (see module docs).
+pub struct SessionDriver {
+    config: SessionConfig,
+    measure: Box<dyn UncertaintyMeasure>,
+    pairwise: PairwiseMatrix,
+    truth: Option<RankList>,
+    report: UrReport,
+    selection_time: Duration,
+    started: Instant,
+    /// Selected but not yet emitted questions.
+    pending: VecDeque<Question>,
+    /// Emitted questions awaiting answers (in emission order).
+    outstanding: VecDeque<Question>,
+    done: bool,
+    mode: Mode,
+}
+
+impl std::fmt::Debug for SessionDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionDriver")
+            .field("algorithm", &self.report.algorithm)
+            .field("steps", &self.report.steps.len())
+            .field("pending", &self.pending.len())
+            .field("outstanding", &self.outstanding.len())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionDriver {
+    /// Validates the configuration and builds the initial belief state
+    /// (the TPO, or the world sample for `incr`).
+    pub fn new(
+        config: SessionConfig,
+        table: &UncertainTable,
+        truth: Option<&RankList>,
+    ) -> Result<Self> {
+        if config.k == 0 {
+            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
+        }
+        if config.k > table.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "k = {} exceeds table size {}",
+                config.k,
+                table.len()
+            )));
+        }
+        if let Algorithm::Incr {
+            questions_per_round,
+        } = config.algorithm
+        {
+            if questions_per_round == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "incr needs questions_per_round >= 1".into(),
+                ));
+            }
+        }
+        let measure = config.measure.build();
+        let pairwise = PairwiseMatrix::compute(table);
+        let started = Instant::now();
+        let (mode, report);
+        match &config.algorithm {
+            Algorithm::Incr {
+                questions_per_round,
+            } => {
+                // incr interleaves construction with pruning on a
+                // *sampled-worlds* belief (§III-D) — an exact engine cannot
+                // drive it. When the config asks for Engine::Exact we fall
+                // back to a generously sized world sample rather than
+                // erroring, trading exactness for incr's construction
+                // savings.
+                let (worlds, seed) = match &config.engine {
+                    Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
+                    Engine::Exact(_) => (20_000, config.seed),
+                };
+                let wm = WorldModel::sample(table, worlds, seed);
+                // Baseline numbers come from the *full-depth* tree so
+                // reports are comparable with the full-tree algorithms.
+                let initial_ps = wm.path_set(config.k)?;
+                report = report_skeleton(&config, &initial_ps, measure.as_ref(), truth);
+                mode = Mode::Incr {
+                    wm,
+                    depth: 1,
+                    n_per_round: *questions_per_round,
+                };
+            }
+            algorithm => {
+                let ps = config.engine.build(table, config.k)?;
+                let sel = match algorithm {
+                    Algorithm::T1On => TreeSel::Online(Box::new(T1On)),
+                    Algorithm::AStarOn {
+                        lookahead,
+                        max_expansions,
+                    } => TreeSel::Online(Box::new(AStarOn {
+                        lookahead: *lookahead,
+                        max_expansions: *max_expansions,
+                    })),
+                    _ => TreeSel::Offline { planned: false },
+                };
+                report = report_skeleton(&config, &ps, measure.as_ref(), truth);
+                mode = Mode::Tree { ps, sel };
+            }
+        }
+        Ok(Self {
+            config,
+            measure,
+            pairwise,
+            truth: truth.cloned(),
+            report,
+            selection_time: Duration::ZERO,
+            started,
+            pending: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            done: false,
+            mode,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The in-progress report (timing fields are filled in by
+    /// [`SessionDriver::finish`]).
+    pub fn report(&self) -> &UrReport {
+        &self.report
+    }
+
+    /// True once the session will emit no further questions.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Emitted questions not yet answered via [`SessionDriver::feed`].
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Questions answered so far.
+    pub fn questions_asked(&self) -> usize {
+        self.report.steps.len()
+    }
+
+    /// Returns the next questions to pose to the crowd. `crowd_remaining`
+    /// is how many more answers the caller can deliver (for a standalone
+    /// session, the crowd's remaining budget; for a multiplexed session,
+    /// the session's remaining allowance — an answer cache may serve
+    /// questions the shared crowd can no longer afford). An empty batch
+    /// with no outstanding answers means the session is done; an empty
+    /// batch *with* outstanding answers means the caller must `feed`
+    /// first.
+    pub fn next_batch(&mut self, crowd_remaining: usize) -> Result<Vec<Question>> {
+        if self.done {
+            return Ok(Vec::new());
+        }
+        if !self.outstanding.is_empty() {
+            // Waiting on answers: nothing new until the caller feeds them.
+            return Ok(Vec::new());
+        }
+        if self.pending.is_empty() {
+            if self.report.steps.len() >= self.config.budget
+                || crowd_remaining == 0
+                || target_reached(&self.config, self.report.final_uncertainty())
+            {
+                self.done = true;
+                return Ok(Vec::new());
+            }
+            self.select_more(crowd_remaining)?;
+            if self.pending.is_empty() {
+                // No informative question remains (early termination,
+                // §III-B) or the offline plan is spent.
+                self.done = true;
+                return Ok(Vec::new());
+            }
+        }
+        Ok(self.emit())
+    }
+
+    /// Applies crowd answers for previously emitted questions, in emission
+    /// order (a prefix is accepted: fewer answers than outstanding
+    /// questions signals an exhausted crowd and ends the session, exactly
+    /// as the legacy loop stopped on the first unanswered question).
+    /// `accuracy` is the nominal accuracy of one aggregated answer,
+    /// consumed by the Bayesian update when below [`RELIABLE_ACCURACY`].
+    pub fn feed(&mut self, answers: &[Answer], accuracy: f64) -> Result<DriverStatus> {
+        self.feed_each(answers.len(), answers.iter().map(|a| (*a, accuracy)))
+    }
+
+    /// Like [`SessionDriver::feed`] but with a per-answer accuracy — for
+    /// callers mixing answer sources of different reliability in one
+    /// batch (e.g. a serving layer replaying cached answers bought under
+    /// an older vote policy alongside fresh ones).
+    pub fn feed_graded(&mut self, answers: &[(Answer, f64)]) -> Result<DriverStatus> {
+        self.feed_each(answers.len(), answers.iter().copied())
+    }
+
+    fn feed_each(
+        &mut self,
+        count: usize,
+        answers: impl Iterator<Item = (Answer, f64)>,
+    ) -> Result<DriverStatus> {
+        let expected = self.outstanding.len();
+        for (ans, accuracy) in answers {
+            let Some(q) = self.outstanding.pop_front() else {
+                return Err(CoreError::Driver(format!(
+                    "unsolicited answer to {}",
+                    ans.question
+                )));
+            };
+            // Accept either orientation of the emitted question.
+            let yes = if ans.question == q {
+                ans.yes
+            } else if ans.question == q.flipped() {
+                !ans.yes
+            } else {
+                return Err(CoreError::Driver(format!(
+                    "answer to {} does not match outstanding question {q}",
+                    ans.question
+                )));
+            };
+            self.apply(q, yes, accuracy)?;
+        }
+        if count < expected {
+            // The crowd could not serve the whole batch: drop the rest of
+            // the plan and end the session with what we have.
+            self.pending.clear();
+            self.outstanding.clear();
+            self.done = true;
+        }
+        Ok(self.status())
+    }
+
+    /// Current status without feeding anything.
+    pub fn status(&self) -> DriverStatus {
+        if self.done
+            || (self.pending.is_empty()
+                && self.outstanding.is_empty()
+                && (self.report.steps.len() >= self.config.budget
+                    || target_reached(&self.config, self.report.final_uncertainty())))
+        {
+            DriverStatus::Done
+        } else {
+            DriverStatus::Active
+        }
+    }
+
+    /// Finalizes and returns the report. Safe to call at any point; steps
+    /// recorded so far are kept (an aborted session reports what it
+    /// learned).
+    pub fn finish(mut self) -> Result<UrReport> {
+        match &self.mode {
+            Mode::Tree { ps, .. } => {
+                self.report.resolved = ps.is_resolved();
+                self.report.final_topk = ps.most_probable().items.clone();
+            }
+            Mode::Incr { wm, .. } => {
+                // Materialize the final full-depth result (cheap: the
+                // belief is already pruned).
+                let final_ps = wm.path_set(self.config.k)?;
+                self.report.resolved = final_ps.is_resolved();
+                self.report.final_topk = final_ps.most_probable().items.clone();
+                // (On a zero-question run there is nothing to fix up: the
+                // baseline was already computed at full depth.)
+                if let Some(last) = self.report.steps.last_mut() {
+                    last.orderings = final_ps.len();
+                    last.uncertainty = self.measure.uncertainty(&final_ps);
+                    if let Some(t) = &self.truth {
+                        last.distance_to_truth = Some(expected_distance_to_truth(&final_ps, t));
+                    }
+                }
+            }
+        }
+        self.report.selection_time = self.selection_time;
+        self.report.total_time = self.started.elapsed();
+        Ok(self.report)
+    }
+
+    /// Refills `pending` according to the strategy (runs the selector).
+    fn select_more(&mut self, crowd_remaining: usize) -> Result<()> {
+        let ctx = ResidualCtx {
+            measure: self.measure.as_ref(),
+            pairwise: &self.pairwise,
+        };
+        match &mut self.mode {
+            Mode::Tree { ps, sel } => match sel {
+                TreeSel::Online(s) => {
+                    let t = Instant::now();
+                    let q = s.next_question(ps, crowd_remaining, &ctx);
+                    self.selection_time += t.elapsed();
+                    self.pending.extend(q);
+                }
+                TreeSel::Offline { planned } => {
+                    if !*planned {
+                        *planned = true;
+                        let mut s: Box<dyn OfflineSelector> = match &self.config.algorithm {
+                            Algorithm::Random => Box::new(RandomSelector::new(self.config.seed)),
+                            Algorithm::Naive => Box::new(NaiveSelector::new(self.config.seed)),
+                            Algorithm::TbOff => Box::new(TbOff),
+                            Algorithm::COff => Box::new(COff),
+                            Algorithm::AStarOff { max_expansions } => Box::new(AStarOff {
+                                max_expansions: *max_expansions,
+                            }),
+                            other => unreachable!("{} is not an offline strategy", other.name()),
+                        };
+                        let t = Instant::now();
+                        let batch = s.select(ps, self.config.budget.min(crowd_remaining), &ctx);
+                        self.selection_time += t.elapsed();
+                        self.pending.extend(batch);
+                    }
+                }
+            },
+            Mode::Incr {
+                wm,
+                depth,
+                n_per_round,
+            } => {
+                let k = self.config.k;
+                // “We only build new levels if there are not enough
+                // questions to ask.” — where "enough" is the *effective*
+                // round size: the last round of a nearly spent budget must
+                // not force deep tree construction it can never use.
+                let cap = (*n_per_round)
+                    .min(crowd_remaining)
+                    .min(self.config.budget - self.report.steps.len());
+                let t = Instant::now();
+                let mut ps = wm.path_set(*depth)?;
+                let mut pool = crate::select::relevant_questions(&ps, &ctx);
+                while pool.len() < cap && *depth < k {
+                    *depth += 1;
+                    ps = wm.path_set(*depth)?;
+                    pool = crate::select::relevant_questions(&ps, &ctx);
+                }
+                if pool.is_empty() {
+                    self.selection_time += t.elapsed();
+                    return Ok(()); // fully resolved at full depth
+                }
+                let n = cap.min(pool.len());
+                let round = TbOff.select(&ps, n, &ctx);
+                self.selection_time += t.elapsed();
+                self.pending.extend(round);
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves selected questions to the wire. Without an early-stop target
+    /// the whole pending set goes out at once; with one, questions go out
+    /// one by one and the target is re-checked before each (mirroring the
+    /// per-question check of the legacy loop).
+    fn emit(&mut self) -> Vec<Question> {
+        let batch: Vec<Question> = if self.config.uncertainty_target.is_none() {
+            self.pending.drain(..).collect()
+        } else if target_reached(&self.config, self.report.final_uncertainty()) {
+            self.pending.clear();
+            self.done = true;
+            Vec::new()
+        } else {
+            self.pending.pop_front().into_iter().collect()
+        };
+        self.outstanding.extend(batch.iter().copied());
+        batch
+    }
+
+    /// Applies one answer to the belief and records the step.
+    fn apply(&mut self, q: Question, yes: bool, accuracy: f64) -> Result<()> {
+        let prior = self.pairwise.pr(q.i as usize, q.j as usize);
+        match &mut self.mode {
+            Mode::Tree { ps, .. } => {
+                let updated = if accuracy >= RELIABLE_ACCURACY {
+                    prune(ps, q.i, q.j, yes, prior).map(|(s, _)| s)
+                } else {
+                    bayes_update(ps, q.i, q.j, yes, accuracy, prior)
+                };
+                match updated {
+                    Ok(next) => *ps = next,
+                    Err(TpoError::ContradictoryAnswer) => {
+                        // Sampled trees can miss the real ordering; skip the
+                        // answer rather than emptying the belief (counted in
+                        // the report).
+                        self.report.contradictions += 1;
+                    }
+                    Err(_) => unreachable!("prune/update only fail on contradictions"),
+                }
+                self.report.steps.push(StepRecord {
+                    question: q,
+                    answer_yes: yes,
+                    orderings: ps.len(),
+                    uncertainty: self.measure.uncertainty(ps),
+                    distance_to_truth: self
+                        .truth
+                        .as_ref()
+                        .map(|t| expected_distance_to_truth(ps, t)),
+                });
+            }
+            Mode::Incr { wm, depth, .. } => {
+                let res = if accuracy >= RELIABLE_ACCURACY {
+                    wm.apply_answer_hard(q.i, q.j, yes)
+                } else {
+                    wm.apply_answer_noisy(q.i, q.j, yes, accuracy)
+                };
+                if res.is_err() {
+                    self.report.contradictions += 1;
+                }
+                // Step records are taken at the current construction depth
+                // (all incr can see without the full-depth build it exists
+                // to avoid); finish() fixes up the last one.
+                let cur = wm.path_set(*depth)?;
+                self.report.steps.push(StepRecord {
+                    question: q,
+                    answer_yes: yes,
+                    orderings: cur.len(),
+                    uncertainty: self.measure.uncertainty(&cur),
+                    distance_to_truth: self
+                        .truth
+                        .as_ref()
+                        .map(|t| expected_distance_to_truth(&cur, t)),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn target_reached(config: &SessionConfig, uncertainty: f64) -> bool {
+    config
+        .uncertainty_target
+        .map(|t| uncertainty <= t)
+        .unwrap_or(false)
+}
+
+fn report_skeleton(
+    config: &SessionConfig,
+    ps: &PathSet,
+    measure: &dyn UncertaintyMeasure,
+    truth: Option<&RankList>,
+) -> UrReport {
+    UrReport {
+        algorithm: config.algorithm.name(),
+        measure: config.measure.name(),
+        initial_orderings: ps.len(),
+        initial_uncertainty: measure.uncertainty(ps),
+        initial_distance: truth.map(|t| expected_distance_to_truth(ps, t)),
+        steps: Vec::new(),
+        contradictions: 0,
+        resolved: ps.is_resolved(),
+        final_topk: ps.most_probable().items.clone(),
+        selection_time: Duration::ZERO,
+        total_time: Duration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::MeasureKind;
+    use crate::session::UrSession;
+    use ctk_crowd::{Crowd, CrowdSimulator, GroundTruth, NoisyWorker, PerfectWorker, VotePolicy};
+    use ctk_prob::ScoreDist;
+    use ctk_tpo::build::McConfig;
+
+    fn table() -> UncertainTable {
+        UncertainTable::new(
+            (0..8)
+                .map(|i| ScoreDist::uniform_centered(i as f64 * 0.1, 0.35).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn config(algorithm: Algorithm, budget: usize) -> SessionConfig {
+        SessionConfig {
+            k: 3,
+            budget,
+            measure: MeasureKind::WeightedEntropy,
+            algorithm,
+            engine: Engine::MonteCarlo(McConfig {
+                worlds: 3000,
+                seed: 7,
+            }),
+            seed: 11,
+            uncertainty_target: None,
+        }
+    }
+
+    /// Drives the state machine by hand against a crowd, like a scheduler
+    /// would.
+    fn drive<C: Crowd>(cfg: SessionConfig, table: &UncertainTable, crowd: &mut C) -> UrReport {
+        let truth_top = crowd_truth_top(crowd);
+        let mut driver = SessionDriver::new(cfg, table, Some(&truth_top)).unwrap();
+        loop {
+            let batch = driver.next_batch(crowd.remaining()).unwrap();
+            if batch.is_empty() {
+                assert!(driver.is_done());
+                break;
+            }
+            let mut answers = Vec::new();
+            for q in &batch {
+                match crowd.ask(*q) {
+                    Some(a) => answers.push(a),
+                    None => break,
+                }
+            }
+            let status = driver.feed(&answers, crowd.answer_accuracy()).unwrap();
+            if status == DriverStatus::Done {
+                break;
+            }
+        }
+        driver.finish().unwrap()
+    }
+
+    fn crowd_truth_top<C: Crowd>(_c: &C) -> RankList {
+        // Test crowds below are built from GroundTruth::sample(table, 99).
+        let truth = GroundTruth::sample(&table(), 99);
+        truth.top_k(3)
+    }
+
+    #[test]
+    fn driver_matches_session_run_for_all_algorithms() {
+        for alg in [
+            Algorithm::Random,
+            Algorithm::Naive,
+            Algorithm::TbOff,
+            Algorithm::COff,
+            Algorithm::T1On,
+            Algorithm::Incr {
+                questions_per_round: 3,
+            },
+        ] {
+            let table = table();
+            let truth = GroundTruth::sample(&table, 99);
+            let top = truth.top_k(3);
+            let mut crowd_a =
+                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8);
+            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+            let name = alg.name();
+            let session = UrSession::new(config(alg.clone(), 8)).unwrap();
+            let classic = session
+                .run_with_truth(&table, &mut crowd_a, Some(&top))
+                .unwrap();
+            let driven = drive(config(alg, 8), &table, &mut crowd_b);
+            assert!(
+                classic.same_outcome(&driven),
+                "{name}: driver diverged from Session::run"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_matches_session_with_noisy_crowd() {
+        let table = table();
+        let truth = GroundTruth::sample(&table, 99);
+        let top = truth.top_k(3);
+        let mut crowd_a = CrowdSimulator::new(
+            truth.clone(),
+            NoisyWorker::new(0.8, 5),
+            VotePolicy::Single,
+            10,
+        );
+        let mut crowd_b =
+            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10);
+        let session = UrSession::new(config(Algorithm::T1On, 10)).unwrap();
+        let classic = session
+            .run_with_truth(&table, &mut crowd_a, Some(&top))
+            .unwrap();
+        let driven = drive(config(Algorithm::T1On, 10), &table, &mut crowd_b);
+        assert!(classic.same_outcome(&driven));
+    }
+
+    #[test]
+    fn offline_batch_is_emitted_whole_without_target() {
+        let mut d = SessionDriver::new(config(Algorithm::TbOff, 6), &table(), None).unwrap();
+        let batch = d.next_batch(6).unwrap();
+        assert!(batch.len() > 1, "offline plan should batch: {batch:?}");
+        // Until answers arrive, no further questions are emitted.
+        assert!(d.next_batch(6).unwrap().is_empty());
+        assert!(!d.is_done());
+        assert_eq!(d.outstanding(), batch.len());
+    }
+
+    #[test]
+    fn target_forces_single_question_batches() {
+        let mut cfg = config(Algorithm::TbOff, 6);
+        cfg.uncertainty_target = Some(0.0);
+        let mut d = SessionDriver::new(cfg, &table(), None).unwrap();
+        let batch = d.next_batch(6).unwrap();
+        assert_eq!(batch.len(), 1, "target set: one question at a time");
+    }
+
+    #[test]
+    fn partial_feed_ends_session() {
+        let mut d = SessionDriver::new(config(Algorithm::TbOff, 6), &table(), None).unwrap();
+        let batch = d.next_batch(6).unwrap();
+        assert!(batch.len() >= 2);
+        let truth = GroundTruth::sample(&table(), 99);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1);
+        let answers: Vec<Answer> = vec![crowd.ask(batch[0]).unwrap()];
+        let status = d.feed(&answers, 1.0).unwrap();
+        assert_eq!(status, DriverStatus::Done);
+        assert!(d.is_done());
+        assert_eq!(d.questions_asked(), 1);
+        let report = d.finish().unwrap();
+        assert_eq!(report.steps.len(), 1);
+    }
+
+    #[test]
+    fn flipped_answers_are_reoriented() {
+        let mut d = SessionDriver::new(config(Algorithm::T1On, 4), &table(), None).unwrap();
+        let batch = d.next_batch(4).unwrap();
+        assert_eq!(batch.len(), 1);
+        let q = batch[0];
+        // Answer the flipped question with the opposite polarity: same
+        // information, must be accepted and produce an identical step.
+        let flipped = Answer {
+            question: q.flipped(),
+            yes: false,
+        };
+        d.feed(&[flipped], 1.0).unwrap();
+        assert_eq!(d.report().steps[0].question, q);
+        assert!(d.report().steps[0].answer_yes);
+    }
+
+    #[test]
+    fn unsolicited_and_mismatched_answers_are_rejected() {
+        let mut d = SessionDriver::new(config(Algorithm::T1On, 4), &table(), None).unwrap();
+        let stray = Answer {
+            question: Question::new(0, 1),
+            yes: true,
+        };
+        assert!(matches!(d.feed(&[stray], 1.0), Err(CoreError::Driver(_))));
+        let batch = d.next_batch(4).unwrap();
+        let other = batch[0].i.wrapping_add(batch[0].j).wrapping_add(1) % 8;
+        let wrong_pair = Answer {
+            question: Question::new(other, (other + 1) % 8),
+            yes: true,
+        };
+        if wrong_pair.question != batch[0] && wrong_pair.question != batch[0].flipped() {
+            assert!(matches!(
+                d.feed(&[wrong_pair], 1.0),
+                Err(CoreError::Driver(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn feed_graded_applies_per_answer_accuracy() {
+        let mut d = SessionDriver::new(config(Algorithm::TbOff, 6), &table(), None).unwrap();
+        let batch = d.next_batch(6).unwrap();
+        assert!(batch.len() >= 2);
+        let truth = GroundTruth::sample(&table(), 99);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10);
+        let a0 = crowd.ask(batch[0]).unwrap();
+        let a1 = crowd.ask(batch[1]).unwrap();
+        // First answer reliable (hard prune), second noisy (Bayes
+        // reweight): the reweight must not shrink the ordering count.
+        d.feed_graded(&[(a0, 1.0), (a1, 0.8)]).unwrap();
+        let steps = &d.report().steps;
+        assert_eq!(steps.len(), 2);
+        assert!(steps[0].orderings <= d.report().initial_orderings);
+        assert_eq!(
+            steps[1].orderings, steps[0].orderings,
+            "bayes update reweights instead of pruning"
+        );
+    }
+
+    #[test]
+    fn zero_allowance_finishes_immediately() {
+        let mut d = SessionDriver::new(config(Algorithm::T1On, 4), &table(), None).unwrap();
+        assert!(d.next_batch(0).unwrap().is_empty());
+        assert!(d.is_done());
+        let report = d.finish().unwrap();
+        assert_eq!(report.steps.len(), 0);
+        assert_eq!(report.final_topk.len(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SessionDriver::new(
+            SessionConfig {
+                k: 0,
+                ..config(Algorithm::T1On, 4)
+            },
+            &table(),
+            None
+        )
+        .is_err());
+        assert!(SessionDriver::new(
+            SessionConfig {
+                k: 100,
+                ..config(Algorithm::T1On, 4)
+            },
+            &table(),
+            None
+        )
+        .is_err());
+        assert!(SessionDriver::new(
+            config(
+                Algorithm::Incr {
+                    questions_per_round: 0
+                },
+                4
+            ),
+            &table(),
+            None
+        )
+        .is_err());
+    }
+}

@@ -13,6 +13,9 @@ pub enum CoreError {
     Rank(RankError),
     /// Invalid engine/session configuration.
     InvalidConfig(String),
+    /// Driver protocol violation (answers that do not match the emitted
+    /// questions).
+    Driver(String),
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +24,7 @@ impl fmt::Display for CoreError {
             CoreError::Tpo(e) => write!(f, "tpo: {e}"),
             CoreError::Rank(e) => write!(f, "rank: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Driver(msg) => write!(f, "driver protocol: {msg}"),
         }
     }
 }
@@ -30,7 +34,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Tpo(e) => Some(e),
             CoreError::Rank(e) => Some(e),
-            CoreError::InvalidConfig(_) => None,
+            CoreError::InvalidConfig(_) | CoreError::Driver(_) => None,
         }
     }
 }

@@ -17,9 +17,11 @@
 //! * [`select`] — the seven selection strategies: `A*-off`, `TB-off`,
 //!   `C-off` (offline), `A*-on`, `T1-on` (online), `random`, `naive`
 //!   (baselines) (§III-A/B);
+//! * [`driver`] — the sans-IO session state machine
+//!   (`next_batch`/`feed`), the unit a scheduler multiplexes;
 //! * [`session`] — the uncertainty-reduction loop, including noisy-worker
 //!   Bayesian updates (§III-C) and the incremental `incr` algorithm
-//!   (§III-D);
+//!   (§III-D), as a thin blocking wrapper over the driver;
 //! * [`metrics`] — evaluation metrics (`D(ω_r, T_K)`, Fig. 1(a));
 //! * [`engine`] — the [`engine::CrowdTopK`] facade.
 //!
@@ -51,6 +53,7 @@
 //! assert!(report.final_orderings() <= report.initial_orderings);
 //! ```
 
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod measures;
@@ -63,6 +66,7 @@ pub use error::{CoreError, Result};
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::driver::{DriverStatus, SessionDriver};
     pub use crate::engine::CrowdTopK;
     pub use crate::measures::MeasureKind;
     pub use crate::metrics::expected_distance_to_truth;

@@ -1,28 +1,21 @@
 //! The uncertainty-reduction session: couples a table, a TPO engine, an
 //! uncertainty measure, a selection algorithm and a crowd into the paper's
 //! end-to-end loop, producing a step-by-step report.
+//!
+//! Since the serving-layer refactor the actual state machine lives in
+//! [`crate::driver::SessionDriver`]; [`UrSession::run`] is a thin blocking
+//! loop that pipes the driver's question batches into one [`Crowd`] and
+//! feeds the answers back. Schedulers that multiplex many sessions over a
+//! shared crowd (the `ctk-service` crate) drive the same machine directly.
 
+use crate::driver::{DriverStatus, SessionDriver};
 use crate::error::{CoreError, Result};
-use crate::measures::{MeasureKind, UncertaintyMeasure};
-use crate::metrics::expected_distance_to_truth;
-use crate::residual::ResidualCtx;
-use crate::select::{
-    AStarOff, AStarOn, COff, NaiveSelector, OfflineSelector, OnlineSelector, RandomSelector, T1On,
-    TbOff,
-};
+use crate::measures::MeasureKind;
 use ctk_crowd::{Crowd, Question};
-use ctk_prob::compare::PairwiseMatrix;
 use ctk_prob::UncertainTable;
 use ctk_rank::RankList;
 use ctk_tpo::build::Engine;
-use ctk_tpo::prune::prune;
-use ctk_tpo::update::bayes_update;
-use ctk_tpo::{PathSet, TpoError, WorldModel};
-use std::time::{Duration, Instant};
-
-/// Accuracy at or above which answers are treated as reliable (hard
-/// pruning); below it the Bayesian update is used (§III-C).
-const RELIABLE_ACCURACY: f64 = 1.0 - 1e-9;
+use std::time::Duration;
 
 /// Which question-selection strategy to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +129,22 @@ pub struct StepRecord {
     pub distance_to_truth: Option<f64>,
 }
 
+impl StepRecord {
+    /// Bit-exact semantic equality (timing-free; used by
+    /// [`UrReport::same_outcome`]).
+    fn same_outcome(&self, other: &StepRecord) -> bool {
+        self.question == other.question
+            && self.answer_yes == other.answer_yes
+            && self.orderings == other.orderings
+            && self.uncertainty.to_bits() == other.uncertainty.to_bits()
+            && match (self.distance_to_truth, other.distance_to_truth) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+                _ => false,
+            }
+    }
+}
+
 /// Outcome of a full session.
 #[derive(Debug, Clone)]
 pub struct UrReport {
@@ -194,6 +203,33 @@ impl UrReport {
             .and_then(|s| s.distance_to_truth)
             .or(self.initial_distance)
     }
+
+    /// True when both reports describe the same session outcome: identical
+    /// question/answer trail, belief trajectory (bit-exact floats) and
+    /// final result. Timing fields are ignored — two runs of the same
+    /// deterministic session never share wall clocks. This is the
+    /// equivalence the serving layer guarantees against a standalone
+    /// [`UrSession::run`] under the same seed.
+    pub fn same_outcome(&self, other: &UrReport) -> bool {
+        self.algorithm == other.algorithm
+            && self.measure == other.measure
+            && self.initial_orderings == other.initial_orderings
+            && self.initial_uncertainty.to_bits() == other.initial_uncertainty.to_bits()
+            && match (self.initial_distance, other.initial_distance) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+                _ => false,
+            }
+            && self.steps.len() == other.steps.len()
+            && self
+                .steps
+                .iter()
+                .zip(&other.steps)
+                .all(|(a, b)| a.same_outcome(b))
+            && self.contradictions == other.contradictions
+            && self.resolved == other.resolved
+            && self.final_topk == other.final_topk
+    }
 }
 
 /// A configured, runnable session.
@@ -233,330 +269,34 @@ impl UrSession {
 
     /// Runs the session; when `truth` (the real top-K) is given, every step
     /// records `D(ω_r, T_K)`.
+    ///
+    /// This is the classic blocking loop: build a [`SessionDriver`], pipe
+    /// its batches into `crowd`, feed the answers back until the driver
+    /// reports done.
     pub fn run_with_truth<C: Crowd>(
         &self,
         table: &UncertainTable,
         crowd: &mut C,
         truth: Option<&RankList>,
     ) -> Result<UrReport> {
-        if self.config.k > table.len() {
-            return Err(CoreError::InvalidConfig(format!(
-                "k = {} exceeds table size {}",
-                self.config.k,
-                table.len()
-            )));
-        }
-        let measure = self.config.measure.build();
-        let pairwise = PairwiseMatrix::compute(table);
-        match &self.config.algorithm {
-            Algorithm::Incr {
-                questions_per_round,
-            } => self.run_incr(
-                table,
-                crowd,
-                truth,
-                measure.as_ref(),
-                &pairwise,
-                *questions_per_round,
-            ),
-            _ => self.run_tree(table, crowd, truth, measure.as_ref(), &pairwise),
-        }
-    }
-
-    /// The standard flow: materialize the full-depth tree, then select.
-    fn run_tree<C: Crowd>(
-        &self,
-        table: &UncertainTable,
-        crowd: &mut C,
-        truth: Option<&RankList>,
-        measure: &dyn UncertaintyMeasure,
-        pairwise: &PairwiseMatrix,
-    ) -> Result<UrReport> {
-        let start = Instant::now();
-        let ctx = ResidualCtx { measure, pairwise };
-        let mut ps = self.config.engine.build(table, self.config.k)?;
-        let mut report = self.report_skeleton(&ps, measure, truth);
-        let mut selection_time = Duration::ZERO;
-
-        match &self.config.algorithm {
-            Algorithm::T1On => {
-                let mut sel = T1On;
-                self.online_loop(
-                    &mut sel,
-                    &mut ps,
-                    crowd,
-                    truth,
-                    &ctx,
-                    &mut report,
-                    &mut selection_time,
-                );
-            }
-            Algorithm::AStarOn {
-                lookahead,
-                max_expansions,
-            } => {
-                let mut sel = AStarOn {
-                    lookahead: *lookahead,
-                    max_expansions: *max_expansions,
-                };
-                self.online_loop(
-                    &mut sel,
-                    &mut ps,
-                    crowd,
-                    truth,
-                    &ctx,
-                    &mut report,
-                    &mut selection_time,
-                );
-            }
-            offline => {
-                let mut sel: Box<dyn OfflineSelector> = match offline {
-                    Algorithm::Random => Box::new(RandomSelector::new(self.config.seed)),
-                    Algorithm::Naive => Box::new(NaiveSelector::new(self.config.seed)),
-                    Algorithm::TbOff => Box::new(TbOff),
-                    Algorithm::COff => Box::new(COff),
-                    Algorithm::AStarOff { max_expansions } => Box::new(AStarOff {
-                        max_expansions: *max_expansions,
-                    }),
-                    _ => unreachable!("online variants handled above"),
-                };
-                let t = Instant::now();
-                let batch = sel.select(&ps, self.config.budget.min(crowd.remaining()), &ctx);
-                selection_time += t.elapsed();
-                for q in batch {
-                    // `apply_answer` records the post-update uncertainty of
-                    // `ps` in every step, so the last recorded value (or the
-                    // initial one) *is* the current uncertainty — no need to
-                    // re-evaluate the measure per question.
-                    if self.target_reached(report.final_uncertainty()) {
-                        break;
-                    }
-                    let Some(ans) = crowd.ask(q) else { break };
-                    self.apply_answer(
-                        &mut ps,
-                        &q,
-                        ans.yes,
-                        crowd.answer_accuracy(),
-                        &ctx,
-                        &mut report,
-                        truth,
-                    );
-                }
-            }
-        }
-
-        report.resolved = ps.is_resolved();
-        report.final_topk = ps.most_probable().items.clone();
-        report.selection_time = selection_time;
-        report.total_time = start.elapsed();
-        Ok(report)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn online_loop<S: OnlineSelector, C: Crowd>(
-        &self,
-        sel: &mut S,
-        ps: &mut PathSet,
-        crowd: &mut C,
-        truth: Option<&RankList>,
-        ctx: &ResidualCtx<'_>,
-        report: &mut UrReport,
-        selection_time: &mut Duration,
-    ) {
-        while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
-            // Same reuse as the batch loop: the steps already carry the
-            // current uncertainty of `ps`.
-            if self.target_reached(report.final_uncertainty()) {
+        let mut driver = SessionDriver::new(self.config.clone(), table, truth)?;
+        loop {
+            let batch = driver.next_batch(crowd.remaining())?;
+            if batch.is_empty() {
                 break;
             }
-            let t = Instant::now();
-            let q = sel.next_question(ps, crowd.remaining(), ctx);
-            *selection_time += t.elapsed();
-            let Some(q) = q else { break };
-            let Some(ans) = crowd.ask(q) else { break };
-            self.apply_answer(ps, &q, ans.yes, crowd.answer_accuracy(), ctx, report, truth);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn apply_answer(
-        &self,
-        ps: &mut PathSet,
-        q: &Question,
-        yes: bool,
-        accuracy: f64,
-        ctx: &ResidualCtx<'_>,
-        report: &mut UrReport,
-        truth: Option<&RankList>,
-    ) {
-        let prior = ctx.prior(q.i, q.j);
-        let updated = if accuracy >= RELIABLE_ACCURACY {
-            prune(ps, q.i, q.j, yes, prior).map(|(s, _)| s)
-        } else {
-            bayes_update(ps, q.i, q.j, yes, accuracy, prior)
-        };
-        match updated {
-            Ok(next) => *ps = next,
-            Err(TpoError::ContradictoryAnswer) => {
-                // Sampled trees can miss the real ordering; skip the answer
-                // rather than emptying the belief (counted in the report).
-                report.contradictions += 1;
+            let mut answers = Vec::with_capacity(batch.len());
+            for q in &batch {
+                match crowd.ask(*q) {
+                    Some(a) => answers.push(a),
+                    None => break, // crowd exhausted: feed what we have
+                }
             }
-            Err(_) => unreachable!("prune/update only fail on contradictions"),
-        }
-        report.steps.push(StepRecord {
-            question: *q,
-            answer_yes: yes,
-            orderings: ps.len(),
-            uncertainty: ctx.measure.uncertainty(ps),
-            distance_to_truth: truth.map(|t| expected_distance_to_truth(ps, t)),
-        });
-    }
-
-    /// The incremental algorithm (§III-D): build the TPO level by level on
-    /// a sampled-worlds belief, interleaving question rounds with
-    /// construction; deepen only when the current level runs out of
-    /// relevant questions.
-    fn run_incr<C: Crowd>(
-        &self,
-        table: &UncertainTable,
-        crowd: &mut C,
-        truth: Option<&RankList>,
-        measure: &dyn UncertaintyMeasure,
-        pairwise: &PairwiseMatrix,
-        n_per_round: usize,
-    ) -> Result<UrReport> {
-        let start = Instant::now();
-        let ctx = ResidualCtx { measure, pairwise };
-        // incr interleaves construction with pruning on a *sampled-worlds*
-        // belief (§III-D) — an exact engine cannot drive it. When the
-        // config asks for Engine::Exact we fall back to a generously sized
-        // world sample rather than erroring, trading exactness for incr's
-        // construction savings.
-        let (worlds, seed) = match &self.config.engine {
-            Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
-            Engine::Exact(_) => (20_000, self.config.seed),
-        };
-        let mut wm = WorldModel::sample(table, worlds, seed);
-        let k = self.config.k;
-        let mut depth = 1usize;
-        // Baseline numbers come from the *full-depth* tree so reports are
-        // comparable with the full-tree algorithms; selection still works
-        // level by level (grouping worlds at depth k is cheap and does not
-        // touch the belief or the selection clock).
-        let mut report = self.report_skeleton(&wm.path_set(k)?, measure, truth);
-        let mut selection_time = Duration::ZERO;
-
-        while crowd.remaining() > 0 && report.steps.len() < self.config.budget {
-            // Early-stop on the last *recorded* uncertainty: every step
-            // below records it, so no extra path-set build or measure
-            // evaluation is needed here. Before the first question this
-            // falls back to the full-depth baseline above; afterwards the
-            // recorded values are taken at the current construction depth
-            // (all incr can see without the full-depth build it exists to
-            // avoid), so later checks compare shallow-depth uncertainty.
-            if self.target_reached(report.final_uncertainty()) {
+            if driver.feed(&answers, crowd.answer_accuracy())? == DriverStatus::Done {
                 break;
             }
-            let t = Instant::now();
-            let mut ps = wm.path_set(depth)?;
-            let mut pool = crate::select::relevant_questions(&ps, &ctx);
-            // “We only build new levels if there are not enough questions
-            // to ask.” — where "enough" is the *effective* round size: the
-            // last round of a nearly spent budget must not force deep tree
-            // construction it can never use.
-            let cap = n_per_round
-                .min(crowd.remaining())
-                .min(self.config.budget - report.steps.len());
-            while pool.len() < cap && depth < k {
-                depth += 1;
-                ps = wm.path_set(depth)?;
-                pool = crate::select::relevant_questions(&ps, &ctx);
-            }
-            if pool.is_empty() {
-                selection_time += t.elapsed();
-                break; // fully resolved at full depth
-            }
-            let n = cap.min(pool.len());
-            let round = TbOff.select(&ps, n, &ctx);
-            selection_time += t.elapsed();
-            for q in round {
-                // Like the batch loop in `run_tree`, stop mid-round as soon
-                // as the target is hit — each remaining question would spend
-                // real crowd budget past the promised threshold.
-                if report
-                    .steps
-                    .last()
-                    .is_some_and(|s| self.target_reached(s.uncertainty))
-                {
-                    break;
-                }
-                let Some(ans) = crowd.ask(q) else { break };
-                let accuracy = crowd.answer_accuracy();
-                let res = if accuracy >= RELIABLE_ACCURACY {
-                    wm.apply_answer_hard(q.i, q.j, ans.yes)
-                } else {
-                    wm.apply_answer_noisy(q.i, q.j, ans.yes, accuracy)
-                };
-                if res.is_err() {
-                    report.contradictions += 1;
-                }
-                let cur = wm.path_set(depth)?;
-                report.steps.push(StepRecord {
-                    question: q,
-                    answer_yes: ans.yes,
-                    orderings: cur.len(),
-                    uncertainty: ctx.measure.uncertainty(&cur),
-                    distance_to_truth: truth.map(|t| expected_distance_to_truth(&cur, t)),
-                });
-            }
         }
-
-        // Materialize the final full-depth result (cheap: the belief is
-        // already pruned).
-        let final_ps = wm.path_set(k)?;
-        report.resolved = final_ps.is_resolved();
-        report.final_topk = final_ps.most_probable().items.clone();
-        // (On a zero-budget run there is nothing to fix up: the baseline
-        // above was already computed at full depth.)
-        if let Some(last) = report.steps.last_mut() {
-            last.orderings = final_ps.len();
-            last.uncertainty = ctx.measure.uncertainty(&final_ps);
-            if let Some(t) = truth {
-                last.distance_to_truth = Some(expected_distance_to_truth(&final_ps, t));
-            }
-        }
-        report.selection_time = selection_time;
-        report.total_time = start.elapsed();
-        Ok(report)
-    }
-
-    fn target_reached(&self, uncertainty: f64) -> bool {
-        self.config
-            .uncertainty_target
-            .map(|t| uncertainty <= t)
-            .unwrap_or(false)
-    }
-
-    fn report_skeleton(
-        &self,
-        ps: &PathSet,
-        measure: &dyn UncertaintyMeasure,
-        truth: Option<&RankList>,
-    ) -> UrReport {
-        UrReport {
-            algorithm: self.config.algorithm.name(),
-            measure: self.config.measure.name(),
-            initial_orderings: ps.len(),
-            initial_uncertainty: measure.uncertainty(ps),
-            initial_distance: truth.map(|t| expected_distance_to_truth(ps, t)),
-            steps: Vec::new(),
-            contradictions: 0,
-            resolved: ps.is_resolved(),
-            final_topk: ps.most_probable().items.clone(),
-            selection_time: Duration::ZERO,
-            total_time: Duration::ZERO,
-        }
+        driver.finish()
     }
 }
 
@@ -700,5 +440,37 @@ mod tests {
         let r = session.run(&table, &mut crowd).unwrap();
         assert!(r.initial_distance.is_none());
         assert!(r.steps.iter().all(|s| s.distance_to_truth.is_none()));
+    }
+
+    #[test]
+    fn same_outcome_detects_divergence() {
+        let a = run(Algorithm::T1On, 6);
+        let b = run(Algorithm::T1On, 6);
+        assert!(a.same_outcome(&b), "identical runs must match");
+        let c = run(Algorithm::TbOff, 6);
+        assert!(!a.same_outcome(&c), "different strategies must not match");
+        let mut d = a.clone();
+        d.resolved = !d.resolved;
+        assert!(!a.same_outcome(&d));
+    }
+
+    #[test]
+    fn uncertainty_target_stops_early() {
+        let table = table();
+        let truth = GroundTruth::sample(&table, 99);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 50);
+        let mut cfg = config(Algorithm::T1On, 50);
+        // A generous target: reached after a few questions.
+        cfg.uncertainty_target = Some(1.0);
+        let with_target = UrSession::new(cfg)
+            .unwrap()
+            .run(&table, &mut crowd)
+            .unwrap();
+        let without = run(Algorithm::T1On, 50);
+        assert!(with_target.questions_asked() <= without.questions_asked());
+        assert!(
+            with_target.final_uncertainty() <= 1.0
+                || with_target.questions_asked() == without.questions_asked()
+        );
     }
 }

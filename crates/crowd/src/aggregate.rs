@@ -118,6 +118,78 @@ mod tests {
     }
 
     #[test]
+    fn odd_vote_counts_cannot_tie() {
+        // Enumerate every vote vector for the supported odd sizes: a
+        // majority always exists, and flipping every vote flips it.
+        for n in [1usize, 3, 5, 7] {
+            for mask in 0u32..(1 << n) {
+                let votes: Vec<bool> = (0..n).map(|b| mask & (1 << b) != 0).collect();
+                let flipped: Vec<bool> = votes.iter().map(|v| !v).collect();
+                let yes = votes.iter().filter(|&&v| v).count();
+                assert_ne!(2 * yes, n, "odd count admits no tie");
+                assert_eq!(
+                    majority_vote(&votes),
+                    yes * 2 > n,
+                    "majority definition at n={n}, mask={mask}"
+                );
+                assert_ne!(majority_vote(&votes), majority_vote(&flipped));
+            }
+        }
+    }
+
+    #[test]
+    fn half_accuracy_is_a_fixed_point_of_every_policy() {
+        // eta = 0.5 workers carry zero information; replication cannot
+        // mint any: P(majority correct) stays exactly 1/2 by the symmetry
+        // of the binomial at p = 1/2.
+        for policy in [
+            VotePolicy::Single,
+            VotePolicy::Majority(3),
+            VotePolicy::Majority(5),
+            VotePolicy::Majority(7),
+            VotePolicy::Majority(9),
+        ] {
+            let p = policy.effective_accuracy(0.5);
+            assert!(
+                (p - 0.5).abs() < 1e-12,
+                "{policy:?}: eta=0.5 must be a fixed point, got {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_accuracy_stays_a_probability_and_amplifies() {
+        // For any eta in (0.5, 1], majority voting amplifies accuracy
+        // (Condorcet); below-1 etas stay strictly below 1; and the result
+        // is always a probability.
+        for eta10 in 5..=10 {
+            let eta = eta10 as f64 / 10.0;
+            for policy in [VotePolicy::Majority(3), VotePolicy::Majority(5)] {
+                let p = policy.effective_accuracy(eta);
+                assert!((0.0..=1.0 + 1e-12).contains(&p), "p = {p}");
+                assert!(p >= eta - 1e-12, "replication must not hurt: {eta} -> {p}");
+                if eta > 0.5 && eta < 1.0 {
+                    assert!(p > eta, "strict amplification at eta={eta}");
+                    assert!(p < 1.0, "no free certainty at eta={eta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_validation_rejects_even_and_degenerate_counts() {
+        for n in [0usize, 1, 2, 4, 6, 100] {
+            assert!(
+                VotePolicy::Majority(n).validate().is_err(),
+                "Majority({n}) must be rejected"
+            );
+        }
+        for n in [3usize, 5, 7, 99] {
+            assert!(VotePolicy::Majority(n).validate().is_ok());
+        }
+    }
+
+    #[test]
     fn binomial_coefficients() {
         assert_eq!(binomial(5, 0), 1.0);
         assert_eq!(binomial(5, 5), 1.0);

@@ -41,9 +41,12 @@ impl BudgetLedger {
         self.votes_collected
     }
 
-    /// Questions still allowed.
+    /// Questions still allowed. Saturating: even if a ledger is ever
+    /// driven past its budget (a bug elsewhere, or a deserialized
+    /// snapshot), `remaining` reports 0 instead of underflowing to
+    /// `usize::MAX` and unleashing an unbounded question spree.
     pub fn remaining(&self) -> usize {
-        self.budget - self.questions_asked
+        self.budget.saturating_sub(self.questions_asked)
     }
 
     /// True when no more questions may be asked.
@@ -110,6 +113,27 @@ mod tests {
         assert!(l.already_asked(&Question::new(0, 1)));
         assert!(l.already_asked(&Question::new(1, 0)));
         assert!(!l.already_asked(&Question::new(0, 2)));
+    }
+
+    #[test]
+    fn asking_past_the_budget_never_underflows_remaining() {
+        // Regression: `remaining` used plain subtraction; a ledger whose
+        // `questions_asked` ever exceeded `budget` would report
+        // usize::MAX remaining questions. Hammer past the budget and
+        // check the invariant after every attempt.
+        let mut l = BudgetLedger::new(3);
+        for attempt in 0..10 {
+            l.record(ans(0, 1, attempt % 2 == 0), 1);
+            assert!(
+                l.remaining() <= l.budget(),
+                "remaining {} escaped budget {} after attempt {attempt}",
+                l.remaining(),
+                l.budget()
+            );
+        }
+        assert_eq!(l.asked(), 3);
+        assert_eq!(l.remaining(), 0);
+        assert!(l.exhausted());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Error type for dataset materialization: a malformed [`DatasetSpec`]
+//! must surface as a value, not abort the process (a serving deployment
+//! materializes tenant-provided scenario configs).
+//!
+//! [`DatasetSpec`]: crate::config::DatasetSpec
+
+use ctk_prob::ProbError;
+use std::fmt;
+
+/// Errors raised when materializing a dataset specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatagenError {
+    /// The spec requests zero tuples.
+    EmptyTable,
+    /// A structural knob is unusable (NaN/non-positive width, …).
+    InvalidSpec(String),
+    /// A tuple's score distribution could not be constructed.
+    Distribution {
+        /// Index of the offending tuple.
+        index: usize,
+        /// The underlying distribution error.
+        source: ProbError,
+    },
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::EmptyTable => write!(f, "dataset spec requests zero tuples"),
+            DatagenError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
+            DatagenError::Distribution { index, source } => {
+                write!(f, "tuple {index}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatagenError::Distribution { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DatagenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(DatagenError::EmptyTable.to_string().contains("zero"));
+        let e = DatagenError::InvalidSpec("width is NaN".into());
+        assert!(e.to_string().contains("NaN"));
+        assert!(e.source().is_none());
+        let e = DatagenError::Distribution {
+            index: 3,
+            source: ProbError::EmptyTable,
+        };
+        assert!(e.to_string().contains("tuple 3"));
+        assert!(e.source().is_some());
+    }
+}

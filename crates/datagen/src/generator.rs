@@ -2,21 +2,31 @@
 //! [`UncertainTable`], deterministically.
 
 use crate::config::{CenterLayout, DatasetSpec, PdfFamily};
+use crate::error::{DatagenError, Result};
 use ctk_prob::{ScoreDist, UncertainTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Generates the table described by `spec`. The same spec always produces
-/// the same table.
-pub fn generate(spec: &DatasetSpec) -> UncertainTable {
+/// the same table. A malformed spec (zero tuples, NaN knobs, …) is
+/// reported as a [`DatagenError`] rather than aborting the process, so
+/// externally supplied scenario configurations are safe to materialize.
+pub fn generate(spec: &DatasetSpec) -> Result<UncertainTable> {
+    if spec.n == 0 {
+        return Err(DatagenError::EmptyTable);
+    }
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let centers = generate_centers(&spec.centers, spec.n, &mut rng);
     let dists = centers
         .iter()
         .enumerate()
         .map(|(idx, &c)| make_dist(&spec.family, c, idx, &mut rng))
-        .collect();
-    UncertainTable::new(dists).expect("spec.n >= 1 produces a non-empty table")
+        .collect::<Result<Vec<_>>>()?;
+    // Table-level failure (not attributable to one tuple); with the n == 0
+    // guard above this is currently unreachable, but future table-wide
+    // validation in ctk-prob would surface here.
+    UncertainTable::new(dists)
+        .map_err(|e| DatagenError::InvalidSpec(format!("table construction failed: {e}")))
 }
 
 fn generate_centers(layout: &CenterLayout, n: usize, rng: &mut StdRng) -> Vec<f64> {
@@ -48,24 +58,42 @@ fn generate_centers(layout: &CenterLayout, n: usize, rng: &mut StdRng) -> Vec<f6
     }
 }
 
-fn make_dist(family: &PdfFamily, center: f64, idx: usize, rng: &mut StdRng) -> ScoreDist {
+fn make_dist(family: &PdfFamily, center: f64, idx: usize, rng: &mut StdRng) -> Result<ScoreDist> {
+    if !center.is_finite() {
+        return Err(DatagenError::InvalidSpec(format!(
+            "tuple {idx}: score center is {center} (check the center layout knobs)"
+        )));
+    }
+    // `f64::max` ignores NaN operands, so the 1e-6 floor below would
+    // silently launder a NaN width into a valid one — reject it first.
+    let scale = |w: f64, what: &str| -> Result<f64> {
+        if w.is_finite() {
+            Ok(w.max(1e-6))
+        } else {
+            Err(DatagenError::InvalidSpec(format!(
+                "tuple {idx}: {what} is {w}"
+            )))
+        }
+    };
+    let wrap = |r: ctk_prob::Result<ScoreDist>| {
+        r.map_err(|source| DatagenError::Distribution { index: idx, source })
+    };
     match *family {
         PdfFamily::Uniform { width } => {
-            let w = width.materialize(rng.gen::<f64>()).max(1e-6);
-            ScoreDist::uniform_centered(center, w).expect("positive width")
+            let w = scale(width.materialize(rng.gen::<f64>()), "width")?;
+            wrap(ScoreDist::uniform_centered(center, w))
         }
         PdfFamily::Gaussian { sigma } => {
-            let s = sigma.materialize(rng.gen::<f64>()).max(1e-6);
-            ScoreDist::gaussian(center, s).expect("positive sigma")
+            let s = scale(sigma.materialize(rng.gen::<f64>()), "sigma")?;
+            wrap(ScoreDist::gaussian(center, s))
         }
         PdfFamily::MixedFamilies { width } => {
-            let w = width.materialize(rng.gen::<f64>()).max(1e-6);
-            match idx % 3 {
-                0 => ScoreDist::uniform_centered(center, w).expect("positive width"),
-                1 => ScoreDist::gaussian(center, w / 4.0).expect("positive sigma"),
-                _ => ScoreDist::triangular(center - w / 2.0, center, center + w / 2.0)
-                    .expect("valid triangular"),
-            }
+            let w = scale(width.materialize(rng.gen::<f64>()), "width")?;
+            wrap(match idx % 3 {
+                0 => ScoreDist::uniform_centered(center, w),
+                1 => ScoreDist::gaussian(center, w / 4.0),
+                _ => ScoreDist::triangular(center - w / 2.0, center, center + w / 2.0),
+            })
         }
     }
 }
@@ -78,23 +106,55 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = DatasetSpec::paper_default(15, 0.4, 42);
-        assert_eq!(generate(&spec), generate(&spec));
+        assert_eq!(generate(&spec).unwrap(), generate(&spec).unwrap());
         let other = DatasetSpec::paper_default(15, 0.4, 43);
-        assert_ne!(generate(&spec), generate(&other));
+        assert_ne!(generate(&spec).unwrap(), generate(&other).unwrap());
     }
 
     #[test]
     fn paper_default_produces_uniform_pdfs() {
-        let t = generate(&DatasetSpec::paper_default(10, 0.4, 1));
+        let t = generate(&DatasetSpec::paper_default(10, 0.4, 1)).unwrap();
         assert_eq!(t.len(), 10);
         for tu in t.iter() {
-            match &tu.dist {
-                ScoreDist::Uniform(u) => {
-                    assert!((u.hi() - u.lo() - 0.4).abs() < 1e-12);
-                }
-                other => panic!("expected uniform, got {other:?}"),
-            }
+            assert!(
+                matches!(&tu.dist, ScoreDist::Uniform(u) if (u.hi() - u.lo() - 0.4).abs() < 1e-12),
+                "expected width-0.4 uniform, got {:?}",
+                tu.dist
+            );
         }
+    }
+
+    #[test]
+    fn empty_spec_is_an_error_not_a_panic() {
+        let spec = DatasetSpec::paper_default(0, 0.4, 1);
+        assert_eq!(generate(&spec), Err(DatagenError::EmptyTable));
+    }
+
+    #[test]
+    fn nan_knobs_are_an_error_not_a_panic() {
+        let spec = DatasetSpec {
+            n: 3,
+            centers: CenterLayout::UniformRandom,
+            family: PdfFamily::Gaussian {
+                sigma: WidthSpec::Fixed(f64::NAN),
+            },
+            seed: 0,
+        };
+        let err = generate(&spec).expect_err("NaN sigma must not abort");
+        assert!(matches!(err, DatagenError::InvalidSpec(_)), "got {err:?}");
+        // NaN centers poison uniform bounds the same way.
+        let spec = DatasetSpec {
+            n: 2,
+            centers: CenterLayout::Clustered {
+                clusters: 1,
+                spread: f64::NAN,
+            },
+            family: PdfFamily::Uniform {
+                width: WidthSpec::Fixed(0.2),
+            },
+            seed: 0,
+        };
+        assert!(generate(&spec).is_err());
     }
 
     #[test]
@@ -107,7 +167,7 @@ mod tests {
             },
             seed: 0,
         };
-        let t = generate(&spec);
+        let t = generate(&spec).unwrap();
         let means: Vec<f64> = t.iter().map(|tu| tu.dist.mean()).collect();
         for (i, m) in means.iter().enumerate() {
             assert!((m - i as f64 * 0.25).abs() < 1e-9, "mean {m} at {i}");
@@ -124,7 +184,7 @@ mod tests {
             },
             seed: 5,
         };
-        let t = generate(&spec);
+        let t = generate(&spec).unwrap();
         let widths: Vec<f64> = t
             .iter()
             .map(|tu| {
@@ -148,7 +208,7 @@ mod tests {
             },
             seed: 9,
         };
-        let t = generate(&spec);
+        let t = generate(&spec).unwrap();
         assert!(matches!(t.dist_at(0), ScoreDist::Uniform(_)));
         assert!(matches!(t.dist_at(1), ScoreDist::Gaussian(_)));
         assert!(matches!(t.dist_at(2), ScoreDist::Piecewise(_)));
@@ -168,7 +228,7 @@ mod tests {
             },
             seed: 3,
         };
-        let t = generate(&spec);
+        let t = generate(&spec).unwrap();
         let mut means: Vec<f64> = t.iter().map(|tu| tu.dist.mean()).collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Two groups near 0.25 and 0.75: the largest gap should be big.

@@ -14,20 +14,28 @@
 //! ## Example
 //!
 //! ```
-//! use ctk_datagen::{DatasetSpec, generate};
+//! use ctk_datagen::{DatagenError, DatasetSpec, generate};
 //!
 //! // The paper's default workload: N=20, U[0,1] centers, width-0.4 pdfs.
-//! let table = generate(&DatasetSpec::paper_default(20, 0.4, 42));
+//! let table = generate(&DatasetSpec::paper_default(20, 0.4, 42)).unwrap();
 //! assert_eq!(table.len(), 20);
 //!
 //! // Same spec, same data — experiments are reproducible.
-//! assert_eq!(table, generate(&DatasetSpec::paper_default(20, 0.4, 42)));
+//! assert_eq!(table, generate(&DatasetSpec::paper_default(20, 0.4, 42)).unwrap());
+//!
+//! // Malformed specs are errors, not process aborts.
+//! assert_eq!(
+//!     generate(&DatasetSpec::paper_default(0, 0.4, 42)),
+//!     Err(DatagenError::EmptyTable),
+//! );
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod generator;
 pub mod scenarios;
 
 pub use config::{CenterLayout, DatasetSpec, PdfFamily, WidthSpec};
+pub use error::{DatagenError, Result};
 pub use generator::generate;
 pub use scenarios::{HeteroVariant, Scenario};

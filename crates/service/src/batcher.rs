@@ -1,0 +1,278 @@
+//! Cross-session question batching: one service round's worth of
+//! questions from many sessions, deduplicated through an answer cache
+//! before any crowd budget is spent.
+//!
+//! Two tenants asking about the same pair of objects is the common case a
+//! serving layer exists to exploit: the crowd's answer to `t_i ?≺ t_j` is
+//! a fact about the objects, not about the session that asked, so it can
+//! be bought once and served many times. The cache is keyed on the
+//! canonical orientation of the question and re-orients answers on the
+//! way out.
+//!
+//! Caveat: with noisy workers a cached answer is one sample of the
+//! answer distribution, frozen at first ask — sessions sharing it see
+//! positively correlated noise (the economics the paper's §III-C majority
+//! analysis prices). With reliable workers (accuracy 1) the cache is
+//! lossless.
+
+use crate::registry::SessionId;
+use ctk_crowd::{Answer, Crowd, Question};
+use std::collections::HashMap;
+
+/// One remembered crowd verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedAnswer {
+    /// Answer in the *canonical* orientation of the question.
+    pub yes: bool,
+    /// Nominal accuracy of the aggregated answer when it was bought.
+    pub accuracy: f64,
+}
+
+/// Memo of every pairwise verdict the crowd has produced, shared by all
+/// sessions of a service.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerCache {
+    map: HashMap<Question, CachedAnswer>,
+    hits: u64,
+    lookups: u64,
+}
+
+impl AnswerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the answer for `q`, re-oriented to `q`'s own orientation,
+    /// together with the accuracy it was bought at.
+    pub fn get(&mut self, q: Question) -> Option<(Answer, f64)> {
+        self.lookups += 1;
+        let canonical = q.canonical();
+        let cached = self.map.get(&canonical)?;
+        self.hits += 1;
+        Some((
+            Answer {
+                question: q,
+                yes: if q == canonical {
+                    cached.yes
+                } else {
+                    !cached.yes
+                },
+            },
+            cached.accuracy,
+        ))
+    }
+
+    /// Stores a freshly bought answer (canonicalized).
+    pub fn insert(&mut self, answer: Answer, accuracy: f64) {
+        let canonical = answer.question.canonical();
+        let yes = if answer.question == canonical {
+            answer.yes
+        } else {
+            !answer.yes
+        };
+        self.map.insert(canonical, CachedAnswer { yes, accuracy });
+    }
+
+    /// Distinct questions remembered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no answer was cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// One delivered answer with its provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServedAnswer {
+    /// The answer, oriented to the question as the session posed it.
+    pub answer: Answer,
+    /// Nominal accuracy of the answer — the accuracy at *purchase* time
+    /// for cached answers, which may differ from the crowd's current one
+    /// if the backend's policy drifted.
+    pub accuracy: f64,
+    /// True when served from the cache (no crowd budget spent).
+    pub cached: bool,
+}
+
+/// Answers delivered to one session in a round.
+#[derive(Debug, Clone)]
+pub struct SessionAnswers {
+    /// The session the answers belong to.
+    pub id: SessionId,
+    /// Answers, in the order the session's questions were posed. May be a
+    /// prefix of the request when the crowd ran out of budget.
+    pub answers: Vec<ServedAnswer>,
+    /// How many questions the session posed this round.
+    pub requested: usize,
+    /// How many of the delivered answers came from the cache.
+    pub cache_hits: usize,
+}
+
+impl SessionAnswers {
+    /// True when the crowd could not serve the whole request.
+    pub fn starved(&self) -> bool {
+        self.answers.len() < self.requested
+    }
+}
+
+/// Aggregate accounting of one resolved round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Answers delivered across all sessions.
+    pub answers_served: u64,
+    /// Questions actually posed to the crowd backend.
+    pub crowd_questions: u64,
+    /// Answers served from the cache (dedup across and within sessions).
+    pub cache_hits: u64,
+    /// Questions that could not be served (crowd exhausted, no cache).
+    pub unanswered: u64,
+}
+
+/// Resolves one round of batched questions against the cache first and
+/// the crowd second.
+///
+/// Per session, answers are delivered in request order and stop at the
+/// first unanswerable question (the session driver treats a partial
+/// answer set as "crowd exhausted" and winds down, mirroring the
+/// standalone loop). Cache hits never spend crowd budget; a live answer
+/// is cached immediately, so identical questions later in the same round
+/// — from any session — are already hits.
+pub fn resolve_round<C: Crowd>(
+    requests: &[(SessionId, Vec<Question>)],
+    crowd: &mut C,
+    cache: &mut AnswerCache,
+) -> (Vec<SessionAnswers>, RoundStats) {
+    let mut out = Vec::with_capacity(requests.len());
+    let mut stats = RoundStats::default();
+    for (id, questions) in requests {
+        let mut answers = Vec::with_capacity(questions.len());
+        let mut hits = 0;
+        for q in questions {
+            if let Some((ans, accuracy)) = cache.get(*q) {
+                hits += 1;
+                answers.push(ServedAnswer {
+                    answer: ans,
+                    accuracy,
+                    cached: true,
+                });
+            } else if let Some(ans) = crowd.ask(*q) {
+                stats.crowd_questions += 1;
+                let accuracy = crowd.answer_accuracy();
+                cache.insert(ans, accuracy);
+                answers.push(ServedAnswer {
+                    answer: ans,
+                    accuracy,
+                    cached: false,
+                });
+            } else {
+                // Crowd exhausted and nothing cached: this session gets a
+                // prefix; later questions of *other* sessions may still be
+                // cache hits, so keep resolving.
+                break;
+            }
+        }
+        stats.answers_served += answers.len() as u64;
+        stats.cache_hits += hits as u64;
+        stats.unanswered += (questions.len() - answers.len()) as u64;
+        out.push(SessionAnswers {
+            id: *id,
+            answers,
+            requested: questions.len(),
+            cache_hits: hits,
+        });
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+
+    fn crowd(budget: usize) -> CrowdSimulator<PerfectWorker> {
+        CrowdSimulator::new(
+            GroundTruth::from_scores(vec![0.1, 0.5, 0.9]),
+            PerfectWorker,
+            VotePolicy::Single,
+            budget,
+        )
+    }
+
+    #[test]
+    fn cache_orients_answers() {
+        let mut cache = AnswerCache::new();
+        // Truth: 2 ranks above 0, stored via the (2, 0) orientation.
+        cache.insert(
+            Answer {
+                question: Question::new(2, 0),
+                yes: true,
+            },
+            1.0,
+        );
+        assert_eq!(cache.len(), 1);
+        let (a, acc) = cache.get(Question::new(2, 0)).unwrap();
+        assert!(a.yes);
+        assert_eq!(acc, 1.0, "purchase-time accuracy is preserved");
+        let (b, _) = cache.get(Question::new(0, 2)).unwrap();
+        assert!(!b.yes, "flipped orientation must flip the answer");
+        assert_eq!(b.question, Question::new(0, 2));
+        assert_eq!(cache.hits(), 2);
+        assert!(cache.get(Question::new(0, 1)).is_none());
+        assert_eq!(cache.lookups(), 3);
+    }
+
+    #[test]
+    fn duplicate_questions_cost_one_crowd_ask() {
+        let mut c = crowd(10);
+        let mut cache = AnswerCache::new();
+        let requests = vec![
+            (SessionId(0), vec![Question::new(1, 0), Question::new(2, 1)]),
+            (SessionId(1), vec![Question::new(0, 1), Question::new(2, 1)]),
+        ];
+        let (served, stats) = resolve_round(&requests, &mut c, &mut cache);
+        assert_eq!(stats.answers_served, 4);
+        assert_eq!(stats.crowd_questions, 2, "two distinct pairs");
+        assert_eq!(stats.cache_hits, 2, "second session fully deduped");
+        assert_eq!(stats.unanswered, 0);
+        // Both sessions got consistent verdicts, with provenance.
+        assert!(served[0].answers[0].answer.yes); // 1 above 0
+        assert!(!served[1].answers[0].answer.yes); // 0 NOT above 1
+        assert!(served[0].answers[1].answer.yes && served[1].answers[1].answer.yes);
+        assert!(!served[0].answers[0].cached && served[1].answers[0].cached);
+        assert_eq!(c.remaining(), 8);
+    }
+
+    #[test]
+    fn exhausted_crowd_yields_prefixes_but_serves_cache() {
+        let mut c = crowd(1);
+        let mut cache = AnswerCache::new();
+        let requests = vec![
+            (SessionId(0), vec![Question::new(1, 0), Question::new(2, 1)]),
+            (SessionId(1), vec![Question::new(1, 0)]),
+        ];
+        let (served, stats) = resolve_round(&requests, &mut c, &mut cache);
+        // Session 0: first answered live, second unanswerable.
+        assert_eq!(served[0].answers.len(), 1);
+        assert!(served[0].starved());
+        // Session 1: crowd is spent but the answer is cached.
+        assert_eq!(served[1].answers.len(), 1);
+        assert!(!served[1].starved());
+        assert_eq!(served[1].cache_hits, 1);
+        assert_eq!(stats.unanswered, 1);
+        assert_eq!(stats.crowd_questions, 1);
+    }
+}

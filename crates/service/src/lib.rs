@@ -1,0 +1,41 @@
+//! # ctk-service — multi-session query serving
+//!
+//! Serving layer of the `crowd-topk` workspace (reproduction of
+//! *“Crowdsourcing for Top-K Query Processing over Uncertain Data”*,
+//! Ciceri et al., ICDE 2016 / TKDE 28(1)): runs many uncertainty-reduction
+//! sessions concurrently against **one** shared crowd backend — the regime
+//! a real crowdsourcing platform operates in, where questions from many
+//! simultaneous queries are multiplexed over the same worker pool.
+//!
+//! The layer is built on the sans-IO [`ctk_core::driver::SessionDriver`]:
+//! each session is a state machine that emits question batches and absorbs
+//! answers, and this crate owns the dispatch:
+//!
+//! * [`registry`] — session registry: per-session budgets and lifecycle
+//!   states (queued / awaiting-answers / done / failed);
+//! * [`scheduler`] — priority-first, round-robin-within-priority round
+//!   planning with bounded fanout;
+//! * [`batcher`] — cross-session question batching with an
+//!   [`AnswerCache`]: identical pairwise questions from different tenants
+//!   are answered once, then served from memory, before any crowd budget
+//!   is spent;
+//! * [`service`] — [`TopKService`], the round loop tying them together;
+//! * [`metrics`] — throughput / latency / cache-hit accounting.
+//!
+//! With reliable (accuracy-1) workers the multiplexing is *lossless*:
+//! every session's final report equals the one the standalone blocking
+//! [`ctk_core::session::UrSession::run`] produces under the same seed —
+//! the integration suite pins this for 32 concurrent tenants. See
+//! DESIGN.md §7 for the architecture discussion.
+
+pub mod batcher;
+pub mod metrics;
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+
+pub use batcher::{AnswerCache, RoundStats, ServedAnswer, SessionAnswers};
+pub use metrics::ServiceMetrics;
+pub use registry::{Registry, SessionId, SessionSpec, SessionState};
+pub use scheduler::Scheduler;
+pub use service::{RoundOutcome, TopKService};

@@ -1,0 +1,145 @@
+//! Service-level observability: throughput, latency and cache economics.
+
+use std::time::Duration;
+
+/// Counters and timings accumulated over a service's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Sessions accepted by `submit`.
+    pub submitted: u64,
+    /// Sessions that finished with a report.
+    pub completed: u64,
+    /// Sessions that ended in a driver error.
+    pub failed: u64,
+    /// Sessions whose round was cut short by an exhausted crowd at least
+    /// once (they still complete, with fewer questions than budgeted).
+    pub starved: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Answers delivered to sessions (cached + live).
+    pub answers_served: u64,
+    /// Questions actually posed to the crowd backend.
+    pub crowd_questions: u64,
+    /// Answers served from the cross-session answer cache.
+    pub cache_hits: u64,
+    /// Wall time spent inside `tick` (selection, crowd calls, updates).
+    pub serving_time: Duration,
+    latency_sum: Duration,
+    latency_max: Duration,
+    latency_count: u64,
+}
+
+impl ServiceMetrics {
+    /// Records one finished session's enqueue-to-done latency.
+    pub(crate) fn record_latency(&mut self, latency: Duration) {
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        self.latency_count += 1;
+    }
+
+    /// Fraction of delivered answers that never touched the crowd.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.answers_served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.answers_served as f64
+        }
+    }
+
+    /// Crowd budget saved by deduplication, in questions.
+    pub fn questions_saved(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Mean enqueue-to-done latency over finished sessions.
+    pub fn avg_latency(&self) -> Option<Duration> {
+        (self.latency_count > 0).then(|| self.latency_sum / self.latency_count as u32)
+    }
+
+    /// Worst enqueue-to-done latency.
+    pub fn max_latency(&self) -> Option<Duration> {
+        (self.latency_count > 0).then_some(self.latency_max)
+    }
+
+    /// Answers delivered per second of serving time.
+    pub fn answers_per_sec(&self) -> f64 {
+        let secs = self.serving_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.answers_served as f64 / secs
+        }
+    }
+
+    /// Sessions completed per second of serving time.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.serving_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "sessions: {} submitted, {} completed, {} failed, {} starved | \
+             rounds: {} | answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
+             throughput: {:.0} answers/s, {:.1} sessions/s | latency avg {:?} max {:?}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.starved,
+            self.rounds,
+            self.answers_served,
+            self.crowd_questions,
+            self.cache_hits,
+            100.0 * self.cache_hit_rate(),
+            self.answers_per_sec(),
+            self.sessions_per_sec(),
+            self.avg_latency().unwrap_or_default(),
+            self.max_latency().unwrap_or_default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.answers_per_sec(), 0.0);
+        assert_eq!(m.sessions_per_sec(), 0.0);
+        assert!(m.avg_latency().is_none());
+        assert!(m.max_latency().is_none());
+    }
+
+    #[test]
+    fn latency_aggregation() {
+        let mut m = ServiceMetrics::default();
+        m.record_latency(Duration::from_millis(10));
+        m.record_latency(Duration::from_millis(30));
+        assert_eq!(m.avg_latency(), Some(Duration::from_millis(20)));
+        assert_eq!(m.max_latency(), Some(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let mut m = ServiceMetrics {
+            submitted: 32,
+            completed: 32,
+            answers_served: 100,
+            cache_hits: 40,
+            crowd_questions: 60,
+            ..ServiceMetrics::default()
+        };
+        m.record_latency(Duration::from_millis(5));
+        let s = m.summary();
+        assert!(s.contains("32 submitted"));
+        assert!(s.contains("40.0% hit rate"));
+    }
+}

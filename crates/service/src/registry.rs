@@ -1,0 +1,179 @@
+//! The session registry: who is being served, with what allowance, and
+//! where each session stands in its lifecycle.
+
+use ctk_core::driver::SessionDriver;
+use ctk_core::session::{SessionConfig, UrReport};
+use ctk_core::CoreError;
+use ctk_crowd::BudgetLedger;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque handle to a submitted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Lifecycle of a served session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Registered and runnable: the scheduler may request its next batch.
+    Queued,
+    /// Questions are on the wire; the session waits for crowd answers
+    /// (transient within one service round).
+    AwaitingAnswers,
+    /// Finished; the report is available.
+    Done,
+    /// The driver reported an error; see the stored [`CoreError`].
+    Failed,
+}
+
+/// What a tenant submits: a session configuration plus scheduling
+/// priority (higher runs first; equal priorities are served round-robin).
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The session configuration (query depth, budget, algorithm, …).
+    pub config: SessionConfig,
+    /// Scheduling priority; higher is more urgent. Default 0.
+    pub priority: u8,
+}
+
+impl SessionSpec {
+    /// A spec at the default priority.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            config,
+            priority: 0,
+        }
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// One registered session.
+pub(crate) struct SessionEntry {
+    pub(crate) id: SessionId,
+    pub(crate) priority: u8,
+    /// Per-session budget accounting: every answer delivered to the
+    /// session (cached or live) consumes one unit, exactly as a question
+    /// consumes a standalone crowd's budget. Its `votes()` counts *live
+    /// crowd interactions* (0 for cache hits) — worker-level vote counts
+    /// under majority policies are visible only to the crowd backend's
+    /// own ledger.
+    pub(crate) ledger: BudgetLedger,
+    pub(crate) state: SessionState,
+    pub(crate) driver: Option<SessionDriver>,
+    pub(crate) report: Option<UrReport>,
+    pub(crate) error: Option<CoreError>,
+    pub(crate) submitted_at: Instant,
+    pub(crate) latency: Option<Duration>,
+}
+
+/// The set of sessions a service instance is responsible for.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<SessionEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new session in the `Queued` state.
+    pub(crate) fn insert(&mut self, driver: SessionDriver, priority: u8) -> SessionId {
+        let id = SessionId(self.entries.len() as u64);
+        let budget = driver.config().budget;
+        self.entries.push(SessionEntry {
+            id,
+            priority,
+            ledger: BudgetLedger::new(budget),
+            state: SessionState::Queued,
+            driver: Some(driver),
+            report: None,
+            error: None,
+            submitted_at: Instant::now(),
+            latency: None,
+        });
+        id
+    }
+
+    pub(crate) fn get(&self, id: SessionId) -> Option<&SessionEntry> {
+        self.entries.get(id.0 as usize)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: SessionId) -> Option<&mut SessionEntry> {
+        self.entries.get_mut(id.0 as usize)
+    }
+
+    /// Sessions the scheduler may serve this round, with their priority.
+    pub(crate) fn runnable(&self) -> Vec<(SessionId, u8)> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SessionState::Queued)
+            .map(|e| (e.id, e.priority))
+            .collect()
+    }
+
+    /// Total registered sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was ever submitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sessions not yet done or failed.
+    pub fn active(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.state,
+                    SessionState::Queued | SessionState::AwaitingAnswers
+                )
+            })
+            .count()
+    }
+
+    /// Lifecycle state of a session.
+    pub fn state(&self, id: SessionId) -> Option<SessionState> {
+        self.get(id).map(|e| e.state)
+    }
+
+    /// Final report of a `Done` session.
+    pub fn report(&self, id: SessionId) -> Option<&UrReport> {
+        self.get(id).and_then(|e| e.report.as_ref())
+    }
+
+    /// Error of a `Failed` session.
+    pub fn error(&self, id: SessionId) -> Option<&CoreError> {
+        self.get(id).and_then(|e| e.error.as_ref())
+    }
+
+    /// Questions answered for a session so far (cached + live).
+    pub fn questions_served(&self, id: SessionId) -> Option<usize> {
+        self.get(id).map(|e| e.ledger.asked())
+    }
+
+    /// Enqueue-to-done latency of a finished session.
+    pub fn latency(&self, id: SessionId) -> Option<Duration> {
+        self.get(id).and_then(|e| e.latency)
+    }
+
+    /// All session ids in submission order.
+    pub fn ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+}

@@ -1,0 +1,465 @@
+//! The serving loop: multiplexes many [`SessionDriver`]s over one shared
+//! crowd backend, one scheduling round at a time.
+
+use crate::batcher::{resolve_round, AnswerCache};
+use crate::metrics::ServiceMetrics;
+use crate::registry::{Registry, SessionId, SessionSpec, SessionState};
+use crate::scheduler::Scheduler;
+use ctk_core::driver::{DriverStatus, SessionDriver};
+use ctk_core::session::UrReport;
+use ctk_core::{CoreError, Result};
+use ctk_crowd::{Crowd, Question};
+use ctk_prob::UncertainTable;
+use ctk_rank::RankList;
+use std::time::Instant;
+
+/// What one scheduling round did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundOutcome {
+    /// Sessions the scheduler picked this round.
+    pub scheduled: usize,
+    /// Answers delivered to sessions.
+    pub answers_served: u64,
+    /// Answers that came from the cache.
+    pub cache_hits: u64,
+    /// Sessions that reached `Done` or `Failed` this round.
+    pub finished: usize,
+}
+
+impl RoundOutcome {
+    /// True when the round moved any session forward.
+    pub fn progressed(&self) -> bool {
+        self.scheduled > 0
+    }
+}
+
+/// A multi-tenant top-K query service over one crowd backend.
+///
+/// Sessions are submitted with [`TopKService::submit`] and served in
+/// rounds: each [`TopKService::tick`] asks the scheduler which sessions
+/// run, gathers their next question batches from the sans-IO drivers,
+/// deduplicates the batch through the answer cache, spends crowd budget
+/// only on cache misses, and feeds the answers back. With reliable
+/// (accuracy-1) workers, every session's final report is identical to the
+/// one a standalone [`ctk_core::session::UrSession::run`] produces under
+/// the same seed — the cache serves facts, not approximations.
+///
+/// ```
+/// use ctk_core::measures::MeasureKind;
+/// use ctk_core::session::{Algorithm, SessionConfig};
+/// use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+/// use ctk_prob::{ScoreDist, UncertainTable};
+/// use ctk_service::{SessionSpec, TopKService};
+/// use ctk_tpo::build::{Engine, McConfig};
+///
+/// let table = UncertainTable::new((0..5).map(|i| {
+///     ScoreDist::uniform_centered(0.2 * i as f64, 0.5).unwrap()
+/// }).collect()).unwrap();
+/// let truth = GroundTruth::sample(&table, 1);
+/// let crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000);
+///
+/// let mut service = TopKService::new(crowd);
+/// let config = SessionConfig {
+///     k: 2,
+///     budget: 6,
+///     measure: MeasureKind::WeightedEntropy,
+///     algorithm: Algorithm::T1On,
+///     engine: Engine::MonteCarlo(McConfig { worlds: 1500, seed: 3 }),
+///     seed: 0,
+///     uncertainty_target: None,
+/// };
+/// let a = service.submit(&table, SessionSpec::new(config.clone())).unwrap();
+/// let b = service.submit(&table, SessionSpec::new(config)).unwrap();
+/// service.run_to_completion();
+///
+/// // Identical configs: the second tenant rides the first one's answers.
+/// assert!(service.report(a).unwrap().same_outcome(service.report(b).unwrap()));
+/// assert!(service.metrics().cache_hits > 0);
+/// ```
+pub struct TopKService<C: Crowd> {
+    crowd: C,
+    cache: AnswerCache,
+    registry: Registry,
+    scheduler: Scheduler,
+    metrics: ServiceMetrics,
+}
+
+impl<C: Crowd> TopKService<C> {
+    /// A service over `crowd` with unbounded per-round fanout.
+    pub fn new(crowd: C) -> Self {
+        Self {
+            crowd,
+            cache: AnswerCache::new(),
+            registry: Registry::new(),
+            scheduler: Scheduler::new(),
+            metrics: ServiceMetrics::default(),
+        }
+    }
+
+    /// Bounds how many sessions are served per round (builder style).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.scheduler = Scheduler::with_fanout(fanout);
+        self
+    }
+
+    /// Registers a session over `table`. The TPO (or world sample) is
+    /// built now, so an invalid configuration fails fast.
+    pub fn submit(&mut self, table: &UncertainTable, spec: SessionSpec) -> Result<SessionId> {
+        self.submit_with_truth(table, spec, None)
+    }
+
+    /// Like [`TopKService::submit`], additionally recording
+    /// `D(ω_r, T_K)` per step against the given ground-truth top-K.
+    pub fn submit_with_truth(
+        &mut self,
+        table: &UncertainTable,
+        spec: SessionSpec,
+        truth: Option<&RankList>,
+    ) -> Result<SessionId> {
+        let driver = SessionDriver::new(spec.config, table, truth)?;
+        let id = self.registry.insert(driver, spec.priority);
+        self.metrics.submitted += 1;
+        Ok(id)
+    }
+
+    /// Runs one scheduling round. Returns what happened; a round over an
+    /// idle service is a no-op.
+    pub fn tick(&mut self) -> RoundOutcome {
+        let t0 = Instant::now();
+        let mut outcome = RoundOutcome::default();
+        let runnable = self.registry.runnable();
+        if runnable.is_empty() {
+            return outcome;
+        }
+        self.metrics.rounds += 1;
+        let planned = self.scheduler.plan_round(&runnable);
+        outcome.scheduled = planned.len();
+
+        // Phase 1: gather question batches from the scheduled drivers.
+        // The allowance is the *session's* remaining budget only — the
+        // shared crowd's budget deliberately does not gate emission,
+        // because the answer cache can serve a question at zero crowd
+        // cost; only questions that actually need a live answer starve
+        // (per-question, in the batcher below).
+        let mut requests: Vec<(SessionId, Vec<Question>)> = Vec::with_capacity(planned.len());
+        for id in planned {
+            let entry = self.registry.get_mut(id).expect("scheduled id exists");
+            let allowance = entry.ledger.remaining();
+            let driver = entry.driver.as_mut().expect("queued session has driver");
+            match driver.next_batch(allowance) {
+                Ok(batch) if batch.is_empty() => {
+                    self.finalize(id);
+                    outcome.finished += 1;
+                }
+                Ok(batch) => {
+                    entry.state = SessionState::AwaitingAnswers;
+                    requests.push((id, batch));
+                }
+                Err(err) => {
+                    self.fail(id, err);
+                    outcome.finished += 1;
+                }
+            }
+        }
+
+        // Phase 2: resolve the cross-session batch (cache first, crowd
+        // second) and feed answers back, each with the accuracy it was
+        // actually bought at (a cached answer keeps its purchase-time
+        // accuracy even if the backend's policy drifted since).
+        let (served, stats) = resolve_round(&requests, &mut self.crowd, &mut self.cache);
+        for sa in served {
+            let entry = self.registry.get_mut(sa.id).expect("served id exists");
+            for ans in &sa.answers {
+                // Ledger votes count *live* crowd interactions; cache
+                // hits consume session budget but no crowd budget.
+                entry.ledger.record(ans.answer, usize::from(!ans.cached));
+            }
+            if sa.starved() {
+                self.metrics.starved += 1;
+            }
+            let graded: Vec<_> = sa.answers.iter().map(|a| (a.answer, a.accuracy)).collect();
+            let driver = entry.driver.as_mut().expect("awaiting session has driver");
+            match driver.feed_graded(&graded) {
+                Ok(DriverStatus::Done) => {
+                    self.finalize(sa.id);
+                    outcome.finished += 1;
+                }
+                Ok(DriverStatus::Active) => {
+                    entry.state = SessionState::Queued;
+                }
+                Err(err) => {
+                    self.fail(sa.id, err);
+                    outcome.finished += 1;
+                }
+            }
+        }
+
+        outcome.answers_served = stats.answers_served;
+        outcome.cache_hits = stats.cache_hits;
+        self.metrics.answers_served += stats.answers_served;
+        self.metrics.crowd_questions += stats.crowd_questions;
+        self.metrics.cache_hits += stats.cache_hits;
+        self.metrics.serving_time += t0.elapsed();
+        outcome
+    }
+
+    /// Ticks until every session is done or failed (or no round makes
+    /// progress, which cannot happen with a well-formed driver but is
+    /// guarded against anyway). Returns the accumulated metrics.
+    pub fn run_to_completion(&mut self) -> &ServiceMetrics {
+        while self.registry.active() > 0 {
+            if !self.tick().progressed() {
+                break;
+            }
+        }
+        &self.metrics
+    }
+
+    /// Lifecycle state of a session.
+    pub fn state(&self, id: SessionId) -> Option<SessionState> {
+        self.registry.state(id)
+    }
+
+    /// Final report of a `Done` session.
+    pub fn report(&self, id: SessionId) -> Option<&UrReport> {
+        self.registry.report(id)
+    }
+
+    /// Error of a `Failed` session.
+    pub fn error(&self, id: SessionId) -> Option<&CoreError> {
+        self.registry.error(id)
+    }
+
+    /// Accumulated service metrics.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The session registry (read-only inspection).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared crowd backend.
+    pub fn crowd(&self) -> &C {
+        &self.crowd
+    }
+
+    /// The shared answer cache.
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    fn finalize(&mut self, id: SessionId) {
+        let entry = self.registry.get_mut(id).expect("finalized id exists");
+        let driver = entry.driver.take().expect("finalize once");
+        match driver.finish() {
+            Ok(report) => {
+                entry.report = Some(report);
+                entry.state = SessionState::Done;
+                let latency = entry.submitted_at.elapsed();
+                entry.latency = Some(latency);
+                self.metrics.completed += 1;
+                self.metrics.record_latency(latency);
+            }
+            Err(err) => {
+                entry.error = Some(err);
+                entry.state = SessionState::Failed;
+                self.metrics.failed += 1;
+            }
+        }
+    }
+
+    fn fail(&mut self, id: SessionId, err: CoreError) {
+        let entry = self.registry.get_mut(id).expect("failed id exists");
+        entry.driver = None;
+        entry.error = Some(err);
+        entry.state = SessionState::Failed;
+        self.metrics.failed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_core::measures::MeasureKind;
+    use ctk_core::session::{Algorithm, SessionConfig, UrSession};
+    use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+    use ctk_prob::ScoreDist;
+    use ctk_tpo::build::{Engine, McConfig};
+
+    fn table() -> UncertainTable {
+        UncertainTable::new(
+            (0..7)
+                .map(|i| ScoreDist::uniform_centered(i as f64 * 0.12, 0.4).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn config(algorithm: Algorithm, seed: u64) -> SessionConfig {
+        SessionConfig {
+            k: 3,
+            budget: 6,
+            measure: MeasureKind::WeightedEntropy,
+            algorithm,
+            engine: Engine::MonteCarlo(McConfig {
+                worlds: 2000,
+                seed: 7,
+            }),
+            seed,
+            uncertainty_target: None,
+        }
+    }
+
+    fn service(budget: usize) -> TopKService<CrowdSimulator<PerfectWorker>> {
+        let truth = GroundTruth::sample(&table(), 99);
+        TopKService::new(CrowdSimulator::new(
+            truth,
+            PerfectWorker,
+            VotePolicy::Single,
+            budget,
+        ))
+    }
+
+    #[test]
+    fn lifecycle_reaches_done() {
+        let mut svc = service(1000);
+        let id = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        assert_eq!(svc.state(id), Some(SessionState::Queued));
+        assert!(svc.report(id).is_none());
+        svc.run_to_completion();
+        assert_eq!(svc.state(id), Some(SessionState::Done));
+        let report = svc.report(id).unwrap();
+        assert!(report.questions_asked() > 0);
+        assert_eq!(svc.metrics().completed, 1);
+        assert_eq!(svc.metrics().failed, 0);
+        assert!(svc.registry().latency(id).is_some());
+    }
+
+    #[test]
+    fn invalid_config_fails_at_submit() {
+        let mut svc = service(100);
+        let mut bad = config(Algorithm::T1On, 0);
+        bad.k = 100;
+        assert!(svc.submit(&table(), SessionSpec::new(bad)).is_err());
+        assert_eq!(svc.metrics().submitted, 0);
+    }
+
+    #[test]
+    fn identical_tenants_share_crowd_answers() {
+        let mut svc = service(1000);
+        let a = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::TbOff, 1)))
+            .unwrap();
+        let b = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::TbOff, 1)))
+            .unwrap();
+        svc.run_to_completion();
+        let (ra, rb) = (svc.report(a).unwrap(), svc.report(b).unwrap());
+        assert!(ra.same_outcome(rb));
+        assert!(svc.metrics().cache_hits > 0, "dedup must kick in");
+        // The cache paid for half the questions.
+        assert!(svc.metrics().crowd_questions < svc.metrics().answers_served);
+    }
+
+    #[test]
+    fn starved_sessions_still_complete() {
+        // Crowd can only afford 3 questions for two 6-question tenants
+        // asking different things (different algorithms/seeds).
+        let mut svc = service(3).with_fanout(1);
+        let a = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        let b = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::Random, 5)))
+            .unwrap();
+        svc.run_to_completion();
+        assert_eq!(svc.state(a), Some(SessionState::Done));
+        assert_eq!(svc.state(b), Some(SessionState::Done));
+        let asked: usize = [a, b]
+            .iter()
+            .map(|id| svc.report(*id).unwrap().questions_asked())
+            .sum();
+        // Cache hits can stretch 3 crowd questions further, but live asks
+        // cannot exceed the crowd budget.
+        assert!(svc.metrics().crowd_questions <= 3);
+        assert!(asked >= 3usize.min(asked), "sessions still made progress");
+        assert_eq!(svc.metrics().completed, 2);
+    }
+
+    #[test]
+    fn cache_rescues_sessions_after_crowd_exhaustion() {
+        // Regression: the shared crowd affords exactly one tenant's
+        // budget. Tenant A spends it all; identical tenant B must still
+        // complete its FULL session from the cache — an exhausted crowd
+        // must not gate questions the cache can answer for free.
+        let mut svc = service(6).with_fanout(1);
+        let cfg = config(Algorithm::TbOff, 1);
+        let a = svc.submit(&table(), SessionSpec::new(cfg.clone())).unwrap();
+        let b = svc.submit(&table(), SessionSpec::new(cfg.clone())).unwrap();
+        svc.run_to_completion();
+        assert_eq!(svc.state(a), Some(SessionState::Done));
+        assert_eq!(svc.state(b), Some(SessionState::Done));
+        let (ra, rb) = (svc.report(a).unwrap(), svc.report(b).unwrap());
+        assert!(
+            rb.questions_asked() == ra.questions_asked() && rb.same_outcome(ra),
+            "tenant B must ride the cache to a full run: A {} steps, B {} steps",
+            ra.questions_asked(),
+            rb.questions_asked()
+        );
+        assert_eq!(
+            svc.metrics().crowd_questions,
+            ra.questions_asked() as u64,
+            "only A's run spends crowd budget"
+        );
+        assert_eq!(svc.metrics().cache_hits, rb.questions_asked() as u64);
+        // And B equals its standalone run, preserving losslessness.
+        let truth = GroundTruth::sample(&table(), 99);
+        let mut own = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 6);
+        let standalone = UrSession::new(cfg)
+            .unwrap()
+            .run(&table(), &mut own)
+            .unwrap();
+        assert!(rb.same_outcome(&standalone));
+    }
+
+    #[test]
+    fn priorities_finish_first_under_bounded_fanout() {
+        let mut svc = service(1000).with_fanout(1);
+        let low = svc
+            .submit(
+                &table(),
+                SessionSpec::new(config(Algorithm::T1On, 0)).with_priority(0),
+            )
+            .unwrap();
+        let high = svc
+            .submit(
+                &table(),
+                SessionSpec::new(config(Algorithm::T1On, 1)).with_priority(9),
+            )
+            .unwrap();
+        // Tick until one finishes: it must be the high-priority one.
+        loop {
+            svc.tick();
+            let done_high = svc.state(high) == Some(SessionState::Done);
+            let done_low = svc.state(low) == Some(SessionState::Done);
+            if done_high || done_low {
+                assert!(done_high, "high priority must finish first");
+                break;
+            }
+        }
+        svc.run_to_completion();
+        assert_eq!(svc.metrics().completed, 2);
+    }
+
+    #[test]
+    fn idle_tick_is_a_noop() {
+        let mut svc = service(10);
+        let outcome = svc.tick();
+        assert!(!outcome.progressed());
+        assert_eq!(svc.metrics().rounds, 0);
+    }
+}

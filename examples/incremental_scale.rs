@@ -17,7 +17,7 @@ fn main() {
     println!("     N   algorithm   final D   questions   time");
 
     for n in [20usize, 40, 60] {
-        let table = generate(&DatasetSpec::paper_default(n, 0.35, 7));
+        let table = generate(&DatasetSpec::paper_default(n, 0.35, 7)).expect("valid spec");
         let truth = GroundTruth::sample(&table, 123);
         let top = truth.top_k(K);
 

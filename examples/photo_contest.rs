@@ -23,7 +23,7 @@ fn main() {
         },
         seed: 77,
     };
-    let table = generate(&spec);
+    let table = generate(&spec).expect("valid spec");
     const K: usize = 5;
     const BUDGET: usize = 25;
 

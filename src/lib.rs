@@ -14,7 +14,8 @@
 //! | [`tpo`] | the tree of possible orderings: construction engines, pruning, Bayesian updates |
 //! | [`crowd`] | questions, workers, vote aggregation, budget ledger, crowd simulator |
 //! | [`datagen`] | synthetic datasets and the paper's experiment scenarios |
-//! | [`core`] | uncertainty measures, expected residual uncertainty, question-selection strategies, the UR session |
+//! | [`core`] | uncertainty measures, expected residual uncertainty, question-selection strategies, the sans-IO session driver, the UR session |
+//! | [`service`] | multi-session serving: registry, scheduler, cross-session question batching with an answer cache |
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use ctk_crowd as crowd;
 pub use ctk_datagen as datagen;
 pub use ctk_prob as prob;
 pub use ctk_rank as rank;
+pub use ctk_service as service;
 pub use ctk_tpo as tpo;
 
 /// One-stop imports: the core prelude plus the most-used substrate types.
@@ -55,5 +57,6 @@ pub mod prelude {
     pub use ctk_core::prelude::*;
     pub use ctk_prob::{ScoreDist, TupleId, UncertainTable};
     pub use ctk_rank::RankList;
+    pub use ctk_service::{SessionSpec, SessionState, TopKService};
     pub use ctk_tpo::{PathSet, Tpo};
 }

@@ -76,7 +76,7 @@ fn different_seeds_differ_somewhere() {
 #[test]
 fn dataset_generation_is_pure() {
     let spec = DatasetSpec::paper_default(25, 0.4, 9);
-    assert_eq!(generate(&spec), generate(&spec));
+    assert_eq!(generate(&spec).unwrap(), generate(&spec).unwrap());
 }
 
 #[test]

@@ -51,7 +51,7 @@ fn structural_measures_do_not_lose_to_plain_entropy() {
 }
 
 fn run_incr_vs_t1(n: usize, budget: usize) -> (Duration, Duration, f64, f64) {
-    let table = generate(&DatasetSpec::paper_default(n, 0.35, 11));
+    let table = generate(&DatasetSpec::paper_default(n, 0.35, 11)).expect("valid spec");
     let truth = GroundTruth::sample(&table, 500);
     let top = truth.top_k(5);
 
