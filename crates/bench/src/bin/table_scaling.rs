@@ -3,7 +3,10 @@
 //! the structural reason uncertainty reduction is needed at all, and the
 //! backdrop for the exact-vs-MC engine trade-off.
 //!
-//! `cargo run --release -p ctk-bench --bin table_scaling [runs]`
+//! `cargo run --release -p ctk-bench --bin table_scaling [runs] [--small]`
+//!
+//! `--small` restricts the sweep to the two smallest table sizes and
+//! widths (the CI bench-smoke configuration).
 
 use ctk_bench::{emit_tsv, fmt_secs, runs_from_args};
 use ctk_datagen::{generate, DatasetSpec};
@@ -12,12 +15,18 @@ use std::time::Instant;
 
 fn main() {
     let runs = runs_from_args(3);
+    let small = std::env::args().any(|a| a == "--small");
     const K: usize = 5;
 
+    let (sizes, widths): (&[usize], &[f64]) = if small {
+        (&[10, 20], &[0.2, 0.4])
+    } else {
+        (&[10, 20, 30, 40], &[0.2, 0.4, 0.6])
+    };
     eprintln!("# T-scaling: orderings and build time vs N and width — K={K}, {runs} runs");
     let mut rows = Vec::new();
-    for n in [10usize, 20, 30, 40] {
-        for width in [0.2f64, 0.4, 0.6] {
+    for &n in sizes {
+        for &width in widths {
             let mut mc_orderings = 0.0;
             let mut mc_secs = 0.0;
             let mut exact_orderings = 0.0;

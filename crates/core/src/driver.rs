@@ -46,6 +46,7 @@ use ctk_tpo::prune::prune;
 use ctk_tpo::update::bayes_update;
 use ctk_tpo::{PathSet, TpoError, WorldModel};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Accuracy at or above which answers are treated as reliable (hard
@@ -86,7 +87,9 @@ enum TreeSel {
 pub struct SessionDriver {
     config: SessionConfig,
     measure: Box<dyn UncertaintyMeasure>,
-    pairwise: PairwiseMatrix,
+    /// Shared so a serving layer can compute the n² quadratures once per
+    /// table and hand the same matrix to every session over it.
+    pairwise: Arc<PairwiseMatrix>,
     truth: Option<RankList>,
     report: UrReport,
     selection_time: Duration,
@@ -119,6 +122,28 @@ impl SessionDriver {
         table: &UncertainTable,
         truth: Option<&RankList>,
     ) -> Result<Self> {
+        let pairwise = Arc::new(PairwiseMatrix::compute(table));
+        Self::new_with_pairwise(config, table, truth, pairwise)
+    }
+
+    /// Like [`SessionDriver::new`] but reusing a precomputed pairwise
+    /// matrix for `table` — the n² comparison quadratures are by far the
+    /// most expensive part of session setup, and a serving layer
+    /// multiplexing many sessions over one table should pay them once
+    /// (see `ctk-service`).
+    pub fn new_with_pairwise(
+        config: SessionConfig,
+        table: &UncertainTable,
+        truth: Option<&RankList>,
+        pairwise: Arc<PairwiseMatrix>,
+    ) -> Result<Self> {
+        if pairwise.len() != table.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "pairwise matrix covers {} tuples but the table has {}",
+                pairwise.len(),
+                table.len()
+            )));
+        }
         if config.k == 0 {
             return Err(CoreError::InvalidConfig("k must be at least 1".into()));
         }
@@ -140,7 +165,6 @@ impl SessionDriver {
             }
         }
         let measure = config.measure.build();
-        let pairwise = PairwiseMatrix::compute(table);
         let started = Instant::now();
         let (mode, report);
         match &config.algorithm {
@@ -157,10 +181,10 @@ impl SessionDriver {
                     Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
                     Engine::Exact(_) => (20_000, config.seed),
                 };
-                let wm = WorldModel::sample(table, worlds, seed);
+                let mut wm = WorldModel::sample(table, worlds, seed)?;
                 // Baseline numbers come from the *full-depth* tree so
                 // reports are comparable with the full-tree algorithms.
-                let initial_ps = wm.path_set(config.k)?;
+                let initial_ps = wm.path_set_cached(config.k)?;
                 report = report_skeleton(&config, &initial_ps, measure.as_ref(), truth);
                 mode = Mode::Incr {
                     wm,
@@ -333,15 +357,16 @@ impl SessionDriver {
     /// recorded so far are kept (an aborted session reports what it
     /// learned).
     pub fn finish(mut self) -> Result<UrReport> {
-        match &self.mode {
+        match &mut self.mode {
             Mode::Tree { ps, .. } => {
                 self.report.resolved = ps.is_resolved();
                 self.report.final_topk = ps.most_probable().items.clone();
             }
             Mode::Incr { wm, .. } => {
                 // Materialize the final full-depth result (cheap: the
-                // belief is already pruned).
-                let final_ps = wm.path_set(self.config.k)?;
+                // belief is already pruned and the prefix groups carry
+                // over from the last round).
+                let final_ps = wm.path_set_cached(self.config.k)?;
                 self.report.resolved = final_ps.is_resolved();
                 self.report.final_topk = final_ps.most_probable().items.clone();
                 // (On a zero-question run there is nothing to fix up: the
@@ -408,11 +433,11 @@ impl SessionDriver {
                     .min(crowd_remaining)
                     .min(self.config.budget - self.report.steps.len());
                 let t = Instant::now();
-                let mut ps = wm.path_set(*depth)?;
+                let mut ps = wm.path_set_cached(*depth)?;
                 let mut pool = crate::select::relevant_questions(&ps, &ctx);
                 while pool.len() < cap && *depth < k {
                     *depth += 1;
-                    ps = wm.path_set(*depth)?;
+                    ps = wm.path_set_cached(*depth)?;
                     pool = crate::select::relevant_questions(&ps, &ctx);
                 }
                 if pool.is_empty() {
@@ -488,8 +513,10 @@ impl SessionDriver {
                 }
                 // Step records are taken at the current construction depth
                 // (all incr can see without the full-depth build it exists
-                // to avoid); finish() fixes up the last one.
-                let cur = wm.path_set(*depth)?;
+                // to avoid); finish() fixes up the last one. The cached
+                // grouping re-sums surviving groups instead of rebuilding
+                // a hash map per answer.
+                let cur = wm.path_set_cached(*depth)?;
                 self.report.steps.push(StepRecord {
                     question: q,
                     answer_yes: yes,
@@ -745,6 +772,59 @@ mod tests {
             steps[1].orderings, steps[0].orderings,
             "bayes update reweights instead of pruning"
         );
+    }
+
+    #[test]
+    fn shared_pairwise_matrix_preserves_outcomes() {
+        let table = table();
+        let shared = Arc::new(PairwiseMatrix::compute(&table));
+        for alg in [
+            Algorithm::TbOff,
+            Algorithm::Incr {
+                questions_per_round: 3,
+            },
+        ] {
+            let truth = GroundTruth::sample(&table, 99);
+            let top = truth.top_k(3);
+            let mut crowd_a =
+                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8);
+            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+            let fresh = drive(config(alg.clone(), 8), &table, &mut crowd_a);
+            let mut driver = SessionDriver::new_with_pairwise(
+                config(alg, 8),
+                &table,
+                Some(&top),
+                Arc::clone(&shared),
+            )
+            .unwrap();
+            loop {
+                let batch = driver.next_batch(crowd_b.remaining()).unwrap();
+                if batch.is_empty() {
+                    break;
+                }
+                let answers: Vec<Answer> = batch.iter().filter_map(|q| crowd_b.ask(*q)).collect();
+                if driver.feed(&answers, crowd_b.answer_accuracy()).unwrap() == DriverStatus::Done {
+                    break;
+                }
+            }
+            let shared_report = driver.finish().unwrap();
+            assert!(fresh.same_outcome(&shared_report));
+        }
+    }
+
+    #[test]
+    fn mismatched_pairwise_matrix_rejected() {
+        let table = table();
+        let small = UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.5, 1.5).unwrap(),
+        ])
+        .unwrap();
+        let wrong = Arc::new(PairwiseMatrix::compute(&small));
+        assert!(matches!(
+            SessionDriver::new_with_pairwise(config(Algorithm::T1On, 4), &table, None, wrong),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -24,12 +24,27 @@
 //! algorithm `C-off` cheap: the partition of the already-selected set is
 //! refined once per round, and each candidate is scored with a one-step
 //! lookahead over the existing classes (DESIGN.md §4).
+//!
+//! ## Hot-path representation
+//!
+//! This module is the inner loop of every greedy/`C-off` selection, so
+//! the partition avoids the two allocation storms the naive layout pays
+//! (DESIGN.md §8): path items are interned behind `Arc<[u32]>` — a class
+//! split clones reference-counted pointers, never the item vectors — and
+//! class uncertainties are evaluated through a scratch buffer that
+//! recycles one `Vec<Path>` (items included) across every candidate of
+//! every round, plus a per-class memo so unsplit classes are never
+//! re-evaluated. All of it is bit-identical to the naive evaluation
+//! (pinned by proptests against
+//! [`AnswerPartition::expected_uncertainty_reference`]).
 
 use crate::measures::UncertaintyMeasure;
 use ctk_crowd::Question;
 use ctk_prob::compare::PairwiseMatrix;
 use ctk_tpo::answers::{implication, Implication};
 use ctk_tpo::{Path, PathSet};
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// Minimum class mass worth tracking (classes below this carry no
 /// measurable expectation weight).
@@ -69,16 +84,54 @@ pub fn answer_probability(ps: &PathSet, q: &Question, ctx: &ResidualCtx<'_>) -> 
         .sum()
 }
 
+/// One weighted ordering with interned items: splits clone the `Arc`, not
+/// the vector.
+#[derive(Debug, Clone)]
+struct IPath {
+    items: Arc<[u32]>,
+    prob: f64,
+}
+
 /// One answer-signature class: a set of weighted paths consistent with one
 /// joint answer outcome (mass = outcome probability; paths unnormalized).
 #[derive(Debug, Clone)]
 struct Class {
-    paths: Vec<Path>,
+    paths: Vec<IPath>,
     mass: f64,
+    /// Lazily memoized `U(class)`; classes are immutable once built, so
+    /// the memo stays valid for the class's lifetime.
+    memo: Cell<Option<f64>>,
 }
 
 impl Class {
-    fn uncertainty(&self, measure: &dyn UncertaintyMeasure, k: usize) -> f64 {
+    fn new(paths: Vec<IPath>, mass: f64) -> Self {
+        Self {
+            paths,
+            mass,
+            memo: Cell::new(None),
+        }
+    }
+
+    fn uncertainty(
+        &self,
+        measure: &dyn UncertaintyMeasure,
+        k: usize,
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        if self.paths.len() <= 1 || self.mass <= MASS_EPS {
+            return 0.0;
+        }
+        if let Some(u) = self.memo.get() {
+            return u;
+        }
+        let u = scratch.eval(measure, k, &self.paths);
+        self.memo.set(Some(u));
+        u
+    }
+
+    /// The naive evaluation (fresh `PathSet` with deep-cloned items) —
+    /// the reference the scratch path must match bit for bit.
+    fn uncertainty_reference(&self, measure: &dyn UncertaintyMeasure, k: usize) -> f64 {
         if self.paths.len() <= 1 || self.mass <= MASS_EPS {
             return 0.0;
         }
@@ -86,11 +139,46 @@ impl Class {
             k,
             self.paths
                 .iter()
-                .map(|p| (p.items.clone(), p.prob))
+                .map(|p| (p.items.to_vec(), p.prob))
                 .collect(),
         )
         .expect("positive-mass class");
         measure.uncertainty(&set)
+    }
+}
+
+/// Reusable evaluation buffer: one `Vec<Path>` whose item vectors are
+/// recycled across class evaluations, so scoring a candidate allocates
+/// nothing once warm.
+#[derive(Debug, Default)]
+struct EvalScratch {
+    buf: Vec<Path>,
+}
+
+impl EvalScratch {
+    /// Evaluates `measure` on the normalized path set of `paths`,
+    /// reproducing [`PathSet::from_weighted`]'s exact float operations
+    /// (filter, canonical sort, one summation order, one division per
+    /// path) so the result is bit-identical to the reference evaluation.
+    fn eval(&mut self, measure: &dyn UncertaintyMeasure, k: usize, paths: &[IPath]) -> f64 {
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.truncate(paths.len());
+        let reused = buf.len();
+        for (slot, p) in buf.iter_mut().zip(paths) {
+            slot.items.clear();
+            slot.items.extend_from_slice(&p.items);
+            slot.prob = p.prob;
+        }
+        for p in &paths[reused..] {
+            buf.push(Path {
+                items: p.items.to_vec(),
+                prob: p.prob,
+            });
+        }
+        let set = PathSet::from_paths(k, buf).expect("positive-mass class");
+        let u = measure.uncertainty(&set);
+        self.buf = set.into_paths();
+        u
     }
 }
 
@@ -101,22 +189,32 @@ pub struct AnswerPartition {
     /// Unresolved classes only (resolved single-ordering classes carry zero
     /// uncertainty under every measure and are dropped eagerly).
     classes: Vec<Class>,
+    scratch: EvalScratch,
 }
 
 impl AnswerPartition {
-    /// The trivial partition: one class holding the whole path set.
+    /// The trivial partition: one class holding the whole path set. Items
+    /// are interned here, once; every later split shares them.
     pub fn root(ps: &PathSet) -> Self {
         let mass: f64 = ps.paths().iter().map(|p| p.prob).sum();
-        let class = Class {
-            paths: ps.paths().to_vec(),
-            mass,
-        };
-        let classes = if class.paths.len() <= 1 {
+        let paths: Vec<IPath> = ps
+            .paths()
+            .iter()
+            .map(|p| IPath {
+                items: Arc::from(p.items.as_slice()),
+                prob: p.prob,
+            })
+            .collect();
+        let classes = if paths.len() <= 1 {
             Vec::new()
         } else {
-            vec![class]
+            vec![Class::new(paths, mass)]
         };
-        Self { k: ps.k(), classes }
+        Self {
+            k: ps.k(),
+            classes,
+            scratch: EvalScratch::default(),
+        }
     }
 
     /// Number of live (unresolved) classes.
@@ -126,29 +224,47 @@ impl AnswerPartition {
 
     /// Expected uncertainty over the partition:
     /// `Σ_class P(class) · U(class)`.
-    pub fn expected_uncertainty(&self, measure: &dyn UncertaintyMeasure) -> f64 {
+    pub fn expected_uncertainty(&mut self, measure: &dyn UncertaintyMeasure) -> f64 {
+        // `.sum()` (not a hand-rolled accumulator): f64's `Sum` folds from
+        // -0.0, and bit-identity with the pre-rewrite implementation
+        // includes the sign of zero on fully resolved partitions.
+        let k = self.k;
+        let (classes, scratch) = (&self.classes, &mut self.scratch);
+        classes
+            .iter()
+            .map(|c| c.mass * c.uncertainty(measure, k, scratch))
+            .sum()
+    }
+
+    /// The pre-rewrite evaluation path (fresh `PathSet` per class, deep
+    /// item clones, no memo). Kept as the reference that equivalence
+    /// tests and the `belief_hot_paths` bench compare against.
+    #[doc(hidden)]
+    pub fn expected_uncertainty_reference(&self, measure: &dyn UncertaintyMeasure) -> f64 {
         self.classes
             .iter()
-            .map(|c| c.mass * c.uncertainty(measure, self.k))
+            .map(|c| c.mass * c.uncertainty_reference(measure, self.k))
             .sum()
     }
 
     /// Expected uncertainty after additionally asking `q` (one-step
-    /// lookahead; the partition itself is not modified).
-    pub fn expected_with_question(&self, q: &Question, ctx: &ResidualCtx<'_>) -> f64 {
+    /// lookahead; the partition's classes are not modified — only the
+    /// per-class memo and the scratch buffer, which is why this takes
+    /// `&mut self`).
+    pub fn expected_with_question(&mut self, q: &Question, ctx: &ResidualCtx<'_>) -> f64 {
         let prior = ctx.prior(q.i, q.j);
         let mut acc = 0.0;
         for class in &self.classes {
             let (yes, no, split) = split_class(class, q, prior);
             if !split {
-                acc += class.mass * class.uncertainty(ctx.measure, self.k);
+                acc += class.mass * class.uncertainty(ctx.measure, self.k, &mut self.scratch);
                 continue;
             }
             if let Some(c) = yes {
-                acc += c.mass * c.uncertainty(ctx.measure, self.k);
+                acc += c.mass * c.uncertainty(ctx.measure, self.k, &mut self.scratch);
             }
             if let Some(c) = no {
-                acc += c.mass * c.uncertainty(ctx.measure, self.k);
+                acc += c.mass * c.uncertainty(ctx.measure, self.k, &mut self.scratch);
             }
         }
         acc
@@ -182,7 +298,7 @@ impl AnswerPartition {
 /// Splits a class by a question. Returns `(yes, no, split)`; `split` is
 /// false when the question does not determine any path of the class (the
 /// class would just be scaled into two copies — a no-op for the
-/// expectation).
+/// expectation). Path items are shared with the parent class via `Arc`.
 fn split_class(class: &Class, q: &Question, prior: f64) -> (Option<Class>, Option<Class>, bool) {
     let mut any_determined = false;
     for p in &class.paths {
@@ -202,23 +318,23 @@ fn split_class(class: &Class, q: &Question, prior: f64) -> (Option<Class>, Optio
             Implication::No => no_paths.push(p.clone()),
             Implication::Undetermined => {
                 if prior > 0.0 {
-                    yes_paths.push(Path {
-                        items: p.items.clone(),
+                    yes_paths.push(IPath {
+                        items: Arc::clone(&p.items),
                         prob: p.prob * prior,
                     });
                 }
                 if prior < 1.0 {
-                    no_paths.push(Path {
-                        items: p.items.clone(),
+                    no_paths.push(IPath {
+                        items: Arc::clone(&p.items),
                         prob: p.prob * (1.0 - prior),
                     });
                 }
             }
         }
     }
-    let wrap = |paths: Vec<Path>| -> Option<Class> {
+    let wrap = |paths: Vec<IPath>| -> Option<Class> {
         let mass: f64 = paths.iter().map(|p| p.prob).sum();
-        (mass > MASS_EPS).then_some(Class { paths, mass })
+        (mass > MASS_EPS).then_some(Class::new(paths, mass))
     };
     (wrap(yes_paths), wrap(no_paths), true)
 }
@@ -387,6 +503,36 @@ mod tests {
                 "{}: partition {fast} vs brute {brute}",
                 kind.name()
             );
+        }
+    }
+
+    #[test]
+    fn scratch_evaluation_is_bit_identical_to_reference() {
+        let pw = PairwiseMatrix::compute(&table3());
+        let s = sample();
+        for kind in MeasureKind::all() {
+            let m = kind.build();
+            let ctx = ResidualCtx {
+                measure: m.as_ref(),
+                pairwise: &pw,
+            };
+            let mut part = AnswerPartition::root(&s);
+            for q in [Question::new(0, 1), Question::new(0, 2)] {
+                let reference = part.expected_uncertainty_reference(ctx.measure);
+                let scratch = part.expected_uncertainty(ctx.measure);
+                assert_eq!(
+                    scratch.to_bits(),
+                    reference.to_bits(),
+                    "{}: {scratch} vs {reference}",
+                    kind.name()
+                );
+                // And again, to exercise the memo path.
+                assert_eq!(
+                    part.expected_uncertainty(ctx.measure).to_bits(),
+                    reference.to_bits()
+                );
+                part.refine(&q, &ctx);
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 use ctk_core::measures::MeasureKind;
 use ctk_core::residual::{
     answer_probability, expected_residual_set, expected_residual_set_bruteforce,
-    expected_residual_single, ResidualCtx,
+    expected_residual_single, AnswerPartition, ResidualCtx,
 };
 use ctk_core::select::OnlineSelector;
 use ctk_core::select::{
@@ -89,6 +89,48 @@ proptest! {
         let fast = expected_residual_set(&ps, &qs, &ctx);
         let brute = expected_residual_set_bruteforce(&ps, &qs, &ctx);
         prop_assert!((fast - brute).abs() < 1e-9, "{fast} vs {brute}");
+    }
+
+    #[test]
+    fn interned_partition_is_bit_identical_to_reference((_, pw, ps) in fixture(5)) {
+        // The scratch/memo evaluation path of the interned partition must
+        // reproduce the naive fresh-PathSet-per-class evaluation bit for
+        // bit, for every measure, through an arbitrary refine sequence.
+        for kind in MeasureKind::all() {
+            let m = kind.build();
+            let ctx = ResidualCtx { measure: m.as_ref(), pairwise: &pw };
+            let qs: Vec<Question> = relevant_questions(&ps, &ctx).into_iter().take(4).collect();
+            let mut part = AnswerPartition::root(&ps);
+            for q in &qs {
+                let reference = part.expected_uncertainty_reference(ctx.measure);
+                let fast = part.expected_uncertainty(ctx.measure);
+                prop_assert_eq!(fast.to_bits(), reference.to_bits(),
+                    "{}: {} vs {}", kind.name(), fast, reference);
+                // Memoized re-query must not drift either.
+                prop_assert_eq!(part.expected_uncertainty(ctx.measure).to_bits(),
+                    reference.to_bits());
+                part.refine(q, &ctx);
+            }
+            let reference = part.expected_uncertainty_reference(ctx.measure);
+            prop_assert_eq!(part.expected_uncertainty(ctx.measure).to_bits(),
+                reference.to_bits(), "{} after full refine", kind.name());
+        }
+    }
+
+    #[test]
+    fn lookahead_equals_refine_then_reference((_, pw, ps) in fixture(5)) {
+        // One-step lookahead over memoized classes == materializing the
+        // refine and evaluating with the naive reference path.
+        let m = MeasureKind::WeightedEntropy.build();
+        let ctx = ResidualCtx { measure: m.as_ref(), pairwise: &pw };
+        for q in relevant_questions(&ps, &ctx).into_iter().take(5) {
+            let looked = AnswerPartition::root(&ps).expected_with_question(&q, &ctx);
+            let mut part = AnswerPartition::root(&ps);
+            part.refine(&q, &ctx);
+            let reference = part.expected_uncertainty_reference(ctx.measure);
+            prop_assert!((looked - reference).abs() < 1e-12,
+                "{looked} vs {reference} for {q}");
+        }
     }
 
     #[test]

@@ -90,6 +90,13 @@ fn pr_greater_raw(a: &ScoreDist, b: &ScoreDist) -> f64 {
     }
 }
 
+/// Fills `vals` with `P(s_i > s_j)` for one chunk of index pairs.
+fn pair_chunk(table: &UncertainTable, pairs: &[(u32, u32)], vals: &mut [f64]) {
+    for (&(i, j), v) in pairs.iter().zip(vals.iter_mut()) {
+        *v = pr_greater(table.dist_at(i as usize), table.dist_at(j as usize));
+    }
+}
+
 /// True if the relative order of `a` and `b` is uncertain, i.e. neither
 /// `P(a > b)` nor `P(b > a)` is (numerically) one.
 pub fn order_uncertain(a: &ScoreDist, b: &ScoreDist) -> bool {
@@ -105,17 +112,58 @@ pub struct PairwiseMatrix {
     p: Vec<f64>,
 }
 
+/// Below this many unordered pairs the matrix is computed sequentially —
+/// thread spawn overhead would dominate the quadratures.
+const PARALLEL_PAIRS_MIN: usize = 256;
+
 impl PairwiseMatrix {
     /// Computes all `n(n-1)/2` comparison probabilities of `table`.
+    ///
+    /// The pairs are independent quadratures, so they are chunked across
+    /// threads; every entry is computed by exactly the same code on
+    /// exactly the same inputs as a sequential pass, making the result
+    /// bit-identical to [`PairwiseMatrix::compute_sequential`] (pinned by
+    /// tests).
     pub fn compute(table: &UncertainTable) -> Self {
         let n = table.len();
+        let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+        let threads = if pairs < PARALLEL_PAIRS_MIN {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        };
+        Self::compute_with_threads(table, threads)
+    }
+
+    /// The single-threaded reference implementation.
+    pub fn compute_sequential(table: &UncertainTable) -> Self {
+        Self::compute_with_threads(table, 1)
+    }
+
+    /// [`PairwiseMatrix::compute`] with an explicit thread count.
+    pub fn compute_with_threads(table: &UncertainTable, threads: usize) -> Self {
+        let n = table.len();
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let mut vals = vec![0.0f64; pairs.len()];
+        let threads = threads.clamp(1, pairs.len().max(1));
+        if threads == 1 {
+            pair_chunk(table, &pairs, &mut vals);
+        } else {
+            let chunk = pairs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (pc, vc) in pairs.chunks(chunk).zip(vals.chunks_mut(chunk)) {
+                    s.spawn(move || pair_chunk(table, pc, vc));
+                }
+            });
+        }
         let mut p = vec![0.5; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let pij = pr_greater(table.dist_at(i), table.dist_at(j));
-                p[i * n + j] = pij;
-                p[j * n + i] = 1.0 - pij;
-            }
+        for (&(i, j), &pij) in pairs.iter().zip(&vals) {
+            p[i as usize * n + j as usize] = pij;
+            p[j as usize * n + i as usize] = 1.0 - pij;
         }
         Self { n, p }
     }
@@ -272,5 +320,42 @@ mod tests {
         assert!(m.uncertain(0, 1));
         // Uncertain pairs: (0,1), (0,3), (1,3).
         assert_eq!(m.uncertain_pair_count(), 3);
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_sequential() {
+        // A mixed-family table large enough to cross the parallel
+        // threshold in `compute`, exercising every pr_greater arm.
+        let dists: Vec<ScoreDist> = (0..30)
+            .map(|i| {
+                let c = i as f64 * 0.05;
+                match i % 4 {
+                    0 => u(c, c + 0.8),
+                    1 => ScoreDist::gaussian(c + 0.3, 0.15).unwrap(),
+                    2 => ScoreDist::discrete(&[(c, 0.4), (c + 0.6, 0.6)]).unwrap(),
+                    _ => ScoreDist::triangular(c, c + 0.4, c + 0.9).unwrap(),
+                }
+            })
+            .collect();
+        let table = UncertainTable::new(dists).unwrap();
+        let seq = PairwiseMatrix::compute_sequential(&table);
+        for threads in [2, 3, 8, 64] {
+            let par = PairwiseMatrix::compute_with_threads(&table, threads);
+            for i in 0..table.len() {
+                for j in 0..table.len() {
+                    assert_eq!(
+                        seq.pr(i, j).to_bits(),
+                        par.pr(i, j).to_bits(),
+                        "({i},{j}) with {threads} threads"
+                    );
+                }
+            }
+        }
+        let auto = PairwiseMatrix::compute(&table);
+        for i in 0..table.len() {
+            for j in 0..table.len() {
+                assert_eq!(seq.pr(i, j).to_bits(), auto.pr(i, j).to_bits());
+            }
+        }
     }
 }

@@ -9,8 +9,10 @@ use ctk_core::driver::{DriverStatus, SessionDriver};
 use ctk_core::session::UrReport;
 use ctk_core::{CoreError, Result};
 use ctk_crowd::{Crowd, Question};
+use ctk_prob::compare::PairwiseMatrix;
 use ctk_prob::UncertainTable;
 use ctk_rank::RankList;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What one scheduling round did.
@@ -82,6 +84,10 @@ pub struct TopKService<C: Crowd> {
     registry: Registry,
     scheduler: Scheduler,
     metrics: ServiceMetrics,
+    /// One pairwise matrix per distinct table served: the n² comparison
+    /// quadratures dominate session setup, and tenants querying the same
+    /// relation share a single `Arc` instead of recomputing per submit.
+    pairwise_cache: Vec<(UncertainTable, Arc<PairwiseMatrix>)>,
 }
 
 impl<C: Crowd> TopKService<C> {
@@ -93,6 +99,7 @@ impl<C: Crowd> TopKService<C> {
             registry: Registry::new(),
             scheduler: Scheduler::new(),
             metrics: ServiceMetrics::default(),
+            pairwise_cache: Vec::new(),
         }
     }
 
@@ -116,10 +123,40 @@ impl<C: Crowd> TopKService<C> {
         spec: SessionSpec,
         truth: Option<&RankList>,
     ) -> Result<SessionId> {
-        let driver = SessionDriver::new(spec.config, table, truth)?;
+        let pairwise = self.pairwise_for(table);
+        let driver = SessionDriver::new_with_pairwise(spec.config, table, truth, pairwise)?;
         let id = self.registry.insert(driver, spec.priority);
         self.metrics.submitted += 1;
         Ok(id)
+    }
+
+    /// At most this many distinct tables keep a cached pairwise matrix;
+    /// beyond it the oldest entry is evicted (running sessions keep their
+    /// matrix alive through their own `Arc`). Bounds both the memory held
+    /// by retired tables and the per-submit equality scan.
+    const MAX_PAIRWISE_CACHE: usize = 32;
+
+    /// The shared pairwise matrix for `table`, computing it on first use.
+    fn pairwise_for(&mut self, table: &UncertainTable) -> Arc<PairwiseMatrix> {
+        if let Some(idx) = self.pairwise_cache.iter().position(|(t, _)| t == table) {
+            // Move to the back so eviction is least-recently-used.
+            let entry = self.pairwise_cache.remove(idx);
+            let pw = Arc::clone(&entry.1);
+            self.pairwise_cache.push(entry);
+            return pw;
+        }
+        let pw = Arc::new(PairwiseMatrix::compute(table));
+        if self.pairwise_cache.len() >= Self::MAX_PAIRWISE_CACHE {
+            self.pairwise_cache.remove(0);
+        }
+        self.pairwise_cache.push((table.clone(), Arc::clone(&pw)));
+        pw
+    }
+
+    /// Distinct tables whose pairwise matrices are cached (observability
+    /// for tests and dashboards).
+    pub fn pairwise_tables_cached(&self) -> usize {
+        self.pairwise_cache.len()
     }
 
     /// Runs one scheduling round. Returns what happened; a round over an
@@ -453,6 +490,53 @@ mod tests {
         }
         svc.run_to_completion();
         assert_eq!(svc.metrics().completed, 2);
+    }
+
+    #[test]
+    fn pairwise_matrix_shared_across_tenants_per_table() {
+        let mut svc = service(1000);
+        let t = table();
+        svc.submit(&t, SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        svc.submit(&t, SessionSpec::new(config(Algorithm::TbOff, 1)))
+            .unwrap();
+        assert_eq!(svc.pairwise_tables_cached(), 1, "same table, one matrix");
+        let other = UncertainTable::new(
+            (0..4)
+                .map(|i| ScoreDist::uniform_centered(i as f64 * 0.2, 0.5).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        svc.submit(&other, SessionSpec::new(config(Algorithm::T1On, 2)))
+            .unwrap();
+        assert_eq!(svc.pairwise_tables_cached(), 2, "new table, new matrix");
+        svc.run_to_completion();
+        assert_eq!(svc.metrics().completed, 3);
+    }
+
+    #[test]
+    fn pairwise_cache_is_bounded_lru() {
+        let mut svc = service(1000);
+        let distinct = TopKService::<CrowdSimulator<PerfectWorker>>::MAX_PAIRWISE_CACHE + 3;
+        for d in 0..distinct {
+            let t = UncertainTable::new(
+                (0..4)
+                    .map(|i| {
+                        ScoreDist::uniform_centered(i as f64 * 0.2 + d as f64 * 1e-3, 0.5).unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            svc.submit(&t, SessionSpec::new(config(Algorithm::T1On, d as u64)))
+                .unwrap();
+        }
+        assert_eq!(
+            svc.pairwise_tables_cached(),
+            TopKService::<CrowdSimulator<PerfectWorker>>::MAX_PAIRWISE_CACHE,
+            "cache must evict beyond its bound"
+        );
+        svc.run_to_completion();
+        assert_eq!(svc.metrics().completed, distinct as u64);
     }
 
     #[test]

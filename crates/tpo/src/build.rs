@@ -98,11 +98,38 @@ impl Engine {
 
 /// Monte-Carlo TPO construction: sample `cfg.worlds` possible worlds and
 /// group their depth-`k` prefixes into a normalized [`PathSet`].
+///
+/// `cfg.worlds == 0` is an invalid spec and fails with
+/// [`TpoError::InvalidWorlds`] (it used to be silently clamped to 1,
+/// masking configuration bugs). The rank and group phases are chunked
+/// across threads; the result is bit-identical to a sequential build
+/// (score draws are strictly sequential in the seeded PRNG, each world is
+/// ranked independently, and per-prefix totals are exact integer counts).
 pub fn build_mc(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
+    build_mc_with_threads(table, k, cfg, 0)
+}
+
+/// [`build_mc`] with an explicit thread count for the rank/group phases
+/// (`0` = auto, `1` = the sequential reference). Any count produces
+/// bit-identical output (pinned by tests).
+pub fn build_mc_with_threads(
+    table: &UncertainTable,
+    k: usize,
+    cfg: &McConfig,
+    threads: usize,
+) -> Result<PathSet> {
     if k == 0 || k > table.len() {
         return Err(TpoError::InvalidK { k, n: table.len() });
     }
-    WorldModel::sample(table, cfg.worlds.max(1), cfg.seed).path_set(k)
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let wm = WorldModel::sample_with_threads(table, cfg.worlds, cfg.seed, threads)?;
+    wm.path_set_uniform(k, threads)
 }
 
 /// Exact TPO construction by level-wise prefix enumeration.
@@ -128,12 +155,18 @@ pub fn build_exact(table: &UncertainTable, k: usize, cfg: &ExactConfig) -> Resul
     let mut frontier: Vec<(Vec<u32>, f64)> = vec![(Vec::new(), 1.0)];
     let mut prefix_dists: Vec<&ScoreDist> = Vec::with_capacity(k);
     let mut rest: Vec<&ScoreDist> = Vec::with_capacity(n);
+    // Membership flags for the current prefix: O(1) "is t in the prefix?"
+    // instead of an O(depth) `contains` scan per candidate/rest tuple.
+    let mut in_prefix = vec![false; n];
 
     for depth in 1..=k {
         let mut next: Vec<(Vec<u32>, f64)> = Vec::new();
         for (prefix, _parent_prob) in &frontier {
+            for &i in prefix {
+                in_prefix[i as usize] = true;
+            }
             for t in 0..n as u32 {
-                if prefix.contains(&t) {
+                if in_prefix[t as usize] {
                     continue;
                 }
                 prefix_dists.clear();
@@ -142,7 +175,7 @@ pub fn build_exact(table: &UncertainTable, k: usize, cfg: &ExactConfig) -> Resul
                 rest.clear();
                 rest.extend(
                     (0..n as u32)
-                        .filter(|i| !prefix.contains(i) && *i != t)
+                        .filter(|&i| !in_prefix[i as usize] && i != t)
                         .map(|i| dists[i as usize]),
                 );
                 let p = prefix_probability_with(&grid, &prefix_dists, &rest, &mut scratch)?;
@@ -151,6 +184,9 @@ pub fn build_exact(table: &UncertainTable, k: usize, cfg: &ExactConfig) -> Resul
                     items.push(t);
                     next.push((items, p));
                 }
+            }
+            for &i in prefix {
+                in_prefix[i as usize] = false;
             }
             if next.len() > cfg.max_paths {
                 return Err(TpoError::PathExplosion {
@@ -194,6 +230,38 @@ mod tests {
             build_exact(&t, 4, &ExactConfig::default()),
             Err(TpoError::InvalidK { .. })
         ));
+    }
+
+    #[test]
+    fn zero_worlds_rejected_not_repaired() {
+        let t = table(3, 0.5);
+        assert!(matches!(
+            build_mc(&t, 2, &McConfig { worlds: 0, seed: 1 }),
+            Err(TpoError::InvalidWorlds)
+        ));
+    }
+
+    #[test]
+    fn parallel_mc_build_is_bit_identical_to_sequential() {
+        let t = table(5, 0.6);
+        for seed in [0u64, 3, 17] {
+            let cfg = McConfig { worlds: 4100, seed };
+            let seq = build_mc_with_threads(&t, 3, &cfg, 1).unwrap();
+            for threads in [2, 4, 7] {
+                let par = build_mc_with_threads(&t, 3, &cfg, threads).unwrap();
+                assert_eq!(seq.len(), par.len(), "seed {seed} threads {threads}");
+                for (a, b) in seq.paths().iter().zip(par.paths()) {
+                    assert_eq!(a.items, b.items, "seed {seed} threads {threads}");
+                    assert_eq!(
+                        a.prob.to_bits(),
+                        b.prob.to_bits(),
+                        "seed {seed} threads {threads}: {} vs {}",
+                        a.prob,
+                        b.prob
+                    );
+                }
+            }
+        }
     }
 
     #[test]

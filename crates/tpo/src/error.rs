@@ -10,6 +10,9 @@ pub enum TpoError {
     Prob(ProbError),
     /// `k` must satisfy `1 <= k <= N`.
     InvalidK { k: usize, n: usize },
+    /// A sampled-worlds belief needs at least one world (`M >= 1`).
+    /// Invalid specs are errors, not silent repairs.
+    InvalidWorlds,
     /// The exact engine exceeded its configured path budget.
     PathExplosion { paths: usize, max: usize },
     /// An answer (or answer sequence) eliminated every ordering.
@@ -24,6 +27,9 @@ impl fmt::Display for TpoError {
             TpoError::Prob(e) => write!(f, "probability engine: {e}"),
             TpoError::InvalidK { k, n } => {
                 write!(f, "k = {k} out of range for a table of {n} tuples")
+            }
+            TpoError::InvalidWorlds => {
+                write!(f, "a sampled-worlds belief needs at least one world")
             }
             TpoError::PathExplosion { paths, max } => {
                 write!(
@@ -68,6 +74,7 @@ mod tests {
         assert!(e.to_string().contains("probability engine"));
         assert!(e.source().is_some());
         assert!(TpoError::InvalidK { k: 9, n: 3 }.to_string().contains("9"));
+        assert!(TpoError::InvalidWorlds.to_string().contains("world"));
         assert!(TpoError::PathExplosion { paths: 10, max: 5 }
             .to_string()
             .contains("exceeded"));

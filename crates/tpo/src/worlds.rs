@@ -10,14 +10,44 @@
 //!   workers, reweight) whole worlds, so a deeper tree can be materialized
 //!   *after* pruning at a shallower depth — the core trick that makes
 //!   `incr` cheap on large, highly uncertain datasets (§III-D).
+//!
+//! ## Hot-path layout
+//!
+//! Alongside each world's ranking, the model keeps a column-major
+//! *position index* `pos[w·n + t] = rank of tuple t in world w`, making
+//! "does world `w` rank `i` above `j`?" an O(1) lookup instead of an O(n)
+//! scan — so [`WorldModel::pr_precedes`] and the `apply_answer_*` updates
+//! are O(M) in the number of worlds, independent of the table size. The
+//! prefix grouping behind [`WorldModel::path_set`] also has an incremental
+//! variant, [`WorldModel::path_set_cached`], that maintains the surviving
+//! prefix groups across the `incr` driver's repeated calls instead of
+//! rebuilding a hash map per round (DESIGN.md §8).
 
 use crate::error::{Result, TpoError};
 use crate::path::PathSet;
-use ctk_prob::sample::sample_ranking;
+use ctk_prob::sample::{ranking_from_scores, sample_scores};
 use ctk_prob::UncertainTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Below this many worlds the rank phase of sampling stays sequential —
+/// thread spawn overhead would dominate.
+const PARALLEL_WORLDS_MIN: usize = 2048;
+
+/// Worlds sharing a common ranking prefix, tracked incrementally across
+/// [`WorldModel::path_set_cached`] calls. Membership is structural (it
+/// ignores weights, which change under answers), so the cache never needs
+/// invalidation on belief updates — only refinement when the requested
+/// depth grows.
+#[derive(Debug, Clone)]
+struct PrefixCache {
+    /// Depth of the prefixes the groups currently represent.
+    depth: usize,
+    /// Disjoint groups of world indices, each ascending; all members of a
+    /// group share their depth-`depth` ranking prefix.
+    groups: Vec<Vec<u32>>,
+}
 
 /// Weighted sampled worlds over a relation of `n` tuples.
 #[derive(Debug, Clone)]
@@ -25,23 +55,70 @@ pub struct WorldModel {
     n: usize,
     /// Each world as a full ranking (tuple ids, best first).
     rankings: Vec<Vec<u32>>,
+    /// Position index: `pos[w * n + t]` is the rank of tuple `t` in world
+    /// `w` (0 = best). Kept in sync with `rankings`.
+    pos: Vec<u32>,
     /// Nonnegative world weights (not necessarily normalized).
     weights: Vec<f64>,
+    /// Incremental prefix grouping for `path_set_cached`.
+    cache: Option<PrefixCache>,
 }
 
 impl WorldModel {
     /// Samples `m` worlds from the table's score distributions.
-    pub fn sample(table: &UncertainTable, m: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rankings: Vec<Vec<u32>> = (0..m.max(1))
-            .map(|_| sample_ranking(table, &mut rng))
-            .collect();
-        let weights = vec![1.0; rankings.len()];
-        Self {
-            n: table.len(),
-            rankings,
-            weights,
+    ///
+    /// Fails with [`TpoError::InvalidWorlds`] when `m == 0` (an empty
+    /// belief cannot represent anything; invalid specs are errors, not
+    /// silent repairs). Score draws are strictly sequential in the seeded
+    /// PRNG; the rank phase is parallelized across worlds, which cannot
+    /// change the result (each world is ranked independently).
+    pub fn sample(table: &UncertainTable, m: usize, seed: u64) -> Result<Self> {
+        Self::sample_with_threads(table, m, seed, auto_threads(m))
+    }
+
+    /// [`WorldModel::sample`] with an explicit thread count for the rank
+    /// phase. `threads <= 1` is the fully sequential reference; any other
+    /// count produces bit-identical output (pinned by tests).
+    pub fn sample_with_threads(
+        table: &UncertainTable,
+        m: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self> {
+        if m == 0 {
+            return Err(TpoError::InvalidWorlds);
         }
+        let n = table.len();
+        // Score draws consume the PRNG in world-major, tuple-minor order —
+        // exactly as the sequential sampler always did.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores: Vec<Vec<f64>> = (0..m).map(|_| sample_scores(table, &mut rng)).collect();
+
+        let mut rankings: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut pos = vec![0u32; m * n];
+        let threads = threads.clamp(1, m);
+        if threads == 1 {
+            rank_chunk(&scores, &mut rankings, &mut pos, n);
+        } else {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for ((sc, rc), pc) in scores
+                    .chunks(chunk)
+                    .zip(rankings.chunks_mut(chunk))
+                    .zip(pos.chunks_mut(chunk * n))
+                {
+                    s.spawn(move || rank_chunk(sc, rc, pc, n));
+                }
+            });
+        }
+        let weights = vec![1.0; m];
+        Ok(Self {
+            n,
+            rankings,
+            pos,
+            weights,
+            cache: None,
+        })
     }
 
     /// Builds from explicit rankings (each must be a permutation of
@@ -49,10 +126,18 @@ impl WorldModel {
     pub fn from_rankings(n: usize, rankings: Vec<Vec<u32>>) -> Self {
         let weights = vec![1.0; rankings.len()];
         debug_assert!(rankings.iter().all(|r| r.len() == n));
+        let mut pos = vec![0u32; rankings.len() * n];
+        for (w, r) in rankings.iter().enumerate() {
+            for (rank, &t) in r.iter().enumerate() {
+                pos[w * n + t as usize] = rank as u32;
+            }
+        }
         Self {
             n,
             rankings,
+            pos,
             weights,
+            cache: None,
         }
     }
 
@@ -71,22 +156,27 @@ impl WorldModel {
         self.weights.iter().filter(|&&w| w > 0.0).count()
     }
 
-    /// Total surviving weight.
+    /// Total surviving weight. Noisy updates renormalize this back to
+    /// [`WorldModel::num_worlds`], so it stays bounded on long sessions.
     pub fn total_weight(&self) -> f64 {
         self.weights.iter().sum()
     }
 
-    /// True if world `w` ranks `i` above `j`.
+    /// World `w`'s full ranking (tuple ids, best first).
+    pub fn ranking(&self, w: usize) -> &[u32] {
+        &self.rankings[w]
+    }
+
+    /// World `w`'s current weight.
+    pub fn weight(&self, w: usize) -> f64 {
+        self.weights[w]
+    }
+
+    /// True if world `w` ranks `i` above `j` — O(1) via the position
+    /// index.
+    #[inline]
     fn world_prefers(&self, w: usize, i: u32, j: u32) -> bool {
-        for &it in &self.rankings[w] {
-            if it == i {
-                return true;
-            }
-            if it == j {
-                return false;
-            }
-        }
-        unreachable!("ranking is a full permutation");
+        self.pos[w * self.n + i as usize] < self.pos[w * self.n + j as usize]
     }
 
     /// Weighted probability that `i` ranks above `j` under the current
@@ -121,9 +211,13 @@ impl WorldModel {
     }
 
     /// Reweights worlds by the likelihood of a noisy answer (worker
-    /// accuracy `eta`, clamped to `[0.5, 1]`). On contradiction (the
-    /// update would zero every weight, possible at `eta = 1`) the belief
-    /// is left untouched.
+    /// accuracy `eta`, clamped to `[0.5, 1]`), then renormalizes the total
+    /// weight back to [`WorldModel::num_worlds`] so long noisy sessions
+    /// cannot underflow the belief to zero. At `eta = 1` the update
+    /// degenerates to [`WorldModel::apply_answer_hard`], which detects
+    /// contradictions; for `eta < 1` every world keeps positive likelihood
+    /// under either answer, so no contradiction is possible and the update
+    /// always succeeds.
     pub fn apply_answer_noisy(&mut self, i: u32, j: u32, yes: bool, eta: f64) -> Result<()> {
         let eta = eta.clamp(0.5, 1.0);
         let disagree_factor = 1.0 - eta;
@@ -137,11 +231,28 @@ impl WorldModel {
             let agrees = self.world_prefers(w, i, j) == yes;
             self.weights[w] *= if agrees { eta } else { disagree_factor };
         }
+        // Without this, weights decay geometrically (×eta or ×(1-eta) per
+        // answer) and a long session underflows every weight to 0,
+        // collapsing `pr_precedes` to 0.5 and `path_set` to EmptyPathSet.
+        // Renormalization is a pure rescale: all probability ratios are
+        // preserved.
+        let total = self.total_weight();
+        if total > 0.0 {
+            let scale = self.num_worlds() as f64 / total;
+            for w in &mut self.weights {
+                *w *= scale;
+            }
+        }
         Ok(())
     }
 
     /// Groups surviving worlds by their depth-`k` prefix into a normalized
     /// [`PathSet`] — the (partial) TPO under the current belief.
+    ///
+    /// This is the straightforward single-shot implementation (a fresh
+    /// hash-map grouping per call); the `incr` driver's repeated
+    /// same-or-deeper calls go through [`WorldModel::path_set_cached`],
+    /// which produces bit-identical output (pinned by proptests).
     pub fn path_set(&self, k: usize) -> Result<PathSet> {
         if k == 0 || k > self.n {
             return Err(TpoError::InvalidK { k, n: self.n });
@@ -162,6 +273,115 @@ impl WorldModel {
         )
     }
 
+    /// Incremental [`WorldModel::path_set`]: reuses the prefix groups of
+    /// the previous call. Calls at the same depth only re-sum the group
+    /// weights (O(M) additions, no hashing, no map); a deeper call splits
+    /// the surviving groups in place; a shallower call rebuilds from
+    /// scratch. Output is bit-identical to [`WorldModel::path_set`]:
+    /// members stay in ascending world order, so every per-prefix weight
+    /// is accumulated in exactly the same float-addition order as the
+    /// hash-map grouping.
+    pub fn path_set_cached(&mut self, k: usize) -> Result<PathSet> {
+        if k == 0 || k > self.n {
+            return Err(TpoError::InvalidK { k, n: self.n });
+        }
+        let rebuild = match &self.cache {
+            Some(c) => c.depth > k,
+            None => true,
+        };
+        let mut cache = if rebuild {
+            PrefixCache {
+                depth: 0,
+                groups: vec![(0..self.rankings.len() as u32).collect()],
+            }
+        } else {
+            self.cache.take().expect("cache checked above")
+        };
+        while cache.depth < k {
+            let d = cache.depth;
+            let mut next: Vec<Vec<u32>> = Vec::with_capacity(cache.groups.len());
+            // Scratch for partitioning one group by its worlds' rank-d
+            // tuple; first-seen order keeps the construction deterministic
+            // (group order itself is immaterial — the path set sorts).
+            let mut subs: Vec<(u32, Vec<u32>)> = Vec::new();
+            for group in &mut cache.groups {
+                if group.len() == 1 {
+                    next.push(std::mem::take(group));
+                    continue;
+                }
+                subs.clear();
+                for &w in group.iter() {
+                    let key = self.rankings[w as usize][d];
+                    match subs.iter_mut().find(|(t, _)| *t == key) {
+                        Some((_, members)) => members.push(w),
+                        None => subs.push((key, vec![w])),
+                    }
+                }
+                next.extend(subs.drain(..).map(|(_, members)| members));
+            }
+            cache.groups = next;
+            cache.depth = d + 1;
+        }
+        let weighted: Vec<(Vec<u32>, f64)> = cache
+            .groups
+            .iter()
+            .filter_map(|group| {
+                // Ascending-world summation; zero-weight members add an
+                // exact +0.0 and cannot perturb the value.
+                let w: f64 = group.iter().map(|&x| self.weights[x as usize]).sum();
+                (w > 0.0).then(|| (self.rankings[group[0] as usize][..k].to_vec(), w))
+            })
+            .collect();
+        self.cache = Some(cache);
+        PathSet::from_weighted(k, weighted)
+    }
+
+    /// Groups all worlds assuming uniform unit weights (the fresh state
+    /// right after sampling), with the grouping chunked across threads.
+    /// Per-prefix totals are exact integer counts, so the merge is
+    /// bit-identical to the sequential [`WorldModel::path_set`] no matter
+    /// the chunking.
+    pub(crate) fn path_set_uniform(&self, k: usize, threads: usize) -> Result<PathSet> {
+        if k == 0 || k > self.n {
+            return Err(TpoError::InvalidK { k, n: self.n });
+        }
+        debug_assert!(
+            self.weights.iter().all(|&w| w == 1.0),
+            "uniform grouping requires fresh unit weights"
+        );
+        let m = self.rankings.len();
+        let threads = threads.clamp(1, m);
+        let maps: Vec<HashMap<&[u32], u64>> = if threads == 1 || m < PARALLEL_WORLDS_MIN {
+            vec![group_counts(&self.rankings, k)]
+        } else {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .rankings
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || group_counts(c, k)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("grouping thread panicked"))
+                    .collect()
+            })
+        };
+        let mut total: HashMap<&[u32], u64> = HashMap::new();
+        for map in maps {
+            for (prefix, count) in map {
+                *total.entry(prefix).or_insert(0) += count;
+            }
+        }
+        PathSet::from_weighted(
+            k,
+            total
+                .into_iter()
+                .map(|(prefix, count)| (prefix.to_vec(), count as f64))
+                .collect(),
+        )
+    }
+
     /// The single surviving full ordering, if the belief is resolved to one
     /// ranking prefix pattern (used by tests).
     pub fn surviving_rankings(&self) -> Vec<&[u32]> {
@@ -170,6 +390,39 @@ impl WorldModel {
             .map(|w| self.rankings[w].as_slice())
             .collect()
     }
+}
+
+/// Ranks one chunk of sampled score vectors, filling the matching slices
+/// of the ranking list and the position index.
+fn rank_chunk(scores: &[Vec<f64>], rankings: &mut [Vec<u32>], pos: &mut [u32], n: usize) {
+    for ((s, r), p) in scores
+        .iter()
+        .zip(rankings.iter_mut())
+        .zip(pos.chunks_mut(n))
+    {
+        *r = ranking_from_scores(s);
+        for (rank, &t) in r.iter().enumerate() {
+            p[t as usize] = rank as u32;
+        }
+    }
+}
+
+/// Depth-`k` prefix counts of one chunk of rankings.
+fn group_counts(rankings: &[Vec<u32>], k: usize) -> HashMap<&[u32], u64> {
+    let mut g: HashMap<&[u32], u64> = HashMap::new();
+    for r in rankings {
+        *g.entry(&r[..k]).or_insert(0) += 1;
+    }
+    g
+}
+
+fn auto_threads(m: usize) -> usize {
+    if m < PARALLEL_WORLDS_MIN {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -182,6 +435,15 @@ mod tests {
             3,
             vec![vec![0, 1, 2], vec![0, 1, 2], vec![1, 0, 2], vec![2, 1, 0]],
         )
+    }
+
+    fn table3() -> UncertainTable {
+        UncertainTable::new(vec![
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::uniform(0.5, 1.5).unwrap(),
+            ScoreDist::uniform(1.0, 2.0).unwrap(),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -201,6 +463,20 @@ mod tests {
         ));
         assert!(model().path_set(4).is_err());
         assert!(model().path_set(3).is_ok());
+        let mut m = model();
+        assert!(matches!(
+            m.path_set_cached(0),
+            Err(TpoError::InvalidK { .. })
+        ));
+        assert!(m.path_set_cached(4).is_err());
+    }
+
+    #[test]
+    fn zero_worlds_is_an_error() {
+        assert!(matches!(
+            WorldModel::sample(&table3(), 0, 1),
+            Err(TpoError::InvalidWorlds)
+        ));
     }
 
     #[test]
@@ -229,11 +505,36 @@ mod tests {
     fn noisy_answers_reweight() {
         let mut m = model();
         m.apply_answer_noisy(0, 1, true, 0.8).unwrap();
-        // Worlds preferring 0 above 1: weights 0.8; others 0.2.
+        // Worlds preferring 0 above 1 carry 0.8 likelihood; others 0.2.
         assert_eq!(m.effective_worlds(), 4, "noisy updates never eliminate");
         let p = m.pr_precedes(0, 1);
         // (0.8+0.8) / (0.8+0.8+0.2+0.2) = 1.6/2.0
         assert!((p - 0.8).abs() < 1e-12);
+        // ... and the total weight is renormalized to M.
+        assert!((m.total_weight() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_noisy_session_does_not_underflow() {
+        // Regression: without renormalization, weights decay by ×0.55 (or
+        // ×0.45) per answer, underflowing to 0 after ~1400 answers and
+        // collapsing pr_precedes to 0.5 and path_set to EmptyPathSet.
+        let mut m = model();
+        for round in 0..2000u32 {
+            // Deliberately conflicting evidence, the worst case for decay.
+            m.apply_answer_noisy(0, 1, round % 2 == 0, 0.55).unwrap();
+        }
+        let total = m.total_weight();
+        assert!(
+            (total - m.num_worlds() as f64).abs() < 1e-6,
+            "total weight must stay bounded at M, got {total}"
+        );
+        assert_eq!(m.effective_worlds(), 4, "no world may underflow to 0");
+        let p = m.pr_precedes(0, 1);
+        assert!(p.is_finite() && p > 0.0 && p < 1.0, "pr collapsed: {p}");
+        assert!((m.pr_precedes(0, 1) + m.pr_precedes(1, 0) - 1.0).abs() < 1e-9);
+        let ps = m.path_set(2).expect("belief must stay representable");
+        assert_eq!(ps.len(), 3);
     }
 
     #[test]
@@ -246,18 +547,83 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_and_sized() {
-        let table = UncertainTable::new(vec![
-            ScoreDist::uniform(0.0, 1.0).unwrap(),
-            ScoreDist::uniform(0.5, 1.5).unwrap(),
-            ScoreDist::uniform(1.0, 2.0).unwrap(),
-        ])
-        .unwrap();
-        let a = WorldModel::sample(&table, 500, 42);
-        let b = WorldModel::sample(&table, 500, 42);
+        let table = table3();
+        let a = WorldModel::sample(&table, 500, 42).unwrap();
+        let b = WorldModel::sample(&table, 500, 42).unwrap();
         assert_eq!(a.num_worlds(), 500);
         assert_eq!(a.surviving_rankings(), b.surviving_rankings());
         assert_eq!(a.n(), 3);
         assert!((a.total_weight() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_rank_phase_matches_sequential() {
+        let table = table3();
+        let seq = WorldModel::sample_with_threads(&table, 4097, 7, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = WorldModel::sample_with_threads(&table, 4097, 7, threads).unwrap();
+            assert_eq!(
+                seq.surviving_rankings(),
+                par.surviving_rankings(),
+                "threads = {threads}"
+            );
+            assert_eq!(seq.pos, par.pos, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn position_index_matches_rankings() {
+        let m = WorldModel::sample(&table3(), 200, 9).unwrap();
+        for w in 0..m.num_worlds() {
+            let r = m.ranking(w);
+            for (rank, &t) in r.iter().enumerate() {
+                assert_eq!(m.pos[w * m.n() + t as usize], rank as u32);
+            }
+            assert!((m.weight(w) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cached_path_set_matches_rebuild_through_a_session() {
+        let mut m = WorldModel::sample(&table3(), 3000, 5).unwrap();
+        // The incr pattern: repeated same-depth calls, interleaved
+        // answers, then deeper calls, then a full-depth finish.
+        for (depth, answer) in [(1, true), (1, false), (2, true), (2, false), (3, true)] {
+            let cached = m.path_set_cached(depth).unwrap();
+            let fresh = m.path_set(depth).unwrap();
+            assert_eq!(cached, fresh, "depth {depth}");
+            m.apply_answer_noisy(0, 1, answer, 0.8).unwrap();
+            let cached = m.path_set_cached(depth).unwrap();
+            let fresh = m.path_set(depth).unwrap();
+            assert_eq!(cached, fresh, "post-answer depth {depth}");
+        }
+        // Shallower call forces a rebuild and must still agree.
+        assert_eq!(m.path_set_cached(1).unwrap(), m.path_set(1).unwrap());
+        assert_eq!(m.path_set_cached(3).unwrap(), m.path_set(3).unwrap());
+    }
+
+    #[test]
+    fn cached_path_set_after_hard_filtering() {
+        let mut m = model();
+        assert_eq!(m.path_set_cached(2).unwrap(), m.path_set(2).unwrap());
+        m.apply_answer_hard(0, 1, true).unwrap();
+        let cached = m.path_set_cached(2).unwrap();
+        assert_eq!(cached, m.path_set(2).unwrap());
+        assert_eq!(cached.len(), 1);
+        assert_eq!(m.path_set_cached(3).unwrap(), m.path_set(3).unwrap());
+    }
+
+    #[test]
+    fn uniform_grouping_matches_path_set() {
+        let m = WorldModel::sample(&table3(), 4099, 11).unwrap();
+        let reference = m.path_set(2).unwrap();
+        for threads in [1, 2, 5] {
+            assert_eq!(
+                m.path_set_uniform(2, threads).unwrap(),
+                reference,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -114,7 +114,7 @@ proptest! {
         // Hard-filtering worlds then grouping must equal pruning the grouped
         // paths, for pairs that appear in every path (here: the top pair of
         // the most probable path, answered consistently).
-        let mut wm = WorldModel::sample(&table, 4000, seed);
+        let mut wm = WorldModel::sample(&table, 4000, seed).unwrap();
         let ps = wm.path_set(3).unwrap();
         let best = ps.most_probable().clone();
         let (i, j) = (best.items[0], best.items[1]);
@@ -132,6 +132,87 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_path_sets_are_bit_identical_to_rebuilds(
+        (table, seed, answers) in (
+            uniform_table(6),
+            any::<u64>(),
+            proptest::collection::vec((0u32..6, 0u32..6, any::<bool>(), 0.55..1.0f64), 0..12),
+        )
+    ) {
+        // The incr access pattern: nondecreasing depths with interleaved
+        // hard/noisy answers, then a shallow call forcing a cache rebuild.
+        // Every cached result must be bit-identical to the single-shot
+        // hash-map grouping over the same belief.
+        let mut wm = WorldModel::sample(&table, 2500, seed).unwrap();
+        let mut depth = 1usize;
+        for (i, j, yes, eta) in answers {
+            if i == j {
+                continue;
+            }
+            let cached = wm.path_set_cached(depth).unwrap();
+            let fresh = wm.path_set(depth).unwrap();
+            prop_assert_eq!(cached.len(), fresh.len());
+            for (a, b) in cached.paths().iter().zip(fresh.paths()) {
+                prop_assert_eq!(&a.items, &b.items);
+                prop_assert_eq!(a.prob.to_bits(), b.prob.to_bits(),
+                    "depth {}: {} vs {}", depth, a.prob, b.prob);
+            }
+            if eta > 0.97 {
+                let _ = wm.apply_answer_hard(i, j, yes);
+            } else {
+                wm.apply_answer_noisy(i, j, yes, eta).unwrap();
+            }
+            depth = (depth + 1).min(3);
+        }
+        let cached = wm.path_set_cached(1).unwrap();
+        let fresh = wm.path_set(1).unwrap();
+        for (a, b) in cached.paths().iter().zip(fresh.paths()) {
+            prop_assert_eq!(&a.items, &b.items);
+            prop_assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_builders_match_sequential(
+        (table, seed, threads) in (uniform_table(5), any::<u64>(), 2usize..9)
+    ) {
+        // Thread-count independence of the Monte-Carlo build: sampling,
+        // ranking and grouping must be bit-identical however chunked.
+        use ctk_tpo::build::build_mc_with_threads;
+        let cfg = McConfig { worlds: 3000, seed };
+        let seq = build_mc_with_threads(&table, 3, &cfg, 1).unwrap();
+        let par = build_mc_with_threads(&table, 3, &cfg, threads).unwrap();
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.paths().iter().zip(par.paths()) {
+            prop_assert_eq!(&a.items, &b.items);
+            prop_assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn noisy_total_weight_stays_bounded(
+        (table, seed, rounds) in (uniform_table(4), any::<u64>(), 1usize..200)
+    ) {
+        // Satellite regression: the renormalized noisy update keeps the
+        // total weight pinned at M no matter how long the session runs.
+        let mut wm = WorldModel::sample(&table, 300, seed).unwrap();
+        for r in 0..rounds {
+            wm.apply_answer_noisy(0, 1, r % 2 == 0, 0.55).unwrap();
+        }
+        let m = wm.num_worlds() as f64;
+        prop_assert!((wm.total_weight() - m).abs() < 1e-6 * m);
+        // The underflow collapse manifested as pr_precedes falling back to
+        // the 0.5 "no surviving weight" default and path_set failing; a
+        // unanimous pair may legitimately sit at exactly 0 or 1.
+        let p = wm.pr_precedes(0, 1);
+        prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        prop_assert!((p + wm.pr_precedes(1, 0) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(wm.effective_worlds(), wm.num_worlds(),
+            "noisy updates must never zero a world");
+        prop_assert!(wm.path_set(2).is_ok());
     }
 
     #[test]
