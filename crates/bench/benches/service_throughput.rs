@@ -5,7 +5,9 @@
 //! The service side pays scheduling overhead but buys every duplicated
 //! pairwise question exactly once; the standalone side re-buys it per
 //! session. The gap is the batching economics the serving layer exists
-//! for.
+//! for. A second group sweeps the round loop's worker thread count at a
+//! fixed tenant count (reports are bit-identical at every setting; see
+//! the `service_scaling` bin for the committed grid numbers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctk_core::measures::MeasureKind;
@@ -102,5 +104,46 @@ fn bench_service_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_service_throughput);
+fn bench_sharded_round_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_round_loop_threads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let scenario = scenarios::astar(7);
+    let truth = GroundTruth::sample(&scenario.table, 4242);
+    const TENANTS: usize = 32;
+
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let crowd = CrowdSimulator::new(
+                        truth.clone(),
+                        PerfectWorker,
+                        VotePolicy::Single,
+                        100_000,
+                    );
+                    let mut service = TopKService::new(crowd).with_threads(threads);
+                    let ids: Vec<_> = (0..TENANTS)
+                        .map(|t| {
+                            service
+                                .submit(&scenario.table, SessionSpec::new(tenant_config(t)))
+                                .expect("valid config")
+                        })
+                        .collect();
+                    service.run_to_completion();
+                    ids.iter()
+                        .map(|id| service.report(*id).unwrap().questions_asked())
+                        .sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput, bench_sharded_round_loop);
 criterion_main!(benches);

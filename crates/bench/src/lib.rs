@@ -104,8 +104,13 @@ pub fn evaluate<F: Fn(u64) -> Scenario>(
             uncertainty_target: None,
         })
         .expect("valid session config");
+        // The crowd budget is vote-denominated (a majority-of-n answer
+        // costs n); the paper's tables compare policies at equal *question*
+        // counts and report replication as an n-fold monetary cost, so the
+        // harness funds every policy's full question budget explicitly.
+        let crowd_votes = budget * opts.policy.votes_per_question();
         let report = if opts.accuracy >= 1.0 {
-            let mut crowd = CrowdSimulator::new(truth, PerfectWorker, opts.policy, budget);
+            let mut crowd = CrowdSimulator::new(truth, PerfectWorker, opts.policy, crowd_votes);
             session
                 .run_with_truth(&scenario.table, &mut crowd, Some(&top))
                 .expect("session runs")
@@ -114,7 +119,7 @@ pub fn evaluate<F: Fn(u64) -> Scenario>(
                 truth,
                 NoisyWorker::new(opts.accuracy, 0xbad5eed ^ run),
                 opts.policy,
-                budget,
+                crowd_votes,
             );
             session
                 .run_with_truth(&scenario.table, &mut crowd, Some(&top))

@@ -27,6 +27,12 @@
 //! `uncertainty_target`, questions are emitted one at a time because the
 //! legacy loop re-checks the target between answers before spending more
 //! budget.
+//!
+//! Drivers are `Send` (pinned by a compile-time assertion in the tests):
+//! calls on *distinct* drivers touch disjoint state, so a serving layer
+//! may shard a round's `next_batch`/`feed` work across threads —
+//! `ctk-service` does, with bit-identical per-session reports at any
+//! thread count.
 
 use crate::error::{CoreError, Result};
 use crate::measures::UncertaintyMeasure;
@@ -825,6 +831,14 @@ mod tests {
             SessionDriver::new_with_pairwise(config(Algorithm::T1On, 4), &table, None, wrong),
             Err(CoreError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn drivers_are_send() {
+        // The sharded service round loop moves `&mut SessionDriver`s to
+        // scoped worker threads; keep that a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<SessionDriver>();
     }
 
     #[test]

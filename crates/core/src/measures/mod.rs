@@ -30,7 +30,11 @@ pub use weighted_entropy::WeightedEntropy;
 use ctk_tpo::PathSet;
 
 /// An uncertainty measure `U(T_K)` over a distribution of orderings.
-pub trait UncertaintyMeasure {
+///
+/// `Send` is a supertrait so a boxed measure (and the `SessionDriver`
+/// holding it) can migrate between the worker threads of a sharded
+/// serving loop.
+pub trait UncertaintyMeasure: Send {
     /// Short identifier used in reports and harness output.
     fn name(&self) -> &'static str;
 

@@ -36,7 +36,11 @@ use ctk_crowd::Question;
 use ctk_tpo::PathSet;
 
 /// A strategy that commits to a batch of questions up front.
-pub trait OfflineSelector {
+///
+/// `Send` is a supertrait (as on [`OnlineSelector`]) so boxed strategies —
+/// and the `SessionDriver`s holding them — can migrate between the worker
+/// threads of a sharded serving loop.
+pub trait OfflineSelector: Send {
     /// Paper name of the strategy.
     fn name(&self) -> &'static str;
 
@@ -46,7 +50,7 @@ pub trait OfflineSelector {
 }
 
 /// A strategy that picks one question at a time, seeing updated beliefs.
-pub trait OnlineSelector {
+pub trait OnlineSelector: Send {
     /// Paper name of the strategy.
     fn name(&self) -> &'static str;
 

@@ -13,7 +13,10 @@
 //! * [`worker`] — answer models: perfect, fixed-accuracy (§III-C's noisy
 //!   workers), and heterogeneous round-robin pools;
 //! * [`aggregate`] — majority voting and its effective accuracy;
-//! * [`BudgetLedger`] — accounting for the paper's question budget `B`;
+//! * [`BudgetLedger`] — accounting for the paper's budget `B`, with an
+//!   explicit [`CostModel`]: vote-denominated (a majority-of-`n` answer
+//!   costs `n`, the paper's "triple the cost" pricing — the simulator's
+//!   default) or question-denominated;
 //! * [`Crowd`] / [`CrowdSimulator`] — the narrow interface the selection
 //!   engine sees, and its simulated implementation (a stand-in for a real
 //!   crowdsourcing market; see DESIGN.md §5 for the substitution argument).
@@ -31,13 +34,13 @@
 //!     truth,
 //!     NoisyWorker::new(0.85, 42),
 //!     VotePolicy::Majority(3),
-//!     10, // budget: 10 questions
+//!     9, // budget: 9 worker votes = 3 majority-of-3 questions
 //! );
 //!
 //! let answer = crowd.ask(Question::new(1, 0)).unwrap();
 //! // Majority of three 85%-accurate workers: usually right.
 //! assert!(crowd.answer_accuracy() > 0.9);
-//! assert_eq!(crowd.remaining(), 9);
+//! assert_eq!(crowd.remaining(), 2); // 6 votes left buy 2 more questions
 //! # let _ = answer;
 //! ```
 
@@ -49,7 +52,7 @@ pub mod simulator;
 pub mod worker;
 
 pub use aggregate::VotePolicy;
-pub use ledger::BudgetLedger;
+pub use ledger::{BudgetLedger, CostModel};
 pub use oracle::GroundTruth;
 pub use question::{Answer, Question};
 pub use simulator::{Crowd, CrowdSimulator};

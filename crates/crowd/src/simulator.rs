@@ -8,17 +8,23 @@
 //! identical to a live deployment, only the answer source differs.
 
 use crate::aggregate::{majority_vote, VotePolicy};
-use crate::ledger::BudgetLedger;
+use crate::ledger::{BudgetLedger, CostModel};
 use crate::oracle::GroundTruth;
 use crate::question::{Answer, Question};
 use crate::worker::AnswerModel;
 
 /// What the selection engine may do with a crowd.
-pub trait Crowd {
-    /// Asks one question; returns `None` if the budget is exhausted.
+///
+/// `Send` is a supertrait so a crowd (and any service built over one) can
+/// be moved to, or mutated from, worker threads — the sharded
+/// `ctk-service` round loop and multi-service benches rely on it.
+pub trait Crowd: Send {
+    /// Asks one question; returns `None` if the remaining budget cannot
+    /// cover it.
     fn ask(&mut self, q: Question) -> Option<Answer>;
 
-    /// Questions still allowed.
+    /// Questions still affordable (under replicated voting this is the
+    /// remaining budget divided by the per-question vote cost).
     fn remaining(&self) -> usize;
 
     /// The nominal accuracy of one aggregated answer (1.0 for perfect
@@ -39,14 +45,29 @@ pub struct CrowdSimulator<M: AnswerModel> {
 }
 
 impl<M: AnswerModel> CrowdSimulator<M> {
-    /// Creates a simulator with budget `b` questions.
+    /// Creates a simulator with budget `b` **worker votes** — the paper's
+    /// monetary denomination, where a `Majority(n)` answer costs `n`
+    /// units. (Under `VotePolicy::Single` this is identical to a budget
+    /// of `b` questions.) Use [`CrowdSimulator::with_cost_model`] to
+    /// price per aggregated answer instead.
     pub fn new(truth: GroundTruth, model: M, policy: VotePolicy, b: usize) -> Self {
+        Self::with_cost_model(truth, model, policy, b, CostModel::PerVote)
+    }
+
+    /// Creates a simulator with an explicit budget denomination.
+    pub fn with_cost_model(
+        truth: GroundTruth,
+        model: M,
+        policy: VotePolicy,
+        b: usize,
+        cost_model: CostModel,
+    ) -> Self {
         policy.validate().expect("invalid vote policy");
         Self {
             truth,
             model,
             policy,
-            ledger: BudgetLedger::new(b),
+            ledger: BudgetLedger::with_cost_model(b, cost_model),
         }
     }
 
@@ -64,12 +85,15 @@ impl<M: AnswerModel> CrowdSimulator<M> {
 
 impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
     fn ask(&mut self, q: Question) -> Option<Answer> {
-        if self.ledger.exhausted() {
+        let votes = self.policy.votes_per_question();
+        if !self.ledger.can_afford(votes) {
+            // Regression guard for the budget denomination mismatch: a
+            // majority question the remaining budget cannot pay in full
+            // is refused outright, not sold at a one-unit discount.
             return None;
         }
         let truth = self.truth.true_answer(&q);
         let gap = (self.truth.scores()[q.i as usize] - self.truth.scores()[q.j as usize]).abs();
-        let votes = self.policy.votes_per_question();
         let answer = match self.policy {
             VotePolicy::Single => self.model.answer_with_gap(&q, truth, gap),
             VotePolicy::Majority(n) => {
@@ -83,12 +107,14 @@ impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
             question: q,
             yes: answer,
         };
-        self.ledger.record(ans, votes);
+        let recorded = self.ledger.record(ans, votes);
+        debug_assert!(recorded, "affordability was checked above");
         Some(ans)
     }
 
     fn remaining(&self) -> usize {
-        self.ledger.remaining()
+        self.ledger
+            .questions_affordable(self.policy.votes_per_question())
     }
 
     fn answer_accuracy(&self) -> f64 {
@@ -135,12 +161,47 @@ mod tests {
             truth(),
             NoisyWorker::new(0.7, 42),
             VotePolicy::Majority(3),
-            5,
+            9,
         );
         let _ = c.ask(Question::new(1, 0)).unwrap();
         assert_eq!(c.ledger().votes(), 3);
         assert_eq!(c.ledger().asked(), 1);
         assert!((c.answer_accuracy() - 0.784).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_budget_is_vote_denominated() {
+        // Regression: `ask` under Majority(3) used to spend 3 worker
+        // votes while charging the ledger one unit, so "budget B" bought
+        // 3x the paper's priced work. Budget 7 votes now affords exactly
+        // two majority-of-3 questions.
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(3), 7);
+        assert_eq!(c.remaining(), 2);
+        assert!(c.ask(Question::new(1, 0)).is_some());
+        assert!(c.ask(Question::new(2, 0)).is_some());
+        assert_eq!(c.remaining(), 0, "one vote unit left cannot buy 3 votes");
+        assert!(
+            c.ask(Question::new(2, 1)).is_none(),
+            "unaffordable ask refused"
+        );
+        assert_eq!(c.ledger().votes(), 6);
+        assert_eq!(c.ledger().asked(), 2);
+
+        // The explicit per-question denomination restores the old meaning:
+        // budget 7 buys 7 aggregated answers at 21 votes.
+        let mut q = CrowdSimulator::with_cost_model(
+            truth(),
+            PerfectWorker,
+            VotePolicy::Majority(3),
+            7,
+            CostModel::PerQuestion,
+        );
+        assert_eq!(q.remaining(), 7);
+        for n in 0..7 {
+            assert!(q.ask(Question::new(1, 0)).is_some(), "question {n}");
+        }
+        assert!(q.ask(Question::new(1, 0)).is_none());
+        assert_eq!(q.ledger().votes(), 21);
     }
 
     #[test]

@@ -12,7 +12,11 @@ use rand::{Rng, SeedableRng};
 
 /// Turns the true answer of a question into the worker's (possibly wrong)
 /// response.
-pub trait AnswerModel {
+///
+/// `Send` is a supertrait so crowds built over any worker model can cross
+/// thread boundaries (see the `Crowd` trait and the sharded service round
+/// loop in `ctk-service`).
+pub trait AnswerModel: Send {
     /// Produces the worker's answer given the correct one.
     fn answer(&mut self, q: &Question, truth: bool) -> bool;
 

@@ -11,22 +11,29 @@
 //! each session is a state machine that emits question batches and absorbs
 //! answers, and this crate owns the dispatch:
 //!
-//! * [`registry`] — session registry: per-session budgets and lifecycle
-//!   states (queued / awaiting-answers / done / failed);
-//! * [`scheduler`] — priority-first, round-robin-within-priority round
-//!   planning with bounded fanout;
+//! * [`registry`] — shard-aware session registry: per-session budgets,
+//!   lifecycle states (queued / awaiting-answers / done / failed), and
+//!   disjoint `&mut` entry access for the sharded round phases;
+//! * [`scheduler`] — strict priority between classes, deficit round-robin
+//!   within a class (persistent per-class service queues), bounded
+//!   fanout: every session of the top nonempty class is served within
+//!   `ceil(n / fanout)` rounds, churn-proof;
 //! * [`batcher`] — cross-session question batching with an
 //!   [`AnswerCache`]: identical pairwise questions from different tenants
 //!   are answered once, then served from memory, before any crowd budget
 //!   is spent;
-//! * [`service`] — [`TopKService`], the round loop tying them together;
+//! * [`service`] — [`TopKService`], the round loop tying them together:
+//!   gather and feed phases shard session work over `std::thread::scope`
+//!   worker chunks, the purchase phase stays sequential so budget and
+//!   cache semantics are exactly the single-threaded ones;
 //! * [`metrics`] — throughput / latency / cache-hit accounting.
 //!
 //! With reliable (accuracy-1) workers the multiplexing is *lossless*:
 //! every session's final report equals the one the standalone blocking
 //! [`ctk_core::session::UrSession::run`] produces under the same seed —
-//! the integration suite pins this for 32 concurrent tenants. See
-//! DESIGN.md §7 for the architecture discussion.
+//! the integration suite pins this for 36 concurrent tenants, and pins
+//! that per-tenant reports are bit-identical at 1/2/4 worker threads.
+//! See DESIGN.md §7 and §9 for the architecture discussion.
 
 pub mod batcher;
 pub mod metrics;

@@ -16,6 +16,9 @@ pub struct ServiceMetrics {
     pub starved: u64,
     /// Scheduling rounds executed.
     pub rounds: u64,
+    /// Worker threads the round loop shards gather/feed work over (1 =
+    /// the sequential loop; reports are identical at every setting).
+    pub worker_threads: usize,
     /// Answers delivered to sessions (cached + live).
     pub answers_served: u64,
     /// Questions actually posed to the crowd backend.
@@ -85,13 +88,15 @@ impl ServiceMetrics {
     pub fn summary(&self) -> String {
         format!(
             "sessions: {} submitted, {} completed, {} failed, {} starved | \
-             rounds: {} | answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
+             rounds: {} ({} worker threads) | \
+             answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
              throughput: {:.0} answers/s, {:.1} sessions/s | latency avg {:?} max {:?}",
             self.submitted,
             self.completed,
             self.failed,
             self.starved,
             self.rounds,
+            self.worker_threads.max(1),
             self.answers_served,
             self.crowd_questions,
             self.cache_hits,

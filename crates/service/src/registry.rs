@@ -1,5 +1,10 @@
 //! The session registry: who is being served, with what allowance, and
 //! where each session stands in its lifecycle.
+//!
+//! The registry is shard-aware: [`Registry::entries_mut_in_order`] hands
+//! out disjoint `&mut` entries for a planned id set in plan order, which
+//! is what lets the service fan a round's driver work out over scoped
+//! worker threads without interior mutability or locking.
 
 use ctk_core::driver::SessionDriver;
 use ctk_core::session::{SessionConfig, UrReport};
@@ -113,6 +118,35 @@ impl Registry {
 
     pub(crate) fn get_mut(&mut self, id: SessionId) -> Option<&mut SessionEntry> {
         self.entries.get_mut(id.0 as usize)
+    }
+
+    /// Disjoint `&mut` borrows of the entries named by `ids`, returned in
+    /// the order `ids` lists them — the shard set of one service round.
+    /// `ids` must be duplicate-free and every id must exist (invariants
+    /// of the scheduler's plan). Violations panic in release builds too:
+    /// the caller pairs this result with `ids` positionally, so a
+    /// silently dropped id would misattribute every later session's
+    /// answers to the wrong tenant — a loud failure is the only safe
+    /// degradation, and the check costs one hash probe per id.
+    pub(crate) fn entries_mut_in_order(&mut self, ids: &[SessionId]) -> Vec<&mut SessionEntry> {
+        let mut rank: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            let previous = rank.insert(id.0, i);
+            assert!(previous.is_none(), "duplicate {id} in shard set");
+        }
+        let mut picked: Vec<(usize, &mut SessionEntry)> = self
+            .entries
+            .iter_mut()
+            .filter_map(|e| rank.remove(&e.id.0).map(|i| (i, e)))
+            .collect();
+        assert!(
+            rank.is_empty(),
+            "unknown session id(s) in shard set: {:?}",
+            rank.keys().collect::<Vec<_>>()
+        );
+        picked.sort_unstable_by_key(|p| p.0);
+        picked.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Sessions the scheduler may serve this round, with their priority.

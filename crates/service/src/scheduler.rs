@@ -1,41 +1,58 @@
 //! Round scheduling: which runnable sessions get crowd attention this
 //! round.
 //!
-//! The policy is priority-first, round-robin within a priority class:
-//! higher-priority tenants always go first, and among equals a rotating
-//! cursor guarantees that a bounded per-round fanout cannot starve
-//! anyone — every runnable session is served within `ceil(n / fanout)`
-//! rounds of its class.
+//! The policy is strict priority between classes, deficit round-robin
+//! within a class: every round the scheduler walks priority classes from
+//! highest to lowest, granting each class whatever fanout is left, and a
+//! class spends its grant from the front of a **persistent service
+//! queue** — served sessions recycle to the back, newly runnable sessions
+//! join at the back, departed sessions drop out in place. The queue *is*
+//! the per-class cursor, and because it survives across rounds a class
+//! whose grant is smaller than its population carries its service deficit
+//! over instead of restarting the rotation.
+//!
+//! Fairness bound (pinned by proptests in this module): while a session's
+//! class is the highest nonempty one, it is served within
+//! `ceil(n / fanout)` rounds, where `n` is the class population over that
+//! window. The bound is churn-proof: joiners enter *behind* every waiting
+//! session, so a waiting session's queue position only ever decreases —
+//! by `min(fanout, n)` per round — until it is served. (Lower classes see
+//! only the fanout the classes above them leave unspent; strict priority
+//! deliberately starves them while higher classes saturate the round,
+//! exactly as the `priorities_finish_first_under_bounded_fanout` service
+//! test demands.)
+//!
+//! The previous implementation rotated the runnable list by a single
+//! global cursor *before* the priority sort and advanced the cursor by
+//! the number of sessions taken; with a bounded fanout and mixed
+//! priorities the start index oscillated over a subset of offsets and
+//! some equal-priority sessions were never planned. The
+//! `fanout_two_mixed_priorities_regression` test below reproduces the
+//! starved schedule and pins the fix.
 
 use crate::registry::SessionId;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
-/// Priority + round-robin scheduler (see module docs).
-#[derive(Debug, Clone)]
+/// Priority + deficit-round-robin scheduler (see module docs).
+#[derive(Debug, Clone, Default)]
 pub struct Scheduler {
-    cursor: usize,
     fanout: Option<usize>,
-}
-
-impl Default for Scheduler {
-    fn default() -> Self {
-        Self::new()
-    }
+    /// Per-priority-class service queues; front = next to serve. Entries
+    /// are kept in sync with the runnable set on every `plan_round`.
+    queues: BTreeMap<u8, VecDeque<SessionId>>,
 }
 
 impl Scheduler {
     /// Unbounded fanout: every runnable session is served every round.
     pub fn new() -> Self {
-        Self {
-            cursor: 0,
-            fanout: None,
-        }
+        Self::default()
     }
 
     /// Serve at most `fanout` sessions per round (clamped to >= 1).
     pub fn with_fanout(fanout: usize) -> Self {
         Self {
-            cursor: 0,
             fanout: Some(fanout.max(1)),
+            queues: BTreeMap::new(),
         }
     }
 
@@ -45,22 +62,54 @@ impl Scheduler {
     }
 
     /// Picks the sessions to serve this round from `(id, priority)` pairs
-    /// of runnable sessions, in service order.
+    /// of runnable sessions, in service order (highest class first, queue
+    /// order within a class).
     pub fn plan_round(&mut self, runnable: &[(SessionId, u8)]) -> Vec<SessionId> {
-        let n = runnable.len();
-        if n == 0 {
-            return Vec::new();
+        self.sync_queues(runnable);
+        let mut budget = self.fanout.unwrap_or(runnable.len());
+        let mut plan = Vec::with_capacity(budget.min(runnable.len()));
+        // Highest priority first; within a class, pop from the front and
+        // recycle to the back so the unserved remainder keeps its place.
+        for queue in self.queues.values_mut().rev() {
+            let take = budget.min(queue.len());
+            for _ in 0..take {
+                let id = queue.pop_front().expect("take <= queue length");
+                plan.push(id);
+                queue.push_back(id);
+            }
+            budget -= take;
+            if budget == 0 {
+                break;
+            }
         }
-        // Rotate by the cursor so equal-priority sessions take turns when
-        // the fanout is bounded, then stable-sort by priority: the
-        // rotation survives within each priority class.
-        let start = self.cursor % n;
-        let mut order: Vec<(SessionId, u8)> = (0..n).map(|i| runnable[(start + i) % n]).collect();
-        order.sort_by_key(|&(_, priority)| std::cmp::Reverse(priority));
-        let take = self.fanout.unwrap_or(n).min(n);
-        self.cursor = self.cursor.wrapping_add(take);
-        order.truncate(take);
-        order.into_iter().map(|(id, _)| id).collect()
+        plan
+    }
+
+    /// Reconciles the persistent queues with the current runnable set:
+    /// departed sessions drop out in place, newly runnable sessions join
+    /// at the back of their class (in id order, for determinism).
+    fn sync_queues(&mut self, runnable: &[(SessionId, u8)]) {
+        let mut incoming: BTreeMap<u8, Vec<SessionId>> = BTreeMap::new();
+        for &(id, priority) in runnable {
+            incoming.entry(priority).or_default().push(id);
+        }
+        self.queues.retain(|priority, queue| {
+            match incoming.get(priority) {
+                Some(ids) => {
+                    let runnable_now: HashSet<SessionId> = ids.iter().copied().collect();
+                    queue.retain(|id| runnable_now.contains(id));
+                    true
+                }
+                // The whole class left; if it reappears it starts fresh.
+                None => false,
+            }
+        });
+        for (priority, mut ids) in incoming {
+            ids.sort_unstable();
+            let queue = self.queues.entry(priority).or_default();
+            let queued: HashSet<SessionId> = queue.iter().copied().collect();
+            queue.extend(ids.into_iter().filter(|id| !queued.contains(id)));
+        }
     }
 }
 
@@ -107,6 +156,42 @@ mod tests {
     }
 
     #[test]
+    fn fanout_two_mixed_priorities_regression() {
+        // The headline starvation repro: fanout 2 over priorities
+        // [(A,0), (B,9), (C,0), (D,0)]. The cursor-arithmetic scheduler
+        // rotated the pre-sort list by a cursor advanced in steps of 2,
+        // so the start index oscillated 0 -> 2 -> 0 and D was never
+        // planned. The deficit round-robin serves B every round plus the
+        // low class in strict rotation: each of A, C, D within 3 rounds.
+        let mut s = Scheduler::with_fanout(2);
+        let runnable = [
+            (SessionId(0), 0), // A
+            (SessionId(1), 9), // B
+            (SessionId(2), 0), // C
+            (SessionId(3), 0), // D
+        ];
+        let rounds: Vec<Vec<SessionId>> = (0..6).map(|_| s.plan_round(&runnable)).collect();
+        for (r, plan) in rounds.iter().enumerate() {
+            assert_eq!(plan.len(), 2, "round {r} fills the fanout");
+            assert_eq!(plan[0], SessionId(1), "B leads every round");
+        }
+        let low_order: Vec<SessionId> = rounds.iter().map(|p| p[1]).collect();
+        assert_eq!(
+            low_order,
+            ids(&[0, 2, 3, 0, 2, 3]),
+            "the low class rotates A, C, D without skipping anyone"
+        );
+        // The documented bound: the low class (n = 3) receives 1 slot per
+        // round, so every member appears within ceil(3 / 1) = 3 rounds.
+        for id in ids(&[0, 2, 3]) {
+            assert!(
+                low_order[..3].contains(&id),
+                "{id} must be served within 3 rounds"
+            );
+        }
+    }
+
+    #[test]
     fn rotation_survives_within_priority_class() {
         let mut s = Scheduler::with_fanout(1);
         // The high-priority session always wins until it is done; among
@@ -121,9 +206,159 @@ mod tests {
     }
 
     #[test]
+    fn joiners_enter_behind_waiting_sessions() {
+        // A session that has waited must not be delayed by later
+        // arrivals: the joiner queues up behind it.
+        let mut s = Scheduler::with_fanout(1);
+        let initial = [(SessionId(0), 0), (SessionId(1), 0)];
+        assert_eq!(s.plan_round(&initial), ids(&[0]));
+        let joined = [(SessionId(0), 0), (SessionId(1), 0), (SessionId(2), 0)];
+        assert_eq!(s.plan_round(&joined), ids(&[1]), "1 was first in line");
+        assert_eq!(
+            s.plan_round(&joined),
+            ids(&[0]),
+            "0 recycled before 2 joined"
+        );
+        assert_eq!(s.plan_round(&joined), ids(&[2]));
+    }
+
+    #[test]
     fn empty_runnable_set() {
         let mut s = Scheduler::new();
         assert!(s.plan_round(&[]).is_empty());
         assert_eq!(Scheduler::with_fanout(0).fanout(), Some(1));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One scripted churn step: which ids are runnable this round.
+        fn arbitrary_round(n_ids: u64) -> impl Strategy<Value = Vec<u64>> {
+            proptest::collection::vec(0..n_ids, 1..12)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Stable membership: every member of the highest nonempty
+            /// class is served within ceil(n / fanout) rounds, for any
+            /// population and fanout.
+            #[test]
+            fn top_class_served_within_bound(
+                low in 0usize..6,
+                high in 1usize..8,
+                fanout in 1usize..5,
+            ) {
+                let mut s = Scheduler::with_fanout(fanout);
+                let mut runnable: Vec<(SessionId, u8)> = Vec::new();
+                for i in 0..high {
+                    runnable.push((SessionId(i as u64), 5));
+                }
+                for i in 0..low {
+                    runnable.push((SessionId(100 + i as u64), 1));
+                }
+                let bound = high.div_ceil(fanout);
+                let mut served: HashSet<SessionId> = HashSet::new();
+                for _ in 0..bound {
+                    for id in s.plan_round(&runnable) {
+                        served.insert(id);
+                    }
+                }
+                for i in 0..high {
+                    prop_assert!(
+                        served.contains(&SessionId(i as u64)),
+                        "top-class session {i} not served within {bound} rounds \
+                         (n = {high}, fanout = {fanout})"
+                    );
+                }
+            }
+
+            /// Churn: sessions join and leave arbitrarily between rounds,
+            /// but one victim stays runnable throughout a single priority
+            /// class. It must be served within ceil(n_max / fanout)
+            /// rounds, where n_max is the largest population it ever
+            /// waited behind — joiners queue up behind it, so arrivals
+            /// cannot push it back.
+            #[test]
+            fn no_starvation_under_churn(
+                rounds in proptest::collection::vec(arbitrary_round(24), 1..30),
+                fanout in 1usize..4,
+            ) {
+                const VICTIM: SessionId = SessionId(9999);
+                let mut s = Scheduler::with_fanout(fanout);
+                let mut since_served = 0usize;
+                let mut n_max = 1usize;
+                for ids in &rounds {
+                    let mut runnable: Vec<(SessionId, u8)> =
+                        ids.iter().map(|&i| (SessionId(i), 3)).collect();
+                    runnable.push((VICTIM, 3));
+                    runnable.sort_unstable();
+                    runnable.dedup();
+                    n_max = n_max.max(runnable.len());
+                    let plan = s.plan_round(&runnable);
+                    prop_assert_eq!(plan.len(), fanout.min(runnable.len()));
+                    if plan.contains(&VICTIM) {
+                        since_served = 0;
+                        n_max = runnable.len();
+                    } else {
+                        since_served += 1;
+                    }
+                    prop_assert!(
+                        since_served < n_max.div_ceil(fanout),
+                        "victim waited {since_served} rounds with n_max = {n_max}, \
+                         fanout = {fanout}"
+                    );
+                }
+            }
+
+            /// A plan never contains duplicates, never exceeds the fanout,
+            /// and serves strictly by priority class.
+            #[test]
+            fn plans_are_well_formed(
+                members in proptest::collection::vec((0u64..32, 0u8..4), 1..16),
+                fanout in 1usize..6,
+                rounds in 1usize..8,
+            ) {
+                let mut runnable: Vec<(SessionId, u8)> = members
+                    .iter()
+                    .map(|&(i, p)| (SessionId(i), p))
+                    .collect();
+                runnable.sort_unstable();
+                runnable.dedup_by_key(|e| e.0);
+                let mut s = Scheduler::with_fanout(fanout);
+                for _ in 0..rounds {
+                    let plan = s.plan_round(&runnable);
+                    prop_assert_eq!(plan.len(), fanout.min(runnable.len()));
+                    let mut seen = HashSet::new();
+                    let priority_of = |id: SessionId| {
+                        runnable.iter().find(|e| e.0 == id).unwrap().1
+                    };
+                    let mut last_priority = u8::MAX;
+                    for id in &plan {
+                        prop_assert!(seen.insert(*id), "duplicate {id} in plan");
+                        let p = priority_of(*id);
+                        prop_assert!(
+                            p <= last_priority,
+                            "priority order violated: {p} after {last_priority}"
+                        );
+                        last_priority = p;
+                    }
+                    // No unserved session of a class strictly above the
+                    // lowest served class may exist (strict priority).
+                    if let Some(lowest) = plan.iter().map(|id| priority_of(*id)).min() {
+                        for &(id, p) in &runnable {
+                            if p > lowest {
+                                prop_assert!(
+                                    plan.contains(&id),
+                                    "higher-class {id} (p={p}) skipped while \
+                                     class {lowest} was served"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,9 +1,23 @@
 //! The serving loop: multiplexes many [`SessionDriver`]s over one shared
 //! crowd backend, one scheduling round at a time.
+//!
+//! Each round runs in three phases. The **gather** phase (sharded across
+//! `std::thread::scope` worker chunks) asks every scheduled driver for
+//! its next question batch; the **purchase** phase (sequential, single
+//! crowd) funnels the merged demand through the cache-first batcher so
+//! budget accounting and cache semantics are identical to the
+//! single-threaded loop; the **feed** phase (sharded again) applies the
+//! answers to each session's belief. Drivers are independent state
+//! machines (`SessionDriver: Send`, disjoint `&mut` borrows via the
+//! shard-aware registry), every cross-session effect — scheduling order,
+//! crowd spending, cache population, metrics — happens in the sequential
+//! merge steps in plan order, so per-tenant reports are bit-identical at
+//! any worker thread count (pinned by tests and the `many_tenants`
+//! suite).
 
-use crate::batcher::{resolve_round, AnswerCache};
+use crate::batcher::{resolve_round, AnswerCache, SessionAnswers};
 use crate::metrics::ServiceMetrics;
-use crate::registry::{Registry, SessionId, SessionSpec, SessionState};
+use crate::registry::{Registry, SessionEntry, SessionId, SessionSpec, SessionState};
 use crate::scheduler::Scheduler;
 use ctk_core::driver::{DriverStatus, SessionDriver};
 use ctk_core::session::UrReport;
@@ -84,6 +98,9 @@ pub struct TopKService<C: Crowd> {
     registry: Registry,
     scheduler: Scheduler,
     metrics: ServiceMetrics,
+    /// Worker threads the gather/feed phases shard over (>= 1; 1 runs the
+    /// classic sequential loop, any value produces bit-identical reports).
+    threads: usize,
     /// One pairwise matrix per distinct table served: the n² comparison
     /// quadratures dominate session setup, and tenants querying the same
     /// relation share a single `Arc` instead of recomputing per submit.
@@ -91,14 +108,19 @@ pub struct TopKService<C: Crowd> {
 }
 
 impl<C: Crowd> TopKService<C> {
-    /// A service over `crowd` with unbounded per-round fanout.
+    /// A service over `crowd` with unbounded per-round fanout, sharding
+    /// round work over all available cores.
     pub fn new(crowd: C) -> Self {
+        let threads = default_threads();
+        let mut metrics = ServiceMetrics::default();
+        metrics.worker_threads = threads;
         Self {
             crowd,
             cache: AnswerCache::new(),
             registry: Registry::new(),
             scheduler: Scheduler::new(),
-            metrics: ServiceMetrics::default(),
+            metrics,
+            threads,
             pairwise_cache: Vec::new(),
         }
     }
@@ -107,6 +129,25 @@ impl<C: Crowd> TopKService<C> {
     pub fn with_fanout(mut self, fanout: usize) -> Self {
         self.scheduler = Scheduler::with_fanout(fanout);
         self
+    }
+
+    /// Sets how many worker threads the round loop shards session work
+    /// over (builder style). `0` means all available cores; `1` runs the
+    /// sequential loop. Reports are bit-identical at every setting — the
+    /// knob only trades wall clock.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        self.metrics.worker_threads = self.threads;
+        self
+    }
+
+    /// Worker threads the round loop shards over.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Registers a session over `table`. The TPO (or world sample) is
@@ -161,6 +202,11 @@ impl<C: Crowd> TopKService<C> {
 
     /// Runs one scheduling round. Returns what happened; a round over an
     /// idle service is a no-op.
+    ///
+    /// The round is three phases: gather (sharded), purchase
+    /// (sequential), feed (sharded) — see the module docs. All lifecycle
+    /// transitions and metrics happen in the sequential merge steps, in
+    /// plan order, so the outcome is independent of the thread count.
     pub fn tick(&mut self) -> RoundOutcome {
         let t0 = Instant::now();
         let mut outcome = RoundOutcome::default();
@@ -172,24 +218,35 @@ impl<C: Crowd> TopKService<C> {
         let planned = self.scheduler.plan_round(&runnable);
         outcome.scheduled = planned.len();
 
-        // Phase 1: gather question batches from the scheduled drivers.
-        // The allowance is the *session's* remaining budget only — the
-        // shared crowd's budget deliberately does not gate emission,
-        // because the answer cache can serve a question at zero crowd
-        // cost; only questions that actually need a live answer starve
-        // (per-question, in the batcher below).
+        // Gather phase (sharded): every scheduled driver computes its
+        // next batch. The allowance is the *session's* remaining budget
+        // only — the shared crowd's budget deliberately does not gate
+        // emission, because the answer cache can serve a question at zero
+        // crowd cost; only questions that actually need a live answer
+        // starve (per-question, in the batcher below).
+        let gathered = {
+            let mut shard = self.registry.entries_mut_in_order(&planned);
+            run_sharded(&mut shard, self.threads, |entry| {
+                let allowance = entry.ledger.remaining();
+                let driver = entry.driver.as_mut().expect("queued session has driver");
+                driver.next_batch(allowance)
+            })
+        };
+
+        // Merge: per-shard question demand funnels into one request list
+        // in plan order; lifecycle transitions happen here, sequentially.
         let mut requests: Vec<(SessionId, Vec<Question>)> = Vec::with_capacity(planned.len());
-        for id in planned {
-            let entry = self.registry.get_mut(id).expect("scheduled id exists");
-            let allowance = entry.ledger.remaining();
-            let driver = entry.driver.as_mut().expect("queued session has driver");
-            match driver.next_batch(allowance) {
+        for (id, batch) in planned.iter().copied().zip(gathered) {
+            match batch {
                 Ok(batch) if batch.is_empty() => {
                     self.finalize(id);
                     outcome.finished += 1;
                 }
                 Ok(batch) => {
-                    entry.state = SessionState::AwaitingAnswers;
+                    self.registry
+                        .get_mut(id)
+                        .expect("scheduled id exists")
+                        .state = SessionState::AwaitingAnswers;
                     requests.push((id, batch));
                 }
                 Err(err) => {
@@ -199,30 +256,45 @@ impl<C: Crowd> TopKService<C> {
             }
         }
 
-        // Phase 2: resolve the cross-session batch (cache first, crowd
-        // second) and feed answers back, each with the accuracy it was
-        // actually bought at (a cached answer keeps its purchase-time
-        // accuracy even if the backend's policy drifted since).
+        // Purchase phase (sequential): resolve the cross-session batch
+        // cache-first, crowd-second. The single crowd walk in plan order
+        // keeps budget accounting and cache population identical to the
+        // sequential loop regardless of how the other phases shard.
         let (served, stats) = resolve_round(&requests, &mut self.crowd, &mut self.cache);
-        for sa in served {
-            let entry = self.registry.get_mut(sa.id).expect("served id exists");
-            for ans in &sa.answers {
-                // Ledger votes count *live* crowd interactions; cache
-                // hits consume session budget but no crowd budget.
-                entry.ledger.record(ans.answer, usize::from(!ans.cached));
-            }
+
+        // Feed phase (sharded): apply each session's answers, each with
+        // the accuracy it was actually bought at (a cached answer keeps
+        // its purchase-time accuracy even if the backend's policy drifted
+        // since). Ledger votes count *live* crowd interactions; cache
+        // hits consume session budget but no crowd budget.
+        let fed = {
+            let ids: Vec<SessionId> = served.iter().map(|sa| sa.id).collect();
+            let entries = self.registry.entries_mut_in_order(&ids);
+            let mut shard: Vec<(&mut SessionEntry, &SessionAnswers)> =
+                entries.into_iter().zip(served.iter()).collect();
+            run_sharded(&mut shard, self.threads, |(entry, sa)| {
+                for ans in &sa.answers {
+                    entry.ledger.record(ans.answer, usize::from(!ans.cached));
+                }
+                let graded: Vec<_> = sa.answers.iter().map(|a| (a.answer, a.accuracy)).collect();
+                let driver = entry.driver.as_mut().expect("awaiting session has driver");
+                driver.feed_graded(&graded)
+            })
+        };
+        for (sa, status) in served.iter().zip(fed) {
             if sa.starved() {
                 self.metrics.starved += 1;
             }
-            let graded: Vec<_> = sa.answers.iter().map(|a| (a.answer, a.accuracy)).collect();
-            let driver = entry.driver.as_mut().expect("awaiting session has driver");
-            match driver.feed_graded(&graded) {
+            match status {
                 Ok(DriverStatus::Done) => {
                     self.finalize(sa.id);
                     outcome.finished += 1;
                 }
                 Ok(DriverStatus::Active) => {
-                    entry.state = SessionState::Queued;
+                    self.registry
+                        .get_mut(sa.id)
+                        .expect("served id exists")
+                        .state = SessionState::Queued;
                 }
                 Err(err) => {
                     self.fail(sa.id, err);
@@ -314,6 +386,49 @@ impl<C: Crowd> TopKService<C> {
         entry.state = SessionState::Failed;
         self.metrics.failed += 1;
     }
+}
+
+/// All available cores (the service's `threads = 0` resolution).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// Below this many sessions a sharded phase runs inline: spawning scoped
+/// threads costs more than the work they would split.
+const PARALLEL_SESSIONS_MIN: usize = 3;
+
+/// Applies `work` to every item, fanning out over at most `threads`
+/// scoped worker chunks, and returns the results in item order.
+///
+/// Determinism argument: `work` runs once per item on disjoint `&mut`
+/// state, chunk boundaries only decide *where* an item runs, and results
+/// are reassembled by chunk order (= item order). The sequential path is
+/// the `threads == 1` special case of the same code shape, so any thread
+/// count computes the identical result vector.
+fn run_sharded<T: Send, R: Send>(
+    items: &mut [T],
+    threads: usize,
+    work: impl Fn(&mut T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n < PARALLEL_SESSIONS_MIN {
+        return items.iter_mut().map(&work).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.iter_mut().map(work).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("service shard thread panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -545,5 +660,187 @@ mod tests {
         let outcome = svc.tick();
         assert!(!outcome.progressed());
         assert_eq!(svc.metrics().rounds, 0);
+    }
+
+    #[test]
+    fn services_are_send() {
+        // Benches run whole services on spawned threads; the shard phases
+        // move `&mut SessionEntry`s into scoped workers. Both require the
+        // service (and thus crowd + drivers) to be `Send` at compile time.
+        fn assert_send<T: Send>() {}
+        assert_send::<TopKService<CrowdSimulator<PerfectWorker>>>();
+    }
+
+    #[test]
+    fn reports_bit_identical_across_worker_threads() {
+        // The sharded round loop must be invisible in the results: the
+        // same mixed-tenant workload (bounded fanout, mixed priorities,
+        // every algorithm family) produces bit-identical per-tenant
+        // reports at 1, 2 and 4 worker threads.
+        let algorithms = [
+            Algorithm::T1On,
+            Algorithm::TbOff,
+            Algorithm::Random,
+            Algorithm::COff,
+            Algorithm::Incr {
+                questions_per_round: 2,
+            },
+            Algorithm::Naive,
+            Algorithm::T1On,
+            Algorithm::TbOff,
+        ];
+        let run = |threads: usize| {
+            let mut svc = service(1000).with_fanout(3).with_threads(threads);
+            let ids: Vec<_> = algorithms
+                .iter()
+                .enumerate()
+                .map(|(t, alg)| {
+                    let spec = SessionSpec::new(config(alg.clone(), t as u64))
+                        .with_priority((t % 3) as u8);
+                    svc.submit(&table(), spec).unwrap()
+                })
+                .collect();
+            svc.run_to_completion();
+            assert_eq!(svc.metrics().completed as usize, algorithms.len());
+            ids.into_iter()
+                .map(|id| svc.report(id).unwrap().clone())
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            let sharded = run(threads);
+            for (tenant, (a, b)) in sequential.iter().zip(&sharded).enumerate() {
+                assert!(
+                    a.same_outcome(b),
+                    "tenant {tenant} diverged between 1 and {threads} worker threads"
+                );
+            }
+        }
+    }
+
+    /// A crowd whose answer accuracy drifts between rounds — the scenario
+    /// that distinguishes per-answer accuracy plumbing from a scalar: a
+    /// cached answer must be replayed at its *purchase-time* accuracy
+    /// while fresh answers in the same batch carry the current one.
+    struct DriftingCrowd {
+        inner: CrowdSimulator<PerfectWorker>,
+        accuracies: Vec<f64>,
+        asked: usize,
+    }
+
+    impl Crowd for DriftingCrowd {
+        fn ask(&mut self, q: ctk_crowd::Question) -> Option<ctk_crowd::Answer> {
+            let ans = self.inner.ask(q)?;
+            self.asked += 1;
+            Some(ans)
+        }
+        fn remaining(&self) -> usize {
+            self.inner.remaining()
+        }
+        fn answer_accuracy(&self) -> f64 {
+            // Accuracy of the most recent purchase (the batcher reads it
+            // right after `ask`): question #k was bought at accuracy[k-1].
+            let k = self.asked.saturating_sub(1);
+            self.accuracies[k.min(self.accuracies.len() - 1)]
+        }
+        fn history(&self) -> &[ctk_crowd::Answer] {
+            self.inner.history()
+        }
+    }
+
+    #[test]
+    fn cached_answers_replay_their_purchase_time_accuracy() {
+        // Tenant A buys its answers while the crowd advertises 0.9; by
+        // the time tenant B runs, the policy has drifted to 0.7. B's
+        // cache hits must be graded 0.9 (what they were bought at) and
+        // only genuinely fresh purchases graded at the drifted accuracy.
+        let table = table();
+        let truth = GroundTruth::sample(&table, 99);
+        let a_cfg = config(Algorithm::TbOff, 1);
+        let mut b_cfg = config(Algorithm::TbOff, 1);
+        b_cfg.budget = a_cfg.budget + 2; // B outruns the cache at the end
+        let accuracies: Vec<f64> = (0..a_cfg.budget)
+            .map(|_| 0.9)
+            .chain(std::iter::repeat(0.7))
+            .take(a_cfg.budget + 16)
+            .collect();
+        let crowd = DriftingCrowd {
+            inner: CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1000),
+            accuracies,
+            asked: 0,
+        };
+        // Fanout 1 serializes the tenants: A completes (buying at 0.9)
+        // before B asks anything.
+        let mut svc = TopKService::new(crowd).with_fanout(1);
+        let a = svc.submit(&table, SessionSpec::new(a_cfg.clone())).unwrap();
+        let b = svc.submit(&table, SessionSpec::new(b_cfg.clone())).unwrap();
+        svc.run_to_completion();
+        assert_eq!(svc.state(a), Some(SessionState::Done));
+        assert_eq!(svc.state(b), Some(SessionState::Done));
+        assert!(svc.metrics().cache_hits > 0, "B must hit A's answers");
+        let served_b = svc.report(b).unwrap();
+
+        // Reference: drive B's config by hand, grading each answer with
+        // the accuracy the service should have used — purchase-time for
+        // answers A already bought, drifted for fresh ones.
+        let bought: std::collections::HashSet<_> = svc
+            .crowd()
+            .history()
+            .iter()
+            .take(svc.report(a).unwrap().questions_asked())
+            .map(|ans| ans.question.canonical())
+            .collect();
+        let mut reference = SessionDriver::new(b_cfg.clone(), &table, None).expect("valid config");
+        let mut oracle = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000);
+        loop {
+            let batch = reference.next_batch(usize::MAX).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            let graded: Vec<_> = batch
+                .iter()
+                .map(|q| {
+                    let accuracy = if bought.contains(&q.canonical()) {
+                        0.9
+                    } else {
+                        0.7
+                    };
+                    (oracle.ask(*q).unwrap(), accuracy)
+                })
+                .collect();
+            if reference.feed_graded(&graded).unwrap() == DriverStatus::Done {
+                break;
+            }
+        }
+        let expected = reference.finish().unwrap();
+        assert!(
+            served_b.same_outcome(&expected),
+            "B must mix purchase-time (0.9) and drifted (0.7) accuracies"
+        );
+
+        // And the scalar-accuracy grading would have produced a different
+        // belief trajectory — the distinction this test exists to pin.
+        let mut uniform = SessionDriver::new(b_cfg, &table, None).unwrap();
+        let mut oracle2 = CrowdSimulator::new(
+            GroundTruth::sample(&table, 99),
+            PerfectWorker,
+            VotePolicy::Single,
+            1000,
+        );
+        loop {
+            let batch = uniform.next_batch(usize::MAX).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            let answers: Vec<_> = batch.iter().map(|q| oracle2.ask(*q).unwrap()).collect();
+            if uniform.feed(&answers, 0.7).unwrap() == DriverStatus::Done {
+                break;
+            }
+        }
+        let flattened = uniform.finish().unwrap();
+        assert!(
+            !served_b.same_outcome(&flattened),
+            "uniform 0.7 grading must be distinguishable, or the test is vacuous"
+        );
     }
 }

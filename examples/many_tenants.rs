@@ -1,8 +1,13 @@
 //! Many tenants, one crowd: 32 concurrent top-K sessions multiplexed over
 //! a single simulated crowd backend, with cross-session question
-//! deduplication.
+//! deduplication and a sharded round loop.
 //!
-//! Run with: `cargo run --release --example many_tenants`
+//! Run with: `cargo run --release --example many_tenants [-- --threads N] [--digest]`
+//!
+//! `--threads N` pins the round loop's worker thread count (default: all
+//! cores). `--digest` prints only a timing-free per-tenant outcome digest
+//! — CI runs the example at two thread counts and diffs the digests to
+//! smoke-check that sharding is invisible in the results.
 
 use crowd_topk::core::measures::MeasureKind;
 use crowd_topk::core::session::{Algorithm, SessionConfig, UrSession};
@@ -39,6 +44,15 @@ fn tenant_config(tenant: usize) -> SessionConfig {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let digest = args.iter().any(|a| a == "--digest");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0); // 0 = all cores
+
     // One shared object universe: ten items with overlapping uncertain
     // scores, one hidden reality, one crowd that knows it.
     let table = generate(&DatasetSpec::paper_default(10, 0.35, 2024)).expect("valid spec");
@@ -47,8 +61,9 @@ fn main() {
     let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
 
     // A service with a bounded per-round fanout (a tight worker pool):
-    // at most 8 tenants are served per scheduling round.
-    let mut service = TopKService::new(crowd).with_fanout(8);
+    // at most 8 tenants are served per scheduling round, their driver
+    // work sharded across the configured worker threads.
+    let mut service = TopKService::new(crowd).with_fanout(8).with_threads(threads);
     let ids: Vec<_> = (0..TENANTS)
         .map(|t| {
             service
@@ -61,7 +76,34 @@ fn main() {
         })
         .collect();
 
-    println!("Serving {TENANTS} concurrent sessions over one crowd...\n");
+    if digest {
+        service.run_to_completion();
+        // Timing-free, thread-count-independent outcome digest: one line
+        // per tenant. Diffing two runs pins the sharding determinism.
+        for (tenant, id) in ids.iter().enumerate() {
+            let r = service.report(*id).expect("tenant completed");
+            let last_uncertainty = r
+                .steps
+                .last()
+                .map(|s| s.uncertainty.to_bits())
+                .unwrap_or_else(|| r.initial_uncertainty.to_bits());
+            println!(
+                "{tenant}\t{}\t{}\t{}\t{:?}\t{:016x}",
+                r.algorithm,
+                r.questions_asked(),
+                r.resolved,
+                r.final_topk,
+                last_uncertainty,
+            );
+        }
+        return;
+    }
+
+    println!(
+        "Serving {TENANTS} concurrent sessions over one crowd \
+         ({} worker threads)...\n",
+        service.threads()
+    );
     let metrics = service.run_to_completion().clone();
 
     println!("{}", metrics.summary());

@@ -26,11 +26,14 @@ fn main() {
                 (VotePolicy::Single, &mut d_single),
                 (VotePolicy::Majority(3), &mut d_major),
             ] {
+                // Crowd budgets are vote-denominated: fund the full
+                // question budget under either policy (majority-of-3
+                // costs three times the money for the same questions).
                 let mut crowd = CrowdSimulator::new(
                     GroundTruth::sample(&scenario.table, 9000 + run),
                     NoisyWorker::new(accuracy, 31 * run + 7),
                     policy,
-                    BUDGET,
+                    BUDGET * policy.votes_per_question(),
                 );
                 let report = CrowdTopK::new(scenario.table.clone())
                     .k(scenario.k)

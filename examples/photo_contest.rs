@@ -40,11 +40,13 @@ fn main() {
         for run in 0..RUNS {
             let truth = GroundTruth::sample(&table, 1000 + run);
             let podium = truth.top_k(K);
+            // Crowd budgets are vote-denominated: a majority-of-3 answer
+            // costs 3 votes, so fund the full question budget explicitly.
             let mut crowd = CrowdSimulator::new(
                 truth,
                 NoisyWorker::new(0.80, 500 + run),
                 VotePolicy::Majority(3),
-                BUDGET,
+                BUDGET * VotePolicy::Majority(3).votes_per_question(),
             );
             let report = CrowdTopK::new(table.clone())
                 .k(K)

@@ -11,11 +11,14 @@ fn avg_final_distance(accuracy: f64, policy: VotePolicy, runs: u64, budget: usiz
         let scenario = scenarios::noise(run);
         let truth = GroundTruth::sample(&scenario.table, 400 + run);
         let top = truth.top_k(scenario.k);
+        // Crowd budgets are vote-denominated: fund the full question
+        // budget under either policy so the comparison stays at equal
+        // question counts (majority-of-3 costs 3x the money).
         let mut crowd = CrowdSimulator::new(
             GroundTruth::sample(&scenario.table, 400 + run),
             NoisyWorker::new(accuracy, 77 * run + 3),
             policy,
-            budget,
+            budget * policy.votes_per_question(),
         );
         let r = CrowdTopK::new(scenario.table)
             .k(scenario.k)
