@@ -4,13 +4,44 @@
 //! concrete value; sorting those values yields one total ordering of the
 //! relation. The Monte-Carlo TPO engine, the ground-truth generator and the
 //! `incr` algorithm's belief state are all built on these samples.
+//!
+//! ## Hot-path machinery
+//!
+//! Two pieces exist purely for the Monte-Carlo builders (DESIGN.md §10):
+//!
+//! * [`WorldSampler`] — a per-table compilation of every tuple's sampler,
+//!   built once and reused across all `M` worlds. The common families
+//!   flatten to a fused inverse-CDF transform (`Point` consumes no
+//!   randomness, `Uniform` is one affine draw); the table-driven families
+//!   (`Histogram`/`Piecewise`/`Discrete`) reuse the cumulative tables
+//!   precomputed inside the distribution. Draw-for-draw it consumes the
+//!   PRNG exactly like [`ScoreDist::sample`], so the streams are
+//!   bit-identical (pinned by tests) and [`WorldSampler::sample_into`]
+//!   fills a caller-recycled buffer instead of allocating per world.
+//! * [`top_k_prefix_into`] — the depth-`k` prefix of a world's ranking via
+//!   `select_nth_unstable` partial selection, O(n + k·log k) instead of
+//!   the full O(n·log n) sort. The comparator is a *total* order (score
+//!   descending, ties by ascending id), so the prefix is bit-identical to
+//!   `ranking_from_scores(..)[..k]` by construction (also pinned).
 
+use crate::dist::ScoreDist;
 use crate::table::UncertainTable;
 use rand::Rng;
+use std::cmp::Ordering;
 
 /// Samples one concrete score per tuple (a possible world), in id order.
 pub fn sample_scores<R: Rng + ?Sized>(table: &UncertainTable, rng: &mut R) -> Vec<f64> {
     table.iter().map(|t| t.dist.sample(rng)).collect()
+}
+
+/// The total order induced by concrete scores: descending score, ties by
+/// ascending tuple id (the fixed tie-breaking rule the paper assumes).
+#[inline]
+fn score_order(scores: &[f64], a: u32, b: u32) -> Ordering {
+    scores[b as usize]
+        .partial_cmp(&scores[a as usize])
+        .expect("scores must not be NaN")
+        .then(a.cmp(&b))
 }
 
 /// Total ordering (tuple ids, highest score first) induced by concrete
@@ -18,13 +49,33 @@ pub fn sample_scores<R: Rng + ?Sized>(table: &UncertainTable, rng: &mut R) -> Ve
 /// fixed tie-breaking rule the paper assumes.
 pub fn ranking_from_scores(scores: &[f64]) -> Vec<u32> {
     let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
-    ids.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    // The comparator is a total order, so the unstable sort has exactly
+    // one fixed point — identical output to a stable sort, minus the
+    // allocation.
+    ids.sort_unstable_by(|&a, &b| score_order(scores, a, b));
     ids
+}
+
+/// Writes the depth-`out.len()` prefix of the ranking induced by `scores`
+/// into `out`, using partial selection: O(n + k·log k) instead of the full
+/// sort's O(n·log n). `ids` is caller-recycled scratch.
+///
+/// Because the comparator is a total order, the selected-and-sorted prefix
+/// equals `ranking_from_scores(scores)[..k]` element for element — the
+/// bit-identity the Monte-Carlo builder's fast path relies on.
+///
+/// # Panics
+/// Panics if `out.len()` is zero or exceeds `scores.len()`.
+pub fn top_k_prefix_into(scores: &[f64], ids: &mut Vec<u32>, out: &mut [u32]) {
+    let k = out.len();
+    assert!(k >= 1 && k <= scores.len(), "invalid prefix depth {k}");
+    ids.clear();
+    ids.extend(0..scores.len() as u32);
+    if k < ids.len() {
+        ids.select_nth_unstable_by(k - 1, |&a, &b| score_order(scores, a, b));
+    }
+    ids[..k].sort_unstable_by(|&a, &b| score_order(scores, a, b));
+    out.copy_from_slice(&ids[..k]);
 }
 
 /// Samples one possible world and returns its induced total ordering.
@@ -42,6 +93,78 @@ pub fn sample_rankings<R: Rng + ?Sized>(
     (0..m).map(|_| sample_ranking(table, rng)).collect()
 }
 
+/// One tuple's compiled sampler (see [`WorldSampler`]).
+#[derive(Debug, Clone)]
+enum TupleSampler {
+    /// Certain score: consumes no randomness (like [`ScoreDist::sample`]).
+    Const(f64),
+    /// Uniform: one standard draw through a fused affine transform —
+    /// `lo + u·span` is operation-for-operation what the shim's
+    /// `gen_range(lo..hi)` computes, with `span` hoisted out of the loop.
+    Affine { lo: f64, span: f64 },
+    /// Table-driven families: delegates to the distribution's own sampler,
+    /// whose inverse-CDF tables (cumulative arrays) were precomputed at
+    /// construction. Cloning into a dense vector keeps the per-world loop
+    /// off the table's tuple metadata (labels, ids).
+    Dist(ScoreDist),
+}
+
+/// Per-table compiled samplers: built once, used for all `M` worlds.
+///
+/// Consumes the PRNG exactly like a [`sample_scores`] pass — same draws,
+/// same arithmetic — so swapping it in cannot change a single sampled
+/// world (pinned by `sampler_table_is_bit_identical_to_dist_sampling`).
+#[derive(Debug, Clone)]
+pub struct WorldSampler {
+    samplers: Vec<TupleSampler>,
+}
+
+impl WorldSampler {
+    /// Compiles the samplers of every tuple of `table`.
+    pub fn new(table: &UncertainTable) -> Self {
+        let samplers = table
+            .dists()
+            .map(|d| match d {
+                ScoreDist::Point(v) => TupleSampler::Const(*v),
+                ScoreDist::Uniform(u) => TupleSampler::Affine {
+                    lo: u.lo(),
+                    span: u.hi() - u.lo(),
+                },
+                other => TupleSampler::Dist(other.clone()),
+            })
+            .collect();
+        Self { samplers }
+    }
+
+    /// Number of tuples the sampler covers.
+    pub fn len(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Compiled samplers are never empty (tables are never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples one world into `out` (tuple-id order, no allocation).
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the table size.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        assert_eq!(out.len(), self.samplers.len(), "buffer/table size mismatch");
+        for (o, s) in out.iter_mut().zip(&self.samplers) {
+            *o = match s {
+                TupleSampler::Const(v) => *v,
+                TupleSampler::Affine { lo, span } => {
+                    let u: f64 = rng.gen();
+                    lo + u * span
+                }
+                TupleSampler::Dist(d) => d.sample(rng),
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +177,25 @@ mod tests {
             ScoreDist::uniform(0.0, 1.0).unwrap(),
             ScoreDist::uniform(0.4, 1.4).unwrap(),
             ScoreDist::point(2.0),
+        ])
+        .unwrap()
+    }
+
+    fn every_family_table() -> UncertainTable {
+        UncertainTable::new(vec![
+            ScoreDist::point(0.5),
+            ScoreDist::uniform(0.0, 1.0).unwrap(),
+            ScoreDist::gaussian(0.5, 0.1).unwrap(),
+            ScoreDist::discrete(&[(0.2, 1.0), (0.8, 3.0)]).unwrap(),
+            ScoreDist::histogram(&[0.0, 0.5, 1.0], &[1.0, 3.0]).unwrap(),
+            ScoreDist::triangular(0.0, 0.4, 1.0).unwrap(),
+            ScoreDist::bimodal(
+                0.4,
+                ScoreDist::uniform(0.0, 0.3).unwrap(),
+                0.6,
+                ScoreDist::gaussian(0.7, 0.05).unwrap(),
+            )
+            .unwrap(),
         ])
         .unwrap()
     }
@@ -77,6 +219,59 @@ mod tests {
     fn ties_break_by_id() {
         let r = ranking_from_scores(&[0.5, 0.5, 0.9, 0.5]);
         assert_eq!(r, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn partial_selection_prefix_matches_full_sort() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ids = Vec::new();
+        for n in [1usize, 2, 3, 7, 50, 200] {
+            // Quantized scores force plenty of exact ties.
+            let scores: Vec<f64> = (0..n)
+                .map(|_| (rng.gen::<f64>() * 8.0).floor() / 8.0)
+                .collect();
+            let full = ranking_from_scores(&scores);
+            for k in [1, 2, n / 2, n.saturating_sub(1), n] {
+                if k == 0 || k > n {
+                    continue;
+                }
+                let mut prefix = vec![0u32; k];
+                top_k_prefix_into(&scores, &mut ids, &mut prefix);
+                assert_eq!(prefix, full[..k], "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prefix depth")]
+    fn partial_selection_rejects_oversized_depth() {
+        let mut ids = Vec::new();
+        let mut out = vec![0u32; 3];
+        top_k_prefix_into(&[1.0, 2.0], &mut ids, &mut out);
+    }
+
+    #[test]
+    fn sampler_table_is_bit_identical_to_dist_sampling() {
+        // The compiled samplers must consume the PRNG exactly like
+        // ScoreDist::sample — same draws, same arithmetic.
+        let t = every_family_table();
+        let sampler = WorldSampler::new(&t);
+        assert_eq!(sampler.len(), t.len());
+        assert!(!sampler.is_empty());
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = StdRng::seed_from_u64(1234);
+        let mut buf = vec![0.0; t.len()];
+        for world in 0..500 {
+            let reference = sample_scores(&t, &mut a);
+            sampler.sample_into(&mut b, &mut buf);
+            for (i, (x, y)) in reference.iter().zip(&buf).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "world {world}, tuple {i}: {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

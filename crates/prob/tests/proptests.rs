@@ -2,9 +2,9 @@
 //! invariants that must hold for *any* valid parameters, not just the
 //! hand-picked cases in the unit tests.
 
-use ctk_prob::compare::pr_greater;
+use ctk_prob::compare::{pr_greater, pr_greater_reference_res};
 use ctk_prob::nested::prefix_probability;
-use ctk_prob::sample::{ranking_from_scores, sample_scores};
+use ctk_prob::sample::{ranking_from_scores, sample_scores, top_k_prefix_into, WorldSampler};
 use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -34,6 +34,50 @@ fn any_dist() -> impl Strategy<Value = ScoreDist> {
         (-5.0..5.0f64).prop_map(ScoreDist::point),
         proptest::collection::vec((-5.0..5.0f64, 0.01..1.0f64), 1..6)
             .prop_map(|pairs| ScoreDist::discrete(&pairs).unwrap()),
+    ]
+}
+
+/// Every `ScoreDist` kind, *including* mixtures whose components may carry
+/// atoms — the case the `(_, Discrete)` tie-split fix exists for.
+fn any_dist_kind() -> impl Strategy<Value = ScoreDist> {
+    prop_oneof![
+        any_dist(),
+        (any_dist(), any_dist(), 0.1..0.9f64).prop_map(|(a, b, w)| ScoreDist::bimodal(
+            w,
+            a,
+            1.0 - w,
+            b
+        )
+        .unwrap()),
+    ]
+}
+
+/// A moderate-parameter distribution for quadrature-agreement pins: spiky
+/// enough to exercise every closed form, tame enough that the *reference*
+/// trapezoid's own truncation error at the pin resolution stays far below
+/// the 1e-6 bound being asserted (see DESIGN.md §10 on tolerance policy).
+fn moderate_continuous() -> impl Strategy<Value = ScoreDist> {
+    prop_oneof![
+        (-2.0..2.0f64, 0.2..2.0f64).prop_map(|(c, w)| ScoreDist::uniform_centered(c, w).unwrap()),
+        (-2.0..2.0f64, 0.2..0.8f64).prop_map(|(m, s)| ScoreDist::gaussian(m, s).unwrap()),
+        (-2.0..2.0f64, 0.5..2.0f64, 0.0..1.0f64).prop_map(|(lo, w, frac)| {
+            ScoreDist::triangular(lo, lo + frac * w, lo + w).unwrap()
+        }),
+        (-2.0..2.0f64, 0.5..2.0f64, 0.5..3.0f64, 0.5..3.0f64).prop_map(|(lo, w, w1, w2)| {
+            ScoreDist::histogram(&[lo, lo + w / 2.0, lo + w], &[w1, w2]).unwrap()
+        }),
+    ]
+}
+
+fn moderate_dist() -> impl Strategy<Value = ScoreDist> {
+    prop_oneof![
+        moderate_continuous(),
+        (-2.0..2.0f64).prop_map(ScoreDist::point),
+        proptest::collection::vec((-2.0..2.0f64, 0.1..1.0f64), 1..4)
+            .prop_map(|pairs| ScoreDist::discrete(&pairs).unwrap()),
+        (moderate_continuous(), -2.0..2.0f64, 0.2..0.8f64).prop_map(|(c, atom, w)| {
+            ScoreDist::bimodal(w, c, 1.0 - w, ScoreDist::point(atom)).unwrap()
+        }),
     ]
 }
 
@@ -83,6 +127,65 @@ proptest! {
     fn comparison_self_is_half(a in any_dist()) {
         let p = pr_greater(&a, &a.clone());
         prop_assert!((p - 0.5).abs() < 1e-4, "self-comparison p = {p}");
+    }
+
+    #[test]
+    fn comparison_symmetry_over_all_kinds(a in any_dist_kind(), b in any_dist_kind()) {
+        // The analytic arms are complementary by construction, so the
+        // tolerance here is float noise, not quadrature error. Before the
+        // (_, Discrete) tie-split fix this failed for atom-carrying
+        // mixtures against discretes.
+        let p = pr_greater(&a, &b);
+        let q = pr_greater(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "p={p} q={q} for {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_quadrature(a in moderate_dist(), b in moderate_dist()) {
+        // The PR 5 acceptance pin: analytic closed forms within 1e-6 of
+        // the (converged) reference grid quadrature.
+        let fast = pr_greater(&a, &b);
+        let slow = pr_greater_reference_res(&a, &b, 65_536);
+        prop_assert!(
+            (fast - slow).abs() < 1e-6,
+            "fast {fast} vs reference {slow} for {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn partial_prefix_matches_full_sort_prefix(
+        raw in proptest::collection::vec(0u8..12, 1..40),
+        kseed in any::<u64>(),
+    ) {
+        // Coarse quantization forces exact score ties; the id tie-break
+        // must make partial selection agree with the full sort anyway.
+        let scores: Vec<f64> = raw.iter().map(|&v| v as f64 / 4.0).collect();
+        let full = ranking_from_scores(&scores);
+        let k = (kseed as usize % scores.len()) + 1;
+        let mut ids = Vec::new();
+        let mut prefix = vec![0u32; k];
+        top_k_prefix_into(&scores, &mut ids, &mut prefix);
+        prop_assert_eq!(&prefix[..], &full[..k], "k = {}", k);
+    }
+
+    #[test]
+    fn compiled_sampler_matches_dist_sampling(
+        dists in proptest::collection::vec(any_dist_kind(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let table = UncertainTable::new(dists).unwrap();
+        let sampler = WorldSampler::new(&table);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0; table.len()];
+        for _ in 0..16 {
+            let reference = sample_scores(&table, &mut a);
+            sampler.sample_into(&mut b, &mut buf);
+            for (x, y) in reference.iter().zip(&buf) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+            }
+        }
     }
 
     #[test]

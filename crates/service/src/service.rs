@@ -101,9 +101,12 @@ pub struct TopKService<C: Crowd> {
     /// Worker threads the gather/feed phases shard over (>= 1; 1 runs the
     /// classic sequential loop, any value produces bit-identical reports).
     threads: usize,
-    /// One pairwise matrix per distinct table served: the n² comparison
-    /// quadratures dominate session setup, and tenants querying the same
-    /// relation share a single `Arc` instead of recomputing per submit.
+    /// One pairwise matrix per distinct table served: the n² comparisons
+    /// dominate session setup, and tenants querying the same relation
+    /// share a single `Arc` instead of recomputing per submit. Cache
+    /// misses run `PairwiseMatrix::compute` — since PR 5 the analytic
+    /// sweep-line fast path (DESIGN.md §10), so even the first tenant on
+    /// a table pays milliseconds, not the old per-pair quadratures.
     pairwise_cache: Vec<(UncertainTable, Arc<PairwiseMatrix>)>,
 }
 

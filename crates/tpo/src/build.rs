@@ -18,9 +18,14 @@
 
 use crate::error::{Result, TpoError};
 use crate::path::PathSet;
-use crate::worlds::WorldModel;
+use crate::worlds::{WorldModel, PARALLEL_WORLDS_MIN};
+use ctk_prob::compare::{available_cores, planned_threads};
 use ctk_prob::nested::{prefix_probability_with, NestedScratch};
+use ctk_prob::sample::{top_k_prefix_into, WorldSampler};
 use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Configuration of the Monte-Carlo engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,12 +106,31 @@ impl Engine {
 ///
 /// `cfg.worlds == 0` is an invalid spec and fails with
 /// [`TpoError::InvalidWorlds`] (it used to be silently clamped to 1,
-/// masking configuration bugs). The rank and group phases are chunked
-/// across threads; the result is bit-identical to a sequential build
-/// (score draws are strictly sequential in the seeded PRNG, each world is
-/// ranked independently, and per-prefix totals are exact integer counts).
+/// masking configuration bugs).
+///
+/// This is the fast path (DESIGN.md §10): scores come from a per-table
+/// compiled [`WorldSampler`] (draw-for-draw identical to the reference
+/// sampling), and each world is ranked with an O(n + k·log k) partial
+/// selection instead of a full sort — the depth-`k` prefix is
+/// bit-identical to the full sort's by the total-order argument, so the
+/// result equals [`build_mc_reference`] exactly (pinned by tests). The
+/// rank and group phases are chunked across threads above a work cutoff;
+/// any thread count produces bit-identical output (score draws are
+/// strictly sequential in the seeded PRNG, each world is ranked
+/// independently, and per-prefix totals are exact integer counts).
 pub fn build_mc(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
     build_mc_with_threads(table, k, cfg, 0)
+}
+
+/// The pre-PR 5 Monte-Carlo pipeline — materialize a full [`WorldModel`]
+/// (complete per-world rankings and position index) and group prefixes —
+/// kept as the equivalence and benchmark baseline for [`build_mc`].
+pub fn build_mc_reference(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
+    if k == 0 || k > table.len() {
+        return Err(TpoError::InvalidK { k, n: table.len() });
+    }
+    let wm = WorldModel::sample_with_threads(table, cfg.worlds, cfg.seed, 1)?;
+    wm.path_set_uniform(k, 1)
 }
 
 /// [`build_mc`] with an explicit thread count for the rank/group phases
@@ -118,18 +142,93 @@ pub fn build_mc_with_threads(
     cfg: &McConfig,
     threads: usize,
 ) -> Result<PathSet> {
-    if k == 0 || k > table.len() {
-        return Err(TpoError::InvalidK { k, n: table.len() });
+    let n = table.len();
+    if k == 0 || k > n {
+        return Err(TpoError::InvalidK { k, n });
+    }
+    let m = cfg.worlds;
+    if m == 0 {
+        return Err(TpoError::InvalidWorlds);
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
+        planned_threads(m, PARALLEL_WORLDS_MIN, available_cores())
     } else {
-        threads
+        threads.clamp(1, m)
     };
-    let wm = WorldModel::sample_with_threads(table, cfg.worlds, cfg.seed, threads)?;
-    wm.path_set_uniform(k, threads)
+
+    let sampler = WorldSampler::new(table);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut prefixes = vec![0u32; m * k];
+    if threads == 1 {
+        // Streaming: one recycled score row, rank each world as it is
+        // drawn — no m×n materialization.
+        let mut row = vec![0.0f64; n];
+        let mut ids: Vec<u32> = Vec::with_capacity(n);
+        for prefix in prefixes.chunks_mut(k) {
+            sampler.sample_into(&mut rng, &mut row);
+            top_k_prefix_into(&row, &mut ids, prefix);
+        }
+    } else {
+        // Draw all scores sequentially (the PRNG stream is order-defined),
+        // then rank world chunks in parallel — each world independently,
+        // so chunking cannot change any prefix.
+        let mut scores = vec![0.0f64; m * n];
+        for row in scores.chunks_mut(n) {
+            sampler.sample_into(&mut rng, row);
+        }
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (sc, pc) in scores.chunks(chunk * n).zip(prefixes.chunks_mut(chunk * k)) {
+                s.spawn(move || {
+                    let mut ids: Vec<u32> = Vec::with_capacity(n);
+                    for (row, prefix) in sc.chunks(n).zip(pc.chunks_mut(k)) {
+                        top_k_prefix_into(row, &mut ids, prefix);
+                    }
+                });
+            }
+        });
+    }
+
+    // Group identical prefixes. Totals are exact integer counts, so the
+    // chunked merge is bit-identical to a sequential pass.
+    let counts: HashMap<&[u32], u64> = if threads == 1 || m < PARALLEL_WORLDS_MIN {
+        prefix_counts(&prefixes, k)
+    } else {
+        let chunk = m.div_ceil(threads);
+        let maps: Vec<HashMap<&[u32], u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = prefixes
+                .chunks(chunk * k)
+                .map(|c| s.spawn(move || prefix_counts(c, k)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("grouping thread panicked"))
+                .collect()
+        });
+        let mut total: HashMap<&[u32], u64> = HashMap::new();
+        for map in maps {
+            for (prefix, count) in map {
+                *total.entry(prefix).or_insert(0) += count;
+            }
+        }
+        total
+    };
+    PathSet::from_weighted(
+        k,
+        counts
+            .into_iter()
+            .map(|(prefix, count)| (prefix.to_vec(), count as f64))
+            .collect(),
+    )
+}
+
+/// Depth-`k` prefix counts over one chunk of flat prefixes.
+fn prefix_counts(prefixes: &[u32], k: usize) -> HashMap<&[u32], u64> {
+    let mut g: HashMap<&[u32], u64> = HashMap::new();
+    for p in prefixes.chunks_exact(k) {
+        *g.entry(p).or_insert(0) += 1;
+    }
+    g
 }
 
 /// Exact TPO construction by level-wise prefix enumeration.
@@ -239,6 +338,25 @@ mod tests {
             build_mc(&t, 2, &McConfig { worlds: 0, seed: 1 }),
             Err(TpoError::InvalidWorlds)
         ));
+    }
+
+    #[test]
+    fn fast_build_is_bit_identical_to_reference_full_sort_path() {
+        // Partial-selection ranking + compiled sampling must reproduce the
+        // full-sort WorldModel pipeline exactly, at every depth.
+        let t = table(6, 0.7);
+        for seed in [0u64, 9, 31] {
+            for k in [1usize, 2, 4, 6] {
+                let cfg = McConfig { worlds: 3001, seed };
+                let fast = build_mc_with_threads(&t, k, &cfg, 1).unwrap();
+                let reference = build_mc_reference(&t, k, &cfg).unwrap();
+                assert_eq!(fast.len(), reference.len(), "seed {seed} k {k}");
+                for (a, b) in fast.paths().iter().zip(reference.paths()) {
+                    assert_eq!(a.items, b.items, "seed {seed} k {k}");
+                    assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "seed {seed} k {k}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,15 +25,16 @@
 
 use crate::error::{Result, TpoError};
 use crate::path::PathSet;
-use ctk_prob::sample::{ranking_from_scores, sample_scores};
+use ctk_prob::compare::{available_cores, planned_threads};
+use ctk_prob::sample::{ranking_from_scores, WorldSampler};
 use ctk_prob::UncertainTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Below this many worlds the rank phase of sampling stays sequential —
-/// thread spawn overhead would dominate.
-const PARALLEL_WORLDS_MIN: usize = 2048;
+/// thread spawn overhead would dominate (cutoffs in DESIGN.md §10).
+pub(crate) const PARALLEL_WORLDS_MIN: usize = 2048;
 
 /// Worlds sharing a common ranking prefix, tracked incrementally across
 /// [`WorldModel::path_set_cached`] calls. Membership is structural (it
@@ -90,9 +91,15 @@ impl WorldModel {
         }
         let n = table.len();
         // Score draws consume the PRNG in world-major, tuple-minor order —
-        // exactly as the sequential sampler always did.
+        // exactly as the per-world sampler always did (the compiled
+        // `WorldSampler` is draw-for-draw identical to `ScoreDist::sample`)
+        // — but land in one flat `m × n` buffer instead of `m` allocations.
         let mut rng = StdRng::seed_from_u64(seed);
-        let scores: Vec<Vec<f64>> = (0..m).map(|_| sample_scores(table, &mut rng)).collect();
+        let sampler = WorldSampler::new(table);
+        let mut scores = vec![0.0f64; m * n];
+        for row in scores.chunks_mut(n) {
+            sampler.sample_into(&mut rng, row);
+        }
 
         let mut rankings: Vec<Vec<u32>> = vec![Vec::new(); m];
         let mut pos = vec![0u32; m * n];
@@ -103,7 +110,7 @@ impl WorldModel {
             let chunk = m.div_ceil(threads);
             std::thread::scope(|s| {
                 for ((sc, rc), pc) in scores
-                    .chunks(chunk)
+                    .chunks(chunk * n)
                     .zip(rankings.chunks_mut(chunk))
                     .zip(pos.chunks_mut(chunk * n))
                 {
@@ -392,11 +399,11 @@ impl WorldModel {
     }
 }
 
-/// Ranks one chunk of sampled score vectors, filling the matching slices
-/// of the ranking list and the position index.
-fn rank_chunk(scores: &[Vec<f64>], rankings: &mut [Vec<u32>], pos: &mut [u32], n: usize) {
+/// Ranks one chunk of flat sampled scores (`n` per world), filling the
+/// matching slices of the ranking list and the position index.
+fn rank_chunk(scores: &[f64], rankings: &mut [Vec<u32>], pos: &mut [u32], n: usize) {
     for ((s, r), p) in scores
-        .iter()
+        .chunks(n)
         .zip(rankings.iter_mut())
         .zip(pos.chunks_mut(n))
     {
@@ -417,12 +424,7 @@ fn group_counts(rankings: &[Vec<u32>], k: usize) -> HashMap<&[u32], u64> {
 }
 
 fn auto_threads(m: usize) -> usize {
-    if m < PARALLEL_WORLDS_MIN {
-        return 1;
-    }
-    std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
+    planned_threads(m, PARALLEL_WORLDS_MIN, available_cores())
 }
 
 #[cfg(test)]

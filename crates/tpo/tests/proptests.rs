@@ -3,7 +3,9 @@
 //! answer sequences.
 
 use ctk_prob::{ScoreDist, UncertainTable};
-use ctk_tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
+use ctk_tpo::build::{
+    build_exact, build_mc, build_mc_reference, build_mc_with_threads, ExactConfig, McConfig,
+};
 use ctk_tpo::prune::prune;
 use ctk_tpo::stats::{level_distributions, membership_probability, precedence_probability};
 use ctk_tpo::tree::Tpo;
@@ -26,6 +28,30 @@ fn uniform_table(n: usize) -> impl Strategy<Value = UncertainTable> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partial_selection_build_matches_full_sort_reference(
+        (table, seed) in (uniform_table(7), any::<u64>()),
+    ) {
+        // PR 5 pin: the fast builder (compiled sampling + top-K partial
+        // selection) is bit-identical to the full-sort WorldModel pipeline
+        // at every depth, for the auto and the forced-sequential paths.
+        for k in [1usize, 3, 7] {
+            let cfg = McConfig { worlds: 1200, seed };
+            let reference = build_mc_reference(&table, k, &cfg).unwrap();
+            for fast in [
+                build_mc(&table, k, &cfg).unwrap(),
+                build_mc_with_threads(&table, k, &cfg, 1).unwrap(),
+                build_mc_with_threads(&table, k, &cfg, 3).unwrap(),
+            ] {
+                prop_assert_eq!(fast.len(), reference.len(), "k = {}", k);
+                for (a, b) in fast.paths().iter().zip(reference.paths()) {
+                    prop_assert_eq!(&a.items, &b.items, "k = {}", k);
+                    prop_assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "k = {}", k);
+                }
+            }
+        }
+    }
 
     #[test]
     fn mc_paths_are_valid_prefixes((table, seed) in (uniform_table(6), any::<u64>())) {
