@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! # ctk-analyze — the workspace's own static-analysis pass
+//!
+//! The `crowd-topk` workspace only makes sense if repeated runs over the
+//! same uncertain table produce the same top-K verdicts: reports are
+//! bit-identical at any thread count, float fast paths are pinned within
+//! 1.2e-7 of their references, and the sans-IO driver's replays are
+//! exact. Those invariants are *conventions* — one stray `HashMap`
+//! iteration in a result-affecting path, an ad-hoc `thread::spawn`, or an
+//! `unwrap()` on a `partial_cmp` silently breaks them. This crate turns
+//! the conventions into machine-checked rules:
+//!
+//! ```text
+//! cargo run -p ctk-analyze -- check     # exit 0 = clean, 1 = findings
+//! cargo run -p ctk-analyze -- rules    # the rule registry
+//! ```
+//!
+//! The environment has no registry access, so there is no `syn` here:
+//! [`lexer`] is a lightweight line/token scanner with comment, string,
+//! and `#[cfg(test)]` awareness; [`rules`] holds the rule registry
+//! (determinism, float-discipline, panic-freedom, and lint-wall
+//! families); [`engine`] maps workspace paths to rule scopes and applies
+//! `// ctk-allow(<rule>): <reason>` suppressions.
+//!
+//! Policy background, rule tables, and allowlist etiquette live in
+//! DESIGN.md §11.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, check_workspace, FileFinding};
+pub use lexer::SourceFile;
+pub use rules::{missing_lint_wall, Finding, RuleInfo, RuleSet, RULES};

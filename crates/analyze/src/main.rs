@@ -1,0 +1,82 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! `ctk-analyze` CLI: the blocking CI gate.
+//!
+//! ```text
+//! ctk-analyze check [--root <path>]   # scan the workspace; exit 1 on findings
+//! ctk-analyze rules                   # print the rule registry
+//! ```
+
+use ctk_analyze::{check_workspace, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ctk-analyze <check [--root <path>] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("ctk-analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("ctk-analyze: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            println!(
+                "ctk-analyze: {} finding(s). Fix them or suppress a site with \
+                 `// ctk-allow(<rule>): <reason>` (see DESIGN.md §11).",
+                findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("ctk-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => {
+            // Built by cargo inside the workspace: the manifest dir is
+            // crates/analyze, two levels below the workspace root.
+            let manifest: PathBuf = env!("CARGO_MANIFEST_DIR").into();
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .ok_or_else(|| "cannot locate the workspace root; pass --root".to_string())
+        }
+        [flag, path] if flag == "--root" => Ok(PathBuf::from(path)),
+        other => Err(format!("unrecognized arguments: {other:?}")),
+    }
+}
+
+fn print_rules() {
+    println!("{:<26} {:<12} summary", "rule id", "family");
+    for r in RULES {
+        println!("{:<26} {:<12} {}", r.id, r.family, r.summary);
+    }
+}

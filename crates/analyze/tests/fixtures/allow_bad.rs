@@ -1,0 +1,17 @@
+//! Positive fixture for the allowlist meta rules: a reason-less
+//! directive is malformed (and suppresses nothing), an unknown rule id is
+//! reported, and a directive that matches no finding is flagged unused.
+
+pub fn malformed_allow(x: Option<u32>) -> u32 {
+    // ctk-allow(panic-unwrap)
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    x.expect("present") // ctk-allow(no-such-rule): not a real rule id
+}
+
+pub fn unused_allow(x: u32) -> u32 {
+    // ctk-allow(det-hash-collection): nothing on the next line needs this
+    x + 1
+}

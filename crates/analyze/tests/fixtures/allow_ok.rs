@@ -1,0 +1,22 @@
+//! Negative fixture: findings suppressed by well-formed `ctk-allow`
+//! directives, both standalone (covers the next line) and trailing
+//! (covers its own line).
+use std::collections::HashMap; // ctk-allow(det-hash-collection): lookup-only map, never iterated
+
+pub fn allowed_lookup_map(xs: &[u32]) -> usize {
+    // ctk-allow(det-hash-collection): lookup-only map, never iterated
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        m.insert(x, x);
+    }
+    m.len()
+}
+
+pub fn allowed_unwrap(x: Option<u32>) -> u32 {
+    x.expect("checked by caller") // ctk-allow(panic-unwrap): caller validates x upstream
+}
+
+pub fn allowed_sentinel(w: f64) -> bool {
+    // ctk-allow(float-eq): exact-zero sentinel
+    w == 0.0
+}

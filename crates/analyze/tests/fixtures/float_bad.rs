@@ -1,0 +1,17 @@
+//! Positive fixture: every float-discipline rule fires at least once.
+
+pub fn exact_equality(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn partial_cmp_unwrapped(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn partial_cmp_expected(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("finite")
+}
+
+pub fn stable_sort(xs: &mut Vec<(f64, u32)>) {
+    xs.sort_by(|a, b| a.1.cmp(&b.1));
+}

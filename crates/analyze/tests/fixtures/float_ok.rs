@@ -1,0 +1,20 @@
+//! Negative fixture: total-order comparisons and unstable sorts over
+//! total keys. A doc example with `partial_cmp(..).unwrap()` in a code
+//! fence must not fire either:
+//!
+//! ```
+//! let mut xs = vec![2.0_f64, 1.0];
+//! xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! ```
+
+pub fn total_comparison(x: f64, y: f64) -> std::cmp::Ordering {
+    x.total_cmp(&y)
+}
+
+pub fn tolerance_check(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}
+
+pub fn deterministic_sort(xs: &mut [(f64, u32)]) {
+    xs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}

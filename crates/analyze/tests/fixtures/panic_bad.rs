@@ -1,0 +1,16 @@
+//! Positive fixture: every panic-freedom rule fires at least once.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    todo!("later")
+}

@@ -1,0 +1,24 @@
+//! Negative fixture: errors are returned, asserts are sanctioned, and
+//! test code may unwrap freely.
+
+pub fn checked(x: Option<u32>) -> Result<u32, String> {
+    match x {
+        Some(v) => Ok(v),
+        None => Err("missing".to_string()),
+    }
+}
+
+pub fn asserted(x: u32) -> u32 {
+    assert!(x < 100, "x out of range");
+    debug_assert_ne!(x, 13);
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -61,7 +61,8 @@ fn bench_service_throughput(c: &mut Criterion) {
                         PerfectWorker,
                         VotePolicy::Single,
                         100_000,
-                    );
+                    )
+                    .expect("valid vote policy");
                     let mut service = TopKService::new(crowd);
                     let ids: Vec<_> = (0..n)
                         .map(|t| {
@@ -89,7 +90,8 @@ fn bench_service_throughput(c: &mut Criterion) {
                                 PerfectWorker,
                                 VotePolicy::Single,
                                 BUDGET,
-                            );
+                            )
+                            .expect("valid vote policy");
                             UrSession::new(tenant_config(t))
                                 .expect("valid config")
                                 .run(&scenario.table, &mut crowd)
@@ -125,7 +127,8 @@ fn bench_sharded_round_loop(c: &mut Criterion) {
                         PerfectWorker,
                         VotePolicy::Single,
                         100_000,
-                    );
+                    )
+                    .expect("valid vote policy");
                     let mut service = TopKService::new(crowd).with_threads(threads);
                     let ids: Vec<_> = (0..TENANTS)
                         .map(|t| {

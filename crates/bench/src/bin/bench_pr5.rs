@@ -137,7 +137,8 @@ fn main() {
     // (pairwise + driver construction incl. the MC build).
     let truth = GroundTruth::sample(&table, 0x5EED);
     let submit_ns = time_ns(sz.reps, || {
-        let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1_000);
+        let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1_000)
+            .expect("valid vote policy");
         let mut svc = TopKService::new(crowd).with_threads(1);
         svc.submit(
             &table,

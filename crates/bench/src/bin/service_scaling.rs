@@ -93,7 +93,8 @@ fn run_cell(
     tenants: usize,
     threads: usize,
 ) -> (Cell, Vec<UrReport>) {
-    let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1_000_000);
+    let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1_000_000)
+        .expect("valid vote policy");
     let mut service = TopKService::new(crowd).with_threads(threads);
     let ids: Vec<_> = (0..tenants)
         .map(|t| {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-bench — experiment harness
 //!
 //! Regenerates every figure and table of the paper's evaluation (see
@@ -110,7 +112,8 @@ pub fn evaluate<F: Fn(u64) -> Scenario>(
         // harness funds every policy's full question budget explicitly.
         let crowd_votes = budget * opts.policy.votes_per_question();
         let report = if opts.accuracy >= 1.0 {
-            let mut crowd = CrowdSimulator::new(truth, PerfectWorker, opts.policy, crowd_votes);
+            let mut crowd = CrowdSimulator::new(truth, PerfectWorker, opts.policy, crowd_votes)
+                .expect("valid vote policy");
             session
                 .run_with_truth(&scenario.table, &mut crowd, Some(&top))
                 .expect("session runs")
@@ -120,7 +123,8 @@ pub fn evaluate<F: Fn(u64) -> Scenario>(
                 NoisyWorker::new(opts.accuracy, 0xbad5eed ^ run),
                 opts.policy,
                 crowd_votes,
-            );
+            )
+            .expect("valid vote policy");
             session
                 .run_with_truth(&scenario.table, &mut crowd, Some(&top))
                 .expect("session runs")

@@ -171,7 +171,7 @@ impl SessionDriver {
             }
         }
         let measure = config.measure.build();
-        let started = Instant::now();
+        let started = Instant::now(); // ctk-allow(det-wall-clock): timing metric for the report only; never feeds a decision
         let (mode, report);
         match &config.algorithm {
             Algorithm::Incr {
@@ -400,7 +400,7 @@ impl SessionDriver {
         match &mut self.mode {
             Mode::Tree { ps, sel } => match sel {
                 TreeSel::Online(s) => {
-                    let t = Instant::now();
+                    let t = Instant::now(); // ctk-allow(det-wall-clock): timing metric for the report only; never feeds a decision
                     let q = s.next_question(ps, crowd_remaining, &ctx);
                     self.selection_time += t.elapsed();
                     self.pending.extend(q);
@@ -418,7 +418,7 @@ impl SessionDriver {
                             }),
                             other => unreachable!("{} is not an offline strategy", other.name()),
                         };
-                        let t = Instant::now();
+                        let t = Instant::now(); // ctk-allow(det-wall-clock): timing metric for the report only; never feeds a decision
                         let batch = s.select(ps, self.config.budget.min(crowd_remaining), &ctx);
                         self.selection_time += t.elapsed();
                         self.pending.extend(batch);
@@ -438,7 +438,7 @@ impl SessionDriver {
                 let cap = (*n_per_round)
                     .min(crowd_remaining)
                     .min(self.config.budget - self.report.steps.len());
-                let t = Instant::now();
+                let t = Instant::now(); // ctk-allow(det-wall-clock): timing metric for the report only; never feeds a decision
                 let mut ps = wm.path_set_cached(*depth)?;
                 let mut pool = crate::select::relevant_questions(&ps, &ctx);
                 while pool.len() < cap && *depth < k {
@@ -648,8 +648,10 @@ mod tests {
             let truth = GroundTruth::sample(&table, 99);
             let top = truth.top_k(3);
             let mut crowd_a =
-                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8);
-            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8)
+                    .expect("valid vote policy");
+            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8)
+                .expect("valid vote policy");
             let name = alg.name();
             let session = UrSession::new(config(alg.clone(), 8)).unwrap();
             let classic = session
@@ -673,9 +675,11 @@ mod tests {
             NoisyWorker::new(0.8, 5),
             VotePolicy::Single,
             10,
-        );
+        )
+        .expect("valid vote policy");
         let mut crowd_b =
-            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10);
+            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10)
+                .expect("valid vote policy");
         let session = UrSession::new(config(Algorithm::T1On, 10)).unwrap();
         let classic = session
             .run_with_truth(&table, &mut crowd_a, Some(&top))
@@ -710,7 +714,8 @@ mod tests {
         let batch = d.next_batch(6).unwrap();
         assert!(batch.len() >= 2);
         let truth = GroundTruth::sample(&table(), 99);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1)
+            .expect("valid vote policy");
         let answers: Vec<Answer> = vec![crowd.ask(batch[0]).unwrap()];
         let status = d.feed(&answers, 1.0).unwrap();
         assert_eq!(status, DriverStatus::Done);
@@ -765,7 +770,8 @@ mod tests {
         let batch = d.next_batch(6).unwrap();
         assert!(batch.len() >= 2);
         let truth = GroundTruth::sample(&table(), 99);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10)
+            .expect("valid vote policy");
         let a0 = crowd.ask(batch[0]).unwrap();
         let a1 = crowd.ask(batch[1]).unwrap();
         // First answer reliable (hard prune), second noisy (Bayes
@@ -793,8 +799,10 @@ mod tests {
             let truth = GroundTruth::sample(&table, 99);
             let top = truth.top_k(3);
             let mut crowd_a =
-                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8);
-            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 8)
+                    .expect("valid vote policy");
+            let mut crowd_b = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8)
+                .expect("valid vote policy");
             let fresh = drive(config(alg.clone(), 8), &table, &mut crowd_a);
             let mut driver = SessionDriver::new_with_pairwise(
                 config(alg, 8),

@@ -27,7 +27,7 @@ use ctk_tpo::build::{Engine, ExactConfig, McConfig};
 /// ]).unwrap();
 ///
 /// let truth = GroundTruth::sample(&table, 7);
-/// let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10);
+/// let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10).expect("valid vote policy");
 ///
 /// let report = CrowdTopK::new(table)
 ///     .k(2)
@@ -170,7 +170,8 @@ mod tests {
         let table = table();
         let truth = GroundTruth::sample(&table, 5);
         let top = truth.top_k(2);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 8)
+            .expect("valid vote policy");
         let report = CrowdTopK::new(table)
             .k(2)
             .budget(8)

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-core — crowdsourced uncertainty reduction for top-K queries
 //!
 //! The primary contribution of the `crowd-topk` workspace: a faithful
@@ -39,7 +41,7 @@
 //! // A simulated crowd that knows the hidden true scores.
 //! let truth = GroundTruth::sample(&table, 2024);
 //! let real_top2 = truth.top_k(2);
-//! let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 12);
+//! let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 12).expect("valid vote policy");
 //!
 //! let report = CrowdTopK::new(table)
 //!     .k(2)

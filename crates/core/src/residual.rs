@@ -142,7 +142,7 @@ impl Class {
                 .map(|p| (p.items.to_vec(), p.prob))
                 .collect(),
         )
-        .expect("positive-mass class");
+        .expect("positive-mass class"); // ctk-allow(panic-unwrap): class mass was checked > 0 before grouping
         measure.uncertainty(&set)
     }
 }
@@ -175,6 +175,7 @@ impl EvalScratch {
                 prob: p.prob,
             });
         }
+        // ctk-allow(panic-unwrap): callers pass a non-empty positive-mass path class
         let set = PathSet::from_paths(k, buf).expect("positive-mass class");
         let u = measure.uncertainty(&set);
         self.buf = set.into_paths();
@@ -412,7 +413,7 @@ pub fn expected_residual_set_bruteforce(
                 ps.k(),
                 class.into_iter().map(|p| (p.items, p.prob)).collect(),
             )
-            .expect("positive mass");
+            .expect("positive mass"); // ctk-allow(panic-unwrap): guarded by the mass > MASS_EPS branch
             total += mass * ctx.measure.uncertainty(&set);
         }
     }

@@ -30,11 +30,7 @@ impl OnlineSelector for T1On {
         let pool = relevant_questions(ps, ctx);
         pool.into_iter()
             .map(|q| (expected_residual_single(ps, &q, ctx), q))
-            .min_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("finite residuals")
-                    .then_with(|| a.1.cmp(&b.1))
-            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
             .map(|(_, q)| q)
     }
 }

@@ -33,11 +33,7 @@ impl OfflineSelector for TbOff {
             .collect();
         // Ascending residual = descending reduction; ties broken by the
         // canonical question order for determinism.
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite residuals")
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         scored.truncate(budget);
         scored.into_iter().map(|(_, q)| q).collect()
     }

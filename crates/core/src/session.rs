@@ -335,7 +335,8 @@ mod tests {
         let table = table();
         let truth = GroundTruth::sample(&table, 99);
         let top = truth.top_k(3);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget)
+            .expect("valid vote policy");
         let session = UrSession::new(config(algorithm, budget)).unwrap();
         session
             .run_with_truth(&table, &mut crowd, Some(&top))
@@ -406,7 +407,8 @@ mod tests {
         let session = UrSession::new(cfg).unwrap();
         let table = table();
         let truth = GroundTruth::sample(&table, 1);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5)
+            .expect("valid vote policy");
         assert!(matches!(
             session.run(&table, &mut crowd),
             Err(CoreError::InvalidConfig(_))
@@ -420,7 +422,8 @@ mod tests {
         let truth = GroundTruth::sample(&table, 3);
         let top = truth.top_k(3);
         let mut crowd =
-            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10);
+            CrowdSimulator::new(truth, NoisyWorker::new(0.8, 5), VotePolicy::Single, 10)
+                .expect("valid vote policy");
         let session = UrSession::new(config(Algorithm::T1On, 10)).unwrap();
         let r = session
             .run_with_truth(&table, &mut crowd, Some(&top))
@@ -435,7 +438,8 @@ mod tests {
     fn report_without_truth_has_no_distances() {
         let table = table();
         let truth = GroundTruth::sample(&table, 1);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 5)
+            .expect("valid vote policy");
         let session = UrSession::new(config(Algorithm::Naive, 5)).unwrap();
         let r = session.run(&table, &mut crowd).unwrap();
         assert!(r.initial_distance.is_none());
@@ -458,7 +462,8 @@ mod tests {
     fn uncertainty_target_stops_early() {
         let table = table();
         let truth = GroundTruth::sample(&table, 99);
-        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 50);
+        let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 50)
+            .expect("valid vote policy");
         let mut cfg = config(Algorithm::T1On, 50);
         // A generous target: reached after a few questions.
         cfg.uncertainty_target = Some(1.0);

@@ -5,6 +5,8 @@
 //! noisy-crowd experiment (`table_noise` in `ctk-bench`) quantifies how
 //! much it buys at triple the monetary cost.
 
+use crate::error::CrowdError;
+
 /// How many workers answer each question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VotePolicy {
@@ -24,13 +26,11 @@ impl VotePolicy {
     }
 
     /// Validates the policy (majority counts must be odd and >= 3).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), CrowdError> {
         match self {
             VotePolicy::Single => Ok(()),
             VotePolicy::Majority(n) if *n >= 3 && n % 2 == 1 => Ok(()),
-            VotePolicy::Majority(n) => {
-                Err(format!("majority policy needs an odd count >= 3, got {n}"))
-            }
+            VotePolicy::Majority(n) => Err(CrowdError::InvalidVotePolicy { count: *n }),
         }
     }
 

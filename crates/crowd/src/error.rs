@@ -1,0 +1,26 @@
+//! Error type for crowd-layer configuration.
+
+use std::fmt;
+
+/// Errors surfaced by the crowd layer instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrowdError {
+    /// A majority vote policy with an even or too-small worker count.
+    InvalidVotePolicy {
+        /// The rejected majority count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::InvalidVotePolicy { count } => {
+                write!(f, "majority policy needs an odd count >= 3, got {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}

@@ -131,6 +131,14 @@ impl BudgetLedger {
         self.questions_asked += 1;
         self.votes_collected += votes;
         self.history.push(answer);
+        #[cfg(feature = "debug-invariants")]
+        assert!(
+            self.spent() <= self.budget,
+            "BudgetLedger overspent: spent {} of {} (cost model {:?})",
+            self.spent(),
+            self.budget,
+            self.cost_model
+        );
         true
     }
 

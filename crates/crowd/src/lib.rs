@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-crowd — crowdsourcing substrate
 //!
 //! Crowd-interaction layer of the `crowd-topk` workspace (reproduction of
@@ -35,7 +37,8 @@
 //!     NoisyWorker::new(0.85, 42),
 //!     VotePolicy::Majority(3),
 //!     9, // budget: 9 worker votes = 3 majority-of-3 questions
-//! );
+//! )
+//! .expect("odd majority count");
 //!
 //! let answer = crowd.ask(Question::new(1, 0)).unwrap();
 //! // Majority of three 85%-accurate workers: usually right.
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod error;
 pub mod ledger;
 pub mod oracle;
 pub mod question;
@@ -52,6 +56,7 @@ pub mod simulator;
 pub mod worker;
 
 pub use aggregate::VotePolicy;
+pub use error::CrowdError;
 pub use ledger::{BudgetLedger, CostModel};
 pub use oracle::GroundTruth;
 pub use question::{Answer, Question};

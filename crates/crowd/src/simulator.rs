@@ -8,6 +8,7 @@
 //! identical to a live deployment, only the answer source differs.
 
 use crate::aggregate::{majority_vote, VotePolicy};
+use crate::error::CrowdError;
 use crate::ledger::{BudgetLedger, CostModel};
 use crate::oracle::GroundTruth;
 use crate::question::{Answer, Question};
@@ -50,25 +51,36 @@ impl<M: AnswerModel> CrowdSimulator<M> {
     /// units. (Under `VotePolicy::Single` this is identical to a budget
     /// of `b` questions.) Use [`CrowdSimulator::with_cost_model`] to
     /// price per aggregated answer instead.
-    pub fn new(truth: GroundTruth, model: M, policy: VotePolicy, b: usize) -> Self {
+    ///
+    /// Fails with [`CrowdError::InvalidVotePolicy`] if the policy is
+    /// malformed (an even or too-small majority count).
+    pub fn new(
+        truth: GroundTruth,
+        model: M,
+        policy: VotePolicy,
+        b: usize,
+    ) -> Result<Self, CrowdError> {
         Self::with_cost_model(truth, model, policy, b, CostModel::PerVote)
     }
 
     /// Creates a simulator with an explicit budget denomination.
+    ///
+    /// Fails with [`CrowdError::InvalidVotePolicy`] if the policy is
+    /// malformed (an even or too-small majority count).
     pub fn with_cost_model(
         truth: GroundTruth,
         model: M,
         policy: VotePolicy,
         b: usize,
         cost_model: CostModel,
-    ) -> Self {
-        policy.validate().expect("invalid vote policy");
-        Self {
+    ) -> Result<Self, CrowdError> {
+        policy.validate()?;
+        Ok(Self {
             truth,
             model,
             policy,
             ledger: BudgetLedger::with_cost_model(b, cost_model),
-        }
+        })
     }
 
     /// The hidden ground truth (used by evaluation metrics, never by the
@@ -137,7 +149,8 @@ mod tests {
 
     #[test]
     fn perfect_crowd_tells_the_truth() {
-        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 10);
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 10)
+            .expect("valid vote policy");
         let a = c.ask(Question::new(1, 0)).unwrap();
         assert!(a.yes);
         let b = c.ask(Question::new(0, 2)).unwrap();
@@ -149,7 +162,8 @@ mod tests {
 
     #[test]
     fn budget_is_enforced() {
-        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 1);
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 1)
+            .expect("valid vote policy");
         assert!(c.ask(Question::new(0, 1)).is_some());
         assert!(c.ask(Question::new(1, 2)).is_none());
         assert_eq!(c.remaining(), 0);
@@ -162,7 +176,8 @@ mod tests {
             NoisyWorker::new(0.7, 42),
             VotePolicy::Majority(3),
             9,
-        );
+        )
+        .expect("valid vote policy");
         let _ = c.ask(Question::new(1, 0)).unwrap();
         assert_eq!(c.ledger().votes(), 3);
         assert_eq!(c.ledger().asked(), 1);
@@ -175,7 +190,8 @@ mod tests {
         // votes while charging the ledger one unit, so "budget B" bought
         // 3x the paper's priced work. Budget 7 votes now affords exactly
         // two majority-of-3 questions.
-        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(3), 7);
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(3), 7)
+            .expect("valid vote policy");
         assert_eq!(c.remaining(), 2);
         assert!(c.ask(Question::new(1, 0)).is_some());
         assert!(c.ask(Question::new(2, 0)).is_some());
@@ -195,7 +211,8 @@ mod tests {
             VotePolicy::Majority(3),
             7,
             CostModel::PerQuestion,
-        );
+        )
+        .expect("valid vote policy");
         assert_eq!(q.remaining(), 7);
         for n in 0..7 {
             assert!(q.ask(Question::new(1, 0)).is_some(), "question {n}");
@@ -211,7 +228,8 @@ mod tests {
             NoisyWorker::new(0.8, 7),
             VotePolicy::Single,
             20_000,
-        );
+        )
+        .expect("valid vote policy");
         let q = Question::new(1, 0); // true answer: yes
         let mut correct = 0;
         for _ in 0..20_000 {
@@ -224,8 +242,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid vote policy")]
     fn invalid_policy_rejected() {
-        let _ = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(2), 5);
+        let res = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(2), 5);
+        assert_eq!(
+            res.map(|_| ()).unwrap_err(),
+            crate::error::CrowdError::InvalidVotePolicy { count: 2 }
+        );
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-datagen — synthetic uncertain-score datasets
 //!
 //! Data generation for the `crowd-topk` workspace (reproduction of

@@ -24,7 +24,7 @@ pub struct Scenario {
 pub fn fig1(seed: u64) -> Scenario {
     Scenario {
         name: "fig1",
-        table: generate(&DatasetSpec::paper_default(20, 0.4, seed)).expect("preset spec is valid"),
+        table: generate(&DatasetSpec::paper_default(20, 0.4, seed)).expect("preset spec is valid"), // ctk-allow(panic-unwrap): static preset, pinned by tests
         k: 5,
     }
 }
@@ -34,7 +34,7 @@ pub fn fig1(seed: u64) -> Scenario {
 pub fn measures(seed: u64) -> Scenario {
     Scenario {
         name: "measures",
-        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)).expect("preset spec is valid"),
+        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)).expect("preset spec is valid"), // ctk-allow(panic-unwrap): static preset, pinned by tests
         k: 5,
     }
 }
@@ -44,7 +44,7 @@ pub fn measures(seed: u64) -> Scenario {
 pub fn astar(seed: u64) -> Scenario {
     Scenario {
         name: "astar",
-        table: generate(&DatasetSpec::paper_default(10, 0.35, seed)).expect("preset spec is valid"),
+        table: generate(&DatasetSpec::paper_default(10, 0.35, seed)).expect("preset spec is valid"), // ctk-allow(panic-unwrap): static preset, pinned by tests
         k: 3,
     }
 }
@@ -53,7 +53,7 @@ pub fn astar(seed: u64) -> Scenario {
 pub fn noise(seed: u64) -> Scenario {
     Scenario {
         name: "noise",
-        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)).expect("preset spec is valid"),
+        table: generate(&DatasetSpec::paper_default(15, 0.4, seed)).expect("preset spec is valid"), // ctk-allow(panic-unwrap): static preset, pinned by tests
         k: 5,
     }
 }
@@ -83,7 +83,7 @@ pub fn hetero(variant: HeteroVariant, seed: u64) -> Scenario {
             family,
             seed,
         })
-        .expect("preset spec is valid"),
+        .expect("preset spec is valid"), // ctk-allow(panic-unwrap): static preset, pinned by tests // ctk-allow(panic-unwrap): static preset, pinned by tests
         k: 5,
     }
 }
@@ -128,7 +128,7 @@ impl HeteroVariant {
 pub fn scaling(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "scaling",
-        table: generate(&DatasetSpec::paper_default(n, 0.3, seed)).expect("preset spec has n >= 1"),
+        table: generate(&DatasetSpec::paper_default(n, 0.3, seed)).expect("preset spec has n >= 1"), // ctk-allow(panic-unwrap): caller-supplied n is the only free input; spec is otherwise static
         k: 5.min(n),
     }
 }

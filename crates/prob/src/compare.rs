@@ -219,6 +219,7 @@ impl DistCache {
     pub(crate) fn build(d: &ScoreDist) -> Self {
         match d {
             ScoreDist::Uniform(_) | ScoreDist::Histogram(_) | ScoreDist::Piecewise(_) => {
+                // ctk-allow(panic-unwrap): PolyCdf::build succeeds for exactly these three variants
                 DistCache::Poly(PolyCdf::build(d).expect("polynomial family"))
             }
             ScoreDist::Mixture(m) => DistCache::Mixture(
@@ -244,6 +245,7 @@ impl DistCache {
 fn with_poly<R>(d: &ScoreDist, c: &DistCache, f: impl FnOnce(&PolyCdf) -> R) -> R {
     match c {
         DistCache::Poly(p) => f(p),
+        // ctk-allow(panic-unwrap): callers route only polynomial-family dists here
         _ => f(&PolyCdf::build(d).expect("continuous polynomial family")),
     }
 }
@@ -288,6 +290,7 @@ impl PolyCdf {
                     acc += m;
                     cdf.push(acc);
                 }
+                // ctk-allow(panic-unwrap): cdf starts with push(0.0), never empty
                 *cdf.last_mut().expect("non-empty") = 1.0;
                 let yr = yl.clone();
                 Some(Self { xs, yl, yr, cdf })
@@ -304,6 +307,7 @@ impl PolyCdf {
                     acc += (xs[i] - xs[i - 1]) * (ys[i] + ys[i - 1]) * 0.5;
                     cdf.push(acc);
                 }
+                // ctk-allow(panic-unwrap): cdf starts with push(0.0), never empty
                 *cdf.last_mut().expect("non-empty") = 1.0;
                 Some(Self { xs, yl, yr, cdf })
             }
@@ -316,6 +320,7 @@ impl PolyCdf {
     }
 
     fn hi(&self) -> f64 {
+        // ctk-allow(panic-unwrap): xs holds >= 2 knots by construction
         *self.xs.last().expect("non-empty")
     }
 
@@ -540,8 +545,7 @@ impl PairwiseMatrix {
         order.sort_unstable_by(|&i, &j| {
             supports[i as usize]
                 .0
-                .partial_cmp(&supports[j as usize].0)
-                .expect("finite support")
+                .total_cmp(&supports[j as usize].0)
                 .then(i.cmp(&j))
         });
 
@@ -583,6 +587,7 @@ impl PairwiseMatrix {
         } else {
             let chunk = pairs.len().div_ceil(threads);
             let (dists, caches) = (&dists, &caches);
+            // ctk-allow(det-thread-spawn): planned_threads fanout over disjoint pre-chunked slices — chunk-order-invariant
             std::thread::scope(|s| {
                 for (pc, vc) in pairs.chunks(chunk).zip(vals.chunks_mut(chunk)) {
                     s.spawn(move || pair_chunk(dists, caches, pc, vc));

@@ -39,16 +39,18 @@ impl Discrete {
             }
         }
         let mut sorted: Vec<(f64, f64)> = pairs.to_vec();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        sorted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         // Merge duplicates, drop zeros.
         let mut xs: Vec<f64> = Vec::with_capacity(sorted.len());
         let mut ps: Vec<f64> = Vec::with_capacity(sorted.len());
         for (x, w) in sorted {
+            // ctk-allow(float-eq): exact-zero sentinel — drops only literally zero weights
             if w == 0.0 {
                 continue;
             }
             if let Some(last) = xs.last() {
                 if *last == x {
+                    // ctk-allow(panic-unwrap): ps grows in lockstep with xs; xs.last() just matched
                     *ps.last_mut().expect("parallel vectors") += w;
                     continue;
                 }
@@ -93,10 +95,7 @@ impl Discrete {
 
     /// Probability mass at exactly `x` (0 if `x` is not a support point).
     pub fn pmf(&self, x: f64) -> f64 {
-        match self
-            .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
-        {
+        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => self.ps[i],
             Err(_) => 0.0,
         }
@@ -105,10 +104,7 @@ impl Discrete {
     /// Cumulative distribution `P(X <= x)` (right-continuous step function).
     pub fn cdf(&self, x: f64) -> f64 {
         // Index of the last support point <= x.
-        match self
-            .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
-        {
+        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => self.cum[i],
             Err(0) => 0.0,
             Err(i) => self.cum[i - 1],
@@ -139,6 +135,7 @@ impl Discrete {
 
     /// Support hull (min and max support points).
     pub fn support(&self) -> (f64, f64) {
+        // ctk-allow(panic-unwrap): constructor rejects empty support sets
         (self.xs[0], *self.xs.last().expect("non-empty"))
     }
 

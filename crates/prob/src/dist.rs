@@ -113,6 +113,7 @@ impl ScoreDist {
     /// Point mass at exactly `x` (non-zero only for `Point`/`Discrete`).
     pub fn mass_at(&self, x: f64) -> f64 {
         match self {
+            // ctk-allow(float-eq): atom mass lives at exactly *v — bitwise match is the semantics
             ScoreDist::Point(v) if *v == x => 1.0,
             ScoreDist::Point(_) => 0.0,
             ScoreDist::Discrete(d) => d.pmf(x),

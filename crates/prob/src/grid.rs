@@ -83,7 +83,7 @@ impl SupportGrid {
             points.push(b);
             points.push(b + delta);
         }
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite grid points"));
+        points.sort_unstable_by(|a, b| a.total_cmp(b));
         points.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON * 4.0 * a.abs().max(1.0));
         Self { points }
     }

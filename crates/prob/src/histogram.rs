@@ -103,6 +103,7 @@ impl Histogram {
     }
 
     fn bin_of(&self, x: f64) -> Option<usize> {
+        // ctk-allow(panic-unwrap): constructor requires >= 2 edges
         if x < self.edges[0] || x > *self.edges.last().expect("non-empty") {
             return None;
         }
@@ -124,9 +125,11 @@ impl Histogram {
         if x <= self.edges[0] {
             return 0.0;
         }
+        // ctk-allow(panic-unwrap): constructor requires >= 2 edges
         if x >= *self.edges.last().expect("non-empty") {
             return 1.0;
         }
+        // ctk-allow(panic-unwrap): the bound checks above pinned x inside the support
         let b = self.bin_of(x).expect("x within support");
         let left = if b == 0 { 0.0 } else { self.cum[b - 1] };
         let frac = (x - self.edges[b]) / (self.edges[b + 1] - self.edges[b]);
@@ -136,6 +139,7 @@ impl Histogram {
     /// Quantile function (inverse of the piecewise-linear cdf).
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
+        // ctk-allow(float-eq): exact-sentinel — clamp saturates to literal 0.0
         if p == 0.0 {
             return self.edges[0];
         }
@@ -177,6 +181,7 @@ impl Histogram {
 
     /// Support hull.
     pub fn support(&self) -> (f64, f64) {
+        // ctk-allow(panic-unwrap): constructor requires >= 2 edges
         (self.edges[0], *self.edges.last().expect("non-empty"))
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-prob — uncertain scores for crowd-assisted top-K queries
 //!
 //! Probability substrate for the `crowd-topk` workspace, a reproduction of

@@ -91,9 +91,11 @@ impl Mixture {
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
         let (mut lo, mut hi) = self.support();
+        // ctk-allow(float-eq): exact-sentinels — clamp saturates to literal 0.0
         if p == 0.0 {
             return lo;
         }
+        // ctk-allow(float-eq): exact-sentinels — clamp saturates to literal 1.0
         if p == 1.0 {
             return hi;
         }

@@ -102,6 +102,7 @@ impl PiecewiseLinear {
     }
 
     fn segment_of(&self, x: f64) -> Option<usize> {
+        // ctk-allow(panic-unwrap): constructor requires >= 2 knots
         if x < self.xs[0] || x > *self.xs.last().expect("non-empty") {
             return None;
         }
@@ -126,9 +127,11 @@ impl PiecewiseLinear {
         if x <= self.xs[0] {
             return 0.0;
         }
+        // ctk-allow(panic-unwrap): constructor requires >= 2 knots
         if x >= *self.xs.last().expect("non-empty") {
             return 1.0;
         }
+        // ctk-allow(panic-unwrap): the bound checks above pinned x inside the support
         let i = self.segment_of(x).expect("x within support");
         let h = self.xs[i + 1] - self.xs[i];
         let t = x - self.xs[i];
@@ -139,11 +142,13 @@ impl PiecewiseLinear {
     /// Quantile function (solves the per-segment quadratic).
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
+        // ctk-allow(float-eq): exact-sentinel — clamp saturates to literal 0.0
         if p == 0.0 {
             return self.xs[0];
         }
+        // ctk-allow(float-eq): exact-sentinel — clamp saturates to literal 1.0
         if p == 1.0 {
-            return *self.xs.last().expect("non-empty");
+            return *self.xs.last().expect("non-empty"); // ctk-allow(panic-unwrap): >= 2 knots by construction
         }
         // Find segment with cum[i] <= p <= cum[i+1].
         let i = self.cum.partition_point(|&c| c < p).saturating_sub(1);
@@ -200,6 +205,7 @@ impl PiecewiseLinear {
 
     /// Support hull.
     pub fn support(&self) -> (f64, f64) {
+        // ctk-allow(panic-unwrap): constructor requires >= 2 knots
         (self.xs[0], *self.xs.last().expect("non-empty"))
     }
 

@@ -39,8 +39,7 @@ pub fn sample_scores<R: Rng + ?Sized>(table: &UncertainTable, rng: &mut R) -> Ve
 #[inline]
 fn score_order(scores: &[f64], a: u32, b: u32) -> Ordering {
     scores[b as usize]
-        .partial_cmp(&scores[a as usize])
-        .expect("scores must not be NaN")
+        .total_cmp(&scores[a as usize])
         .then(a.cmp(&b))
 }
 

@@ -23,6 +23,7 @@ pub const SQRT_2: f64 = std::f64::consts::SQRT_2;
 /// step (the derivative of `erf` is analytic), giving ~1e-10 accuracy on the
 /// range that matters for score comparisons.
 pub fn erf(x: f64) -> f64 {
+    // ctk-allow(float-eq): exact-zero shortcut; erf is odd and erf(0) = 0
     if x == 0.0 {
         return 0.0;
     }

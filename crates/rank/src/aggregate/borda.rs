@@ -15,11 +15,7 @@ pub fn borda(t: &Tournament) -> Vec<usize> {
             (s, a)
         })
         .collect();
-    scored.sort_by(|x, y| {
-        y.0.partial_cmp(&x.0)
-            .expect("finite scores")
-            .then(x.1.cmp(&y.1))
-    });
+    scored.sort_unstable_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
     scored.into_iter().map(|(_, a)| a).collect()
 }
 

@@ -19,6 +19,7 @@ pub fn copeland(t: &Tournament) -> Vec<usize> {
                 support += w;
                 if w > 0.5 {
                     wins += 1.0;
+                // ctk-allow(float-eq): 0.5 is the exact self/tie sentinel the matrix stores
                 } else if w == 0.5 {
                     wins += 0.5;
                 }
@@ -26,10 +27,9 @@ pub fn copeland(t: &Tournament) -> Vec<usize> {
             (wins, support, a)
         })
         .collect();
-    scored.sort_by(|x, y| {
-        y.0.partial_cmp(&x.0)
-            .expect("finite")
-            .then(y.1.partial_cmp(&x.1).expect("finite"))
+    scored.sort_unstable_by(|x, y| {
+        y.0.total_cmp(&x.0)
+            .then(y.1.total_cmp(&x.1))
             .then(x.2.cmp(&y.2))
     });
     scored.into_iter().map(|(_, _, a)| a).collect()

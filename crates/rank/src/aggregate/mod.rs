@@ -96,6 +96,7 @@ pub fn optimal_rank_aggregation(t: &Tournament, cfg: &AggregateConfig) -> Result
     for r in 0..cfg.kwiksort_restarts {
         consider(kwiksort(t, cfg.seed.wrapping_add(r as u64)), t);
     }
+    // ctk-allow(panic-unwrap): borda and copeland always run, so best is Some
     let (mut order, mut cost) = best.expect("at least one heuristic ran");
     if cfg.polish {
         let polished = local_search(t, &order);

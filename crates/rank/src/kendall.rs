@@ -12,6 +12,7 @@ pub fn kendall_distance(a: &RankList, b: &RankList) -> Result<u64> {
         return Err(RankError::ItemSetMismatch);
     }
     // Map: item -> rank in `a`.
+    // ctk-allow(det-hash-collection): lookup-only map; never iterated, so order cannot leak
     let mut pos_in_a = std::collections::HashMap::with_capacity(a.len());
     for (r, &it) in a.items().iter().enumerate() {
         pos_in_a.insert(it, r as u32);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-rank — rankings, top-K distances, and rank aggregation
 //!
 //! Ranking substrate for the `crowd-topk` workspace (reproduction of

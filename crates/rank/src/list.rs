@@ -17,6 +17,7 @@ pub struct RankList {
 impl RankList {
     /// Builds a rank list; fails if any item repeats.
     pub fn new(items: Vec<u32>) -> Result<Self> {
+        // ctk-allow(det-hash-collection): membership-only duplicate check; never iterated
         let mut seen = std::collections::HashSet::with_capacity(items.len());
         for &it in &items {
             if !seen.insert(it) {

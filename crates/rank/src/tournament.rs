@@ -157,6 +157,7 @@ impl Tournament {
         let idx: Vec<usize> = order
             .items()
             .iter()
+            // ctk-allow(panic-unwrap): RankList is validated against this tournament's item set
             .map(|&it| self.index_of(it).expect("ordering over tournament items"))
             .collect();
         self.cost_of_indices(&idx)

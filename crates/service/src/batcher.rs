@@ -17,7 +17,7 @@
 
 use crate::registry::SessionId;
 use ctk_crowd::{Answer, Crowd, Question};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One remembered crowd verdict.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +32,7 @@ pub struct CachedAnswer {
 /// sessions of a service.
 #[derive(Debug, Clone, Default)]
 pub struct AnswerCache {
-    map: HashMap<Question, CachedAnswer>,
+    map: BTreeMap<Question, CachedAnswer>,
     hits: u64,
     lookups: u64,
 }
@@ -210,6 +210,7 @@ mod tests {
             VotePolicy::Single,
             budget,
         )
+        .expect("valid vote policy")
     }
 
     #[test]

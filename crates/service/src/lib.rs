@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-service — multi-session query serving
 //!
 //! Serving layer of the `crowd-topk` workspace (reproduction of

@@ -106,6 +106,7 @@ impl Registry {
             driver: Some(driver),
             report: None,
             error: None,
+            // ctk-allow(det-wall-clock): wall-clock latency metric only; never feeds scheduling or results
             submitted_at: Instant::now(),
             latency: None,
         });
@@ -129,8 +130,7 @@ impl Registry {
     /// answers to the wrong tenant — a loud failure is the only safe
     /// degradation, and the check costs one hash probe per id.
     pub(crate) fn entries_mut_in_order(&mut self, ids: &[SessionId]) -> Vec<&mut SessionEntry> {
-        let mut rank: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::with_capacity(ids.len());
+        let mut rank: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
         for (i, id) in ids.iter().enumerate() {
             let previous = rank.insert(id.0, i);
             assert!(previous.is_none(), "duplicate {id} in shard set");

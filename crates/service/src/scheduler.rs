@@ -31,7 +31,7 @@
 //! starved schedule and pins the fix.
 
 use crate::registry::SessionId;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Priority + deficit-round-robin scheduler (see module docs).
 #[derive(Debug, Clone, Default)]
@@ -40,6 +40,21 @@ pub struct Scheduler {
     /// Per-priority-class service queues; front = next to serve. Entries
     /// are kept in sync with the runnable set on every `plan_round`.
     queues: BTreeMap<u8, VecDeque<SessionId>>,
+    /// Per-session deficit tracker backing the `debug-invariants` check
+    /// of the documented ceil(n / fanout) fairness bound.
+    #[cfg(feature = "debug-invariants")]
+    waits: BTreeMap<SessionId, WaitState>,
+}
+
+/// How long a runnable session has waited inside its priority class,
+/// relative to the largest class population (`n_max`) and the smallest
+/// per-round slot allotment (`slots_min`) it waited through.
+#[cfg(feature = "debug-invariants")]
+#[derive(Debug, Clone, Copy)]
+struct WaitState {
+    waited: usize,
+    n_max: usize,
+    slots_min: usize,
 }
 
 impl Scheduler {
@@ -52,7 +67,7 @@ impl Scheduler {
     pub fn with_fanout(fanout: usize) -> Self {
         Self {
             fanout: Some(fanout.max(1)),
-            queues: BTreeMap::new(),
+            ..Self::default()
         }
     }
 
@@ -73,7 +88,9 @@ impl Scheduler {
         for queue in self.queues.values_mut().rev() {
             let take = budget.min(queue.len());
             for _ in 0..take {
-                let id = queue.pop_front().expect("take <= queue length");
+                let Some(id) = queue.pop_front() else {
+                    break; // unreachable: take <= queue.len()
+                };
                 plan.push(id);
                 queue.push_back(id);
             }
@@ -82,7 +99,65 @@ impl Scheduler {
                 break;
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        self.check_fairness(runnable, &plan);
         plan
+    }
+
+    /// `debug-invariants` check: within a priority class that received
+    /// `s >= 1` slots this round, a session that stayed runnable is
+    /// served within `ceil(n_max / s_min)` such rounds, where `n_max` is
+    /// the largest class population and `s_min` the smallest slot
+    /// allotment it waited through. Classes receiving no slots this round
+    /// (outprioritized) are exempt — the bound is per-class rotation, not
+    /// cross-class preemption.
+    #[cfg(feature = "debug-invariants")]
+    fn check_fairness(&mut self, runnable: &[(SessionId, u8)], plan: &[SessionId]) {
+        let mut class_of: BTreeMap<SessionId, u8> = BTreeMap::new();
+        let mut class_size: BTreeMap<u8, usize> = BTreeMap::new();
+        for &(id, priority) in runnable {
+            class_of.insert(id, priority);
+            *class_size.entry(priority).or_insert(0) += 1;
+        }
+        let mut class_slots: BTreeMap<u8, usize> = BTreeMap::new();
+        for id in plan {
+            *class_slots.entry(class_of[id]).or_insert(0) += 1;
+        }
+        self.waits.retain(|id, _| class_of.contains_key(id));
+        for (&id, &priority) in &class_of {
+            let slots = class_slots.get(&priority).copied().unwrap_or(0);
+            if slots == 0 {
+                continue;
+            }
+            let n = class_size[&priority];
+            if plan.contains(&id) {
+                self.waits.insert(
+                    id,
+                    WaitState {
+                        waited: 0,
+                        n_max: n,
+                        slots_min: slots,
+                    },
+                );
+                continue;
+            }
+            let w = self.waits.entry(id).or_insert(WaitState {
+                waited: 0,
+                n_max: n,
+                slots_min: slots,
+            });
+            w.waited += 1;
+            w.n_max = w.n_max.max(n);
+            w.slots_min = w.slots_min.min(slots);
+            assert!(
+                w.waited < w.n_max.div_ceil(w.slots_min),
+                "scheduler deficit bound violated: {id} waited {} rounds \
+                 (class population <= {}, slots >= {})",
+                w.waited,
+                w.n_max,
+                w.slots_min
+            );
+        }
     }
 
     /// Reconciles the persistent queues with the current runnable set:
@@ -96,7 +171,7 @@ impl Scheduler {
         self.queues.retain(|priority, queue| {
             match incoming.get(priority) {
                 Some(ids) => {
-                    let runnable_now: HashSet<SessionId> = ids.iter().copied().collect();
+                    let runnable_now: BTreeSet<SessionId> = ids.iter().copied().collect();
                     queue.retain(|id| runnable_now.contains(id));
                     true
                 }
@@ -107,7 +182,7 @@ impl Scheduler {
         for (priority, mut ids) in incoming {
             ids.sort_unstable();
             let queue = self.queues.entry(priority).or_default();
-            let queued: HashSet<SessionId> = queue.iter().copied().collect();
+            let queued: BTreeSet<SessionId> = queue.iter().copied().collect();
             queue.extend(ids.into_iter().filter(|id| !queued.contains(id)));
         }
     }
@@ -116,6 +191,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn ids(v: &[u64]) -> Vec<SessionId> {
         v.iter().map(|&i| SessionId(i)).collect()

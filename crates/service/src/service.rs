@@ -72,7 +72,7 @@ impl RoundOutcome {
 ///     ScoreDist::uniform_centered(0.2 * i as f64, 0.5).unwrap()
 /// }).collect()).unwrap();
 /// let truth = GroundTruth::sample(&table, 1);
-/// let crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000);
+/// let crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000).expect("valid vote policy");
 ///
 /// let mut service = TopKService::new(crowd);
 /// let config = SessionConfig {
@@ -211,6 +211,7 @@ impl<C: Crowd> TopKService<C> {
     /// transitions and metrics happen in the sequential merge steps, in
     /// plan order, so the outcome is independent of the thread count.
     pub fn tick(&mut self) -> RoundOutcome {
+        // ctk-allow(det-wall-clock): round-duration metric only; never feeds a decision
         let t0 = Instant::now();
         let mut outcome = RoundOutcome::default();
         let runnable = self.registry.runnable();
@@ -231,6 +232,7 @@ impl<C: Crowd> TopKService<C> {
             let mut shard = self.registry.entries_mut_in_order(&planned);
             run_sharded(&mut shard, self.threads, |entry| {
                 let allowance = entry.ledger.remaining();
+                // ctk-allow(panic-unwrap): queued entries always hold a driver; a silent skip would misattribute answers
                 let driver = entry.driver.as_mut().expect("queued session has driver");
                 driver.next_batch(allowance)
             })
@@ -248,7 +250,7 @@ impl<C: Crowd> TopKService<C> {
                 Ok(batch) => {
                     self.registry
                         .get_mut(id)
-                        .expect("scheduled id exists")
+                        .expect("scheduled id exists") // ctk-allow(panic-unwrap): plan ids come from the registry this round
                         .state = SessionState::AwaitingAnswers;
                     requests.push((id, batch));
                 }
@@ -280,6 +282,7 @@ impl<C: Crowd> TopKService<C> {
                     entry.ledger.record(ans.answer, usize::from(!ans.cached));
                 }
                 let graded: Vec<_> = sa.answers.iter().map(|a| (a.answer, a.accuracy)).collect();
+                // ctk-allow(panic-unwrap): awaiting entries always hold a driver; loud failure beats misattribution
                 let driver = entry.driver.as_mut().expect("awaiting session has driver");
                 driver.feed_graded(&graded)
             })
@@ -296,7 +299,7 @@ impl<C: Crowd> TopKService<C> {
                 Ok(DriverStatus::Active) => {
                     self.registry
                         .get_mut(sa.id)
-                        .expect("served id exists")
+                        .expect("served id exists") // ctk-allow(panic-unwrap): served ids come from this round's plan
                         .state = SessionState::Queued;
                 }
                 Err(err) => {
@@ -363,8 +366,9 @@ impl<C: Crowd> TopKService<C> {
     }
 
     fn finalize(&mut self, id: SessionId) {
+        // ctk-allow(panic-unwrap): finalize is called once per served id from this round's plan
         let entry = self.registry.get_mut(id).expect("finalized id exists");
-        let driver = entry.driver.take().expect("finalize once");
+        let driver = entry.driver.take().expect("finalize once"); // ctk-allow(panic-unwrap): state machine guarantees a live driver here
         match driver.finish() {
             Ok(report) => {
                 entry.report = Some(report);
@@ -383,6 +387,7 @@ impl<C: Crowd> TopKService<C> {
     }
 
     fn fail(&mut self, id: SessionId, err: CoreError) {
+        // ctk-allow(panic-unwrap): fail() receives ids from this round's plan
         let entry = self.registry.get_mut(id).expect("failed id exists");
         entry.driver = None;
         entry.error = Some(err);
@@ -391,11 +396,10 @@ impl<C: Crowd> TopKService<C> {
     }
 }
 
-/// All available cores (the service's `threads = 0` resolution).
+/// All available cores (the service's `threads = 0` resolution), read
+/// through the workspace's single cached accessor.
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
+    ctk_prob::compare::available_cores()
 }
 
 /// Below this many sessions a sharded phase runs inline: spawning scoped
@@ -422,6 +426,7 @@ fn run_sharded<T: Send, R: Send>(
     }
     let chunk = n.div_ceil(threads);
     let work = &work;
+    // ctk-allow(det-thread-spawn): disjoint pre-chunked shards; merge happens sequentially in plan order
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
@@ -429,7 +434,10 @@ fn run_sharded<T: Send, R: Send>(
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("service shard thread panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -469,12 +477,10 @@ mod tests {
 
     fn service(budget: usize) -> TopKService<CrowdSimulator<PerfectWorker>> {
         let truth = GroundTruth::sample(&table(), 99);
-        TopKService::new(CrowdSimulator::new(
-            truth,
-            PerfectWorker,
-            VotePolicy::Single,
-            budget,
-        ))
+        TopKService::new(
+            CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget)
+                .expect("valid vote policy"),
+        )
     }
 
     #[test]
@@ -573,7 +579,8 @@ mod tests {
         assert_eq!(svc.metrics().cache_hits, rb.questions_asked() as u64);
         // And B equals its standalone run, preserving losslessness.
         let truth = GroundTruth::sample(&table(), 99);
-        let mut own = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 6);
+        let mut own = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 6)
+            .expect("valid vote policy");
         let standalone = UrSession::new(cfg)
             .unwrap()
             .run(&table(), &mut own)
@@ -768,7 +775,8 @@ mod tests {
             .take(a_cfg.budget + 16)
             .collect();
         let crowd = DriftingCrowd {
-            inner: CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1000),
+            inner: CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 1000)
+                .expect("valid vote policy"),
             accuracies,
             asked: 0,
         };
@@ -794,7 +802,8 @@ mod tests {
             .map(|ans| ans.question.canonical())
             .collect();
         let mut reference = SessionDriver::new(b_cfg.clone(), &table, None).expect("valid config");
-        let mut oracle = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000);
+        let mut oracle = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 1000)
+            .expect("valid vote policy");
         loop {
             let batch = reference.next_batch(usize::MAX).unwrap();
             if batch.is_empty() {
@@ -829,7 +838,8 @@ mod tests {
             PerfectWorker,
             VotePolicy::Single,
             1000,
-        );
+        )
+        .expect("valid vote policy");
         loop {
             let batch = uniform.next_batch(usize::MAX).unwrap();
             if batch.is_empty() {

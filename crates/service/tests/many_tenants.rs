@@ -58,7 +58,8 @@ fn thirty_two_plus_tenants_match_standalone_runs() {
 
     // One shared crowd for everyone, with budget to spare; the cache is
     // what keeps actual spending *below* TENANTS * BUDGET.
-    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
+    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000)
+        .expect("valid vote policy");
     let mut service = TopKService::new(shared);
 
     let mut ids = Vec::new();
@@ -103,7 +104,8 @@ fn thirty_two_plus_tenants_match_standalone_runs() {
     for (tenant, id) in ids.iter().enumerate() {
         let served = service.report(*id).expect("done session has report");
         let mut own_crowd =
-            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET);
+            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET)
+                .expect("valid vote policy");
         let standalone = UrSession::new(tenant_config(tenant))
             .expect("valid config")
             .run_with_truth(&table, &mut own_crowd, Some(&top))
@@ -130,7 +132,8 @@ fn mixed_priorities_with_bounded_fanout_complete_all_tenants() {
     let table = table();
     let truth = GroundTruth::sample(&table, 4242);
     let top = truth.top_k(3);
-    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
+    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000)
+        .expect("valid vote policy");
     // Fanout 2 with one high-priority tenant pinning a slot every round:
     // the low class lives off the single remaining slot, exactly the
     // regime of the scheduler starvation bug.
@@ -163,7 +166,8 @@ fn mixed_priorities_with_bounded_fanout_complete_all_tenants() {
         );
         let served = service.report(*id).unwrap();
         let mut own_crowd =
-            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET);
+            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET)
+                .expect("valid vote policy");
         let standalone = UrSession::new(tenant_config(tenant))
             .unwrap()
             .run_with_truth(&table, &mut own_crowd, Some(&top))
@@ -184,7 +188,8 @@ fn per_tenant_reports_identical_across_thread_counts() {
     let truth = GroundTruth::sample(&table, 4242);
     let top = truth.top_k(3);
     let run = |threads: usize| {
-        let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
+        let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000)
+            .expect("valid vote policy");
         let mut service = TopKService::new(shared)
             .with_fanout(6)
             .with_threads(threads);
@@ -225,7 +230,8 @@ fn bounded_fanout_still_serves_everyone_losslessly() {
     let table = table();
     let truth = GroundTruth::sample(&table, 4242);
     let top = truth.top_k(3);
-    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
+    let shared = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000)
+        .expect("valid vote policy");
     // Fanout 4: at most four sessions per round — a tight worker pool.
     let mut service = TopKService::new(shared).with_fanout(4);
     let ids: Vec<_> = (0..TENANTS)
@@ -245,7 +251,8 @@ fn bounded_fanout_still_serves_everyone_losslessly() {
     for (tenant, id) in ids.iter().enumerate() {
         let served = service.report(*id).unwrap();
         let mut own_crowd =
-            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET);
+            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET)
+                .expect("valid vote policy");
         let standalone = UrSession::new(tenant_config(tenant))
             .unwrap()
             .run_with_truth(&table, &mut own_crowd, Some(&top))

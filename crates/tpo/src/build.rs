@@ -25,6 +25,7 @@ use ctk_prob::sample::{top_k_prefix_into, WorldSampler};
 use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// ctk-allow(det-hash-collection): all maps in this module hold exact integer counts merged commutatively and drained through PathSet::from_weighted's canonical sort
 use std::collections::HashMap;
 
 /// Configuration of the Monte-Carlo engine.
@@ -177,6 +178,7 @@ pub fn build_mc_with_threads(
             sampler.sample_into(&mut rng, row);
         }
         let chunk = m.div_ceil(threads);
+        // ctk-allow(det-thread-spawn): planned_threads fanout; each thread fills a disjoint pre-chunked slice
         std::thread::scope(|s| {
             for (sc, pc) in scores.chunks(chunk * n).zip(prefixes.chunks_mut(chunk * k)) {
                 s.spawn(move || {
@@ -191,10 +193,12 @@ pub fn build_mc_with_threads(
 
     // Group identical prefixes. Totals are exact integer counts, so the
     // chunked merge is bit-identical to a sequential pass.
+    // ctk-allow(det-hash-collection): exact integer counts; merge order cannot change them
     let counts: HashMap<&[u32], u64> = if threads == 1 || m < PARALLEL_WORLDS_MIN {
         prefix_counts(&prefixes, k)
     } else {
         let chunk = m.div_ceil(threads);
+        // ctk-allow(det-hash-collection, det-thread-spawn): planned_threads fanout over disjoint chunks; integer-count merge is commutative
         let maps: Vec<HashMap<&[u32], u64>> = std::thread::scope(|s| {
             let handles: Vec<_> = prefixes
                 .chunks(chunk * k)
@@ -202,9 +206,13 @@ pub fn build_mc_with_threads(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("grouping thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(map) => map,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
+        // ctk-allow(det-hash-collection): exact integer counts; merge order cannot change them
         let mut total: HashMap<&[u32], u64> = HashMap::new();
         for map in maps {
             for (prefix, count) in map {
@@ -223,7 +231,9 @@ pub fn build_mc_with_threads(
 }
 
 /// Depth-`k` prefix counts over one chunk of flat prefixes.
+// ctk-allow(det-hash-collection): exact integer counts, drained via from_weighted's canonical sort
 fn prefix_counts(prefixes: &[u32], k: usize) -> HashMap<&[u32], u64> {
+    // ctk-allow(det-hash-collection): exact integer counts, drained via from_weighted's canonical sort
     let mut g: HashMap<&[u32], u64> = HashMap::new();
     for p in prefixes.chunks_exact(k) {
         *g.entry(p).or_insert(0) += 1;

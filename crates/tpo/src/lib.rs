@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # ctk-tpo — the tree of possible orderings
 //!
 //! Core uncertain-ranking data structure of the `crowd-topk` workspace

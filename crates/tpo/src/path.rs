@@ -76,7 +76,7 @@ impl PathSet {
         // Canonical order *before* summation: callers may feed paths in
         // hash-map order, and float addition is not associative — without
         // this, bitwise reproducibility across runs would be lost.
-        paths.sort_by(|a, b| a.items.cmp(&b.items));
+        paths.sort_unstable_by(|a, b| a.items.cmp(&b.items));
         let total: f64 = paths.iter().map(|p| p.prob).sum();
         if total <= 0.0 {
             return Err(TpoError::EmptyPathSet);
@@ -179,10 +179,9 @@ impl fmt::Display for PathSet {
 }
 
 fn sort_paths(paths: &mut [Path]) {
-    paths.sort_by(|a, b| {
+    paths.sort_unstable_by(|a, b| {
         b.prob
-            .partial_cmp(&a.prob)
-            .expect("probabilities are finite")
+            .total_cmp(&a.prob)
             .then_with(|| a.items.cmp(&b.items))
     });
 }

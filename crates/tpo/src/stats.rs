@@ -4,7 +4,7 @@
 
 use crate::answers::{implication, Implication};
 use crate::path::PathSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// For each level `ℓ = 1..=depth`, the probability distribution over the
 /// distinct length-`ℓ` prefixes of the path set (each inner vector sums to
@@ -14,14 +14,14 @@ pub fn level_distributions(ps: &PathSet) -> Vec<Vec<f64>> {
     let depth = ps.paths().iter().map(|p| p.items.len()).max().unwrap_or(0);
     let mut out = Vec::with_capacity(depth);
     for l in 1..=depth {
-        let mut groups: HashMap<&[u32], f64> = HashMap::new();
+        let mut groups: BTreeMap<&[u32], f64> = BTreeMap::new();
         for p in ps.paths() {
             let pre = &p.items[..l.min(p.items.len())];
             *groups.entry(pre).or_insert(0.0) += p.prob;
         }
         let mut probs: Vec<f64> = groups.into_values().collect();
         // Deterministic order for reproducible entropy summation.
-        probs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        probs.sort_unstable_by(|a, b| b.total_cmp(a));
         out.push(probs);
     }
     out

@@ -78,11 +78,10 @@ impl Tpo {
             .map(|(i, n)| (i, n.prob, n.tuple))
             .collect();
         for node in &mut nodes {
-            node.children.sort_by(|&a, &b| {
+            node.children.sort_unstable_by(|&a, &b| {
                 order[b]
                     .1
-                    .partial_cmp(&order[a].1)
-                    .expect("finite probs")
+                    .total_cmp(&order[a].1)
                     .then(order[a].2.cmp(&order[b].2))
             });
         }

@@ -30,6 +30,7 @@ use ctk_prob::sample::{ranking_from_scores, WorldSampler};
 use ctk_prob::UncertainTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// ctk-allow(det-hash-collection): grouping maps here hold exact counts or per-group sums accumulated in ascending world order, drained through PathSet::from_weighted's canonical sort
 use std::collections::HashMap;
 
 /// Below this many worlds the rank phase of sampling stays sequential —
@@ -108,6 +109,7 @@ impl WorldModel {
             rank_chunk(&scores, &mut rankings, &mut pos, n);
         } else {
             let chunk = m.div_ceil(threads);
+            // ctk-allow(det-thread-spawn): planned_threads fanout; each thread fills a disjoint pre-chunked slice
             std::thread::scope(|s| {
                 for ((sc, rc), pc) in scores
                     .chunks(chunk * n)
@@ -228,6 +230,7 @@ impl WorldModel {
     pub fn apply_answer_noisy(&mut self, i: u32, j: u32, yes: bool, eta: f64) -> Result<()> {
         let eta = eta.clamp(0.5, 1.0);
         let disagree_factor = 1.0 - eta;
+        // ctk-allow(float-eq): exact-sentinel — eta is clamped, and 1.0 - eta is literally 0.0 only at eta = 1.0
         if disagree_factor == 0.0 {
             return self.apply_answer_hard(i, j, yes);
         }
@@ -245,9 +248,19 @@ impl WorldModel {
         // preserved.
         let total = self.total_weight();
         if total > 0.0 {
+            #[cfg(feature = "debug-invariants")]
+            let m = self.num_worlds() as f64;
             let scale = self.num_worlds() as f64 / total;
             for w in &mut self.weights {
                 *w *= scale;
+            }
+            #[cfg(feature = "debug-invariants")]
+            {
+                let renormalized = self.total_weight();
+                assert!(
+                    (renormalized - m).abs() <= 1e-6 * m,
+                    "world weights renormalized to {renormalized}, expected {m}"
+                );
             }
         }
         Ok(())
@@ -264,6 +277,7 @@ impl WorldModel {
         if k == 0 || k > self.n {
             return Err(TpoError::InvalidK { k, n: self.n });
         }
+        // ctk-allow(det-hash-collection): each group's float sum accumulates in ascending world order regardless of bucket order; draining goes through from_weighted's sort
         let mut groups: HashMap<&[u32], f64> = HashMap::new();
         for (w, r) in self.rankings.iter().enumerate() {
             if self.weights[w] <= 0.0 {
@@ -302,6 +316,7 @@ impl WorldModel {
                 groups: vec![(0..self.rankings.len() as u32).collect()],
             }
         } else {
+            // ctk-allow(panic-unwrap): the surrounding branch runs only when the cache is Some
             self.cache.take().expect("cache checked above")
         };
         while cache.depth < k {
@@ -353,15 +368,18 @@ impl WorldModel {
             return Err(TpoError::InvalidK { k, n: self.n });
         }
         debug_assert!(
+            // ctk-allow(float-eq): exact-sentinel — fresh weights are assigned literal 1.0
             self.weights.iter().all(|&w| w == 1.0),
             "uniform grouping requires fresh unit weights"
         );
         let m = self.rankings.len();
         let threads = threads.clamp(1, m);
+        // ctk-allow(det-hash-collection): exact integer counts; merge order cannot change them
         let maps: Vec<HashMap<&[u32], u64>> = if threads == 1 || m < PARALLEL_WORLDS_MIN {
             vec![group_counts(&self.rankings, k)]
         } else {
             let chunk = m.div_ceil(threads);
+            // ctk-allow(det-thread-spawn): planned_threads fanout over disjoint chunks; count merge is commutative
             std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .rankings
@@ -370,10 +388,14 @@ impl WorldModel {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("grouping thread panicked"))
+                    .map(|h| match h.join() {
+                        Ok(map) => map,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };
+        // ctk-allow(det-hash-collection): exact integer counts; merge order cannot change them
         let mut total: HashMap<&[u32], u64> = HashMap::new();
         for map in maps {
             for (prefix, count) in map {
@@ -415,7 +437,9 @@ fn rank_chunk(scores: &[f64], rankings: &mut [Vec<u32>], pos: &mut [u32], n: usi
 }
 
 /// Depth-`k` prefix counts of one chunk of rankings.
+// ctk-allow(det-hash-collection): exact integer counts, drained via from_weighted's canonical sort
 fn group_counts(rankings: &[Vec<u32>], k: usize) -> HashMap<&[u32], u64> {
+    // ctk-allow(det-hash-collection): exact integer counts, drained via from_weighted's canonical sort
     let mut g: HashMap<&[u32], u64> = HashMap::new();
     for r in rankings {
         *g.entry(&r[..k]).or_insert(0) += 1;

@@ -33,7 +33,8 @@ fn main() {
                 PerfectWorker,
                 VotePolicy::Single,
                 BUDGET,
-            );
+            )
+            .expect("valid vote policy");
             let start = Instant::now();
             let report = CrowdTopK::new(table.clone())
                 .k(K)

@@ -58,7 +58,8 @@ fn main() {
     let table = generate(&DatasetSpec::paper_default(10, 0.35, 2024)).expect("valid spec");
     let truth = GroundTruth::sample(&table, 4242);
     let top = truth.top_k(3);
-    let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000);
+    let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 100_000)
+        .expect("valid vote policy");
 
     // A service with a bounded per-round fanout (a tight worker pool):
     // at most 8 tenants are served per scheduling round, their driver
@@ -122,7 +123,8 @@ fn main() {
     for (tenant, id) in ids.iter().enumerate().take(6) {
         let served = service.report(*id).expect("session done");
         let mut own_crowd =
-            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET);
+            CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, BUDGET)
+                .expect("valid vote policy");
         let standalone = UrSession::new(tenant_config(tenant))
             .unwrap()
             .run_with_truth(&table, &mut own_crowd, Some(&top))

@@ -34,7 +34,8 @@ fn main() {
                     NoisyWorker::new(accuracy, 31 * run + 7),
                     policy,
                     BUDGET * policy.votes_per_question(),
-                );
+                )
+                .expect("valid vote policy");
                 let report = CrowdTopK::new(scenario.table.clone())
                     .k(scenario.k)
                     .budget(BUDGET)

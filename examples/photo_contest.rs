@@ -47,7 +47,8 @@ fn main() {
                 NoisyWorker::new(0.80, 500 + run),
                 VotePolicy::Majority(3),
                 BUDGET * VotePolicy::Majority(3).votes_per_question(),
-            );
+            )
+            .expect("valid vote policy");
             let report = CrowdTopK::new(table.clone())
                 .k(K)
                 .budget(BUDGET)

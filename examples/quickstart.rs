@@ -48,7 +48,8 @@ fn main() {
     let real_top3 = truth.top_k(3);
 
     // A perfect crowd with a budget of 12 pairwise questions.
-    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 12);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 12)
+        .expect("valid vote policy");
 
     let report = CrowdTopK::new(table.clone())
         .k(3)

@@ -56,7 +56,8 @@ fn main() {
     const BUDGET: usize = 10;
     let truth = GroundTruth::sample(&table, 31);
     let top = truth.top_k(K);
-    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, BUDGET);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, BUDGET)
+        .expect("valid vote policy");
 
     let report = CrowdTopK::new(table)
         .k(K)

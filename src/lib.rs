@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 //! # crowd-topk
 //!
 //! Crowd-assisted top-K query processing over uncertain data — a complete
@@ -31,7 +33,7 @@
 //! // Simulate the hidden reality and a perfect crowd with budget 10.
 //! let truth = GroundTruth::sample(&table, 1);
 //! let top2 = truth.top_k(2);
-//! let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10);
+//! let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 10).expect("valid vote policy");
 //!
 //! // Ask the right questions.
 //! let report = CrowdTopK::new(table)

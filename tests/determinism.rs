@@ -14,7 +14,8 @@ fn run(seed: u64, algorithm: Algorithm) -> UrReport {
         NoisyWorker::new(0.85, seed),
         VotePolicy::Single,
         12,
-    );
+    )
+    .expect("valid vote policy");
     CrowdTopK::new(scenario.table)
         .k(scenario.k)
         .budget(12)

@@ -9,7 +9,8 @@ fn run_once(algorithm: Algorithm, budget: usize, run: u64) -> UrReport {
     let scenario = scenarios::fig1(run);
     let truth = GroundTruth::sample(&scenario.table, 5000 + run);
     let top = truth.top_k(scenario.k);
-    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, budget)
+        .expect("valid vote policy");
     CrowdTopK::new(scenario.table)
         .k(scenario.k)
         .budget(budget)

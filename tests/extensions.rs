@@ -32,7 +32,8 @@ fn mixture_tables_run_end_to_end() {
     assert!(table.all_continuous());
     let truth = GroundTruth::sample(&table, 11);
     let top = truth.top_k(3);
-    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 15);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 15)
+        .expect("valid vote policy");
     let report = CrowdTopK::new(table)
         .k(3)
         .budget(15)
@@ -110,7 +111,8 @@ fn difficulty_workers_degrade_gracefully() {
                     DifficultyWorker::new(0.9, 0.05, run),
                     VotePolicy::Single,
                     B,
-                );
+                )
+                .expect("valid vote policy");
                 q.run_with_truth(&mut crowd, &top)
                     .unwrap()
                     .final_distance()
@@ -121,7 +123,8 @@ fn difficulty_workers_degrade_gracefully() {
                     NoisyWorker::new(0.9, run),
                     VotePolicy::Single,
                     B,
-                );
+                )
+                .expect("valid vote policy");
                 q.run_with_truth(&mut crowd, &top)
                     .unwrap()
                     .final_distance()
@@ -167,7 +170,8 @@ fn uncertainty_target_stops_early() {
             PerfectWorker,
             VotePolicy::Single,
             40,
-        );
+        )
+        .expect("valid vote policy");
         q.run_with_truth(&mut crowd, &top).unwrap()
     };
     let unbounded = run(None);
@@ -205,7 +209,8 @@ fn uncertainty_target_applies_to_offline_and_incr() {
             PerfectWorker,
             VotePolicy::Single,
             40,
-        );
+        )
+        .expect("valid vote policy");
         let report = CrowdTopK::new(table.clone())
             .k(3)
             .budget(40)

@@ -19,7 +19,8 @@ fn prelude_covers_one_session_step_and_ledger_decrements() {
     let table = overlapping_table(5);
     let truth = GroundTruth::sample(&table, 11);
     let top2 = truth.top_k(2);
-    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 4);
+    let mut crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, 4)
+        .expect("valid vote policy");
     assert_eq!(crowd.remaining(), 4);
 
     // One UR step: budget 1 forces exactly one question.

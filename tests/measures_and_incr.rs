@@ -15,7 +15,8 @@ fn run_measure(measure: MeasureKind, run: u64, budget: usize) -> f64 {
         PerfectWorker,
         VotePolicy::Single,
         budget,
-    );
+    )
+    .expect("valid vote policy");
     CrowdTopK::new(scenario.table)
         .k(scenario.k)
         .budget(budget)
@@ -61,7 +62,8 @@ fn run_incr_vs_t1(n: usize, budget: usize) -> (Duration, Duration, f64, f64) {
             PerfectWorker,
             VotePolicy::Single,
             budget,
-        );
+        )
+        .expect("valid vote policy");
         let start = Instant::now();
         let r = CrowdTopK::new(table.clone())
             .k(5)
@@ -108,7 +110,8 @@ fn incr_respects_round_size_and_budget() {
             PerfectWorker,
             VotePolicy::Single,
             12,
-        );
+        )
+        .expect("valid vote policy");
         let r = CrowdTopK::new(scenario.table.clone())
             .k(scenario.k)
             .budget(12)

@@ -19,7 +19,8 @@ fn avg_final_distance(accuracy: f64, policy: VotePolicy, runs: u64, budget: usiz
             NoisyWorker::new(accuracy, 77 * run + 3),
             policy,
             budget * policy.votes_per_question(),
-        );
+        )
+        .expect("valid vote policy");
         let r = CrowdTopK::new(scenario.table)
             .k(scenario.k)
             .budget(budget)
@@ -66,7 +67,8 @@ fn noisy_sessions_never_panic_and_keep_all_orderings() {
         NoisyWorker::new(0.75, 1),
         VotePolicy::Single,
         12,
-    );
+    )
+    .expect("valid vote policy");
     let r = CrowdTopK::new(scenario.table)
         .k(scenario.k)
         .budget(12)
@@ -95,7 +97,8 @@ fn heterogeneous_pools_work() {
         WorkerPool::uniform(20, 0.65, 0.95, 3),
         VotePolicy::Single,
         15,
-    );
+    )
+    .expect("valid vote policy");
     let r = CrowdTopK::new(scenario.table)
         .k(scenario.k)
         .budget(15)
