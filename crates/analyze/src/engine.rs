@@ -5,9 +5,10 @@
 //! §11):
 //!
 //! * **Result-affecting crates** — `ctk-prob`, `ctk-rank`, `ctk-tpo`,
-//!   `ctk-crowd`, `ctk-datagen`, `ctk-core`, `ctk-service`, and the
-//!   facade `src/` — get every rule family: a wrong iteration order or a
-//!   stray panic in any of them changes or kills a top-K verdict.
+//!   `ctk-crowd`, `ctk-quality`, `ctk-datagen`, `ctk-core`,
+//!   `ctk-service`, and the facade `src/` — get every rule family: a
+//!   wrong iteration order or a stray panic in any of them changes or
+//!   kills a top-K verdict.
 //! * **`ctk-analyze` itself** — panic rules only: the tool must not crash
 //!   on arbitrary source, but it handles no floats and spawns no threads.
 //! * **`ctk-bench`** — exempt from per-file rules (a diagnostics harness
@@ -27,8 +28,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code is result-affecting (full rule coverage).
-pub const RESULT_AFFECTING_CRATES: &[&str] =
-    &["prob", "rank", "tpo", "crowd", "datagen", "core", "service"];
+pub const RESULT_AFFECTING_CRATES: &[&str] = &[
+    "prob", "rank", "tpo", "crowd", "quality", "datagen", "core", "service",
+];
 
 /// Crate roots inside the lint wall, as paths relative to the workspace
 /// root. The facade's root is `src/lib.rs`.
@@ -38,6 +40,7 @@ pub const LINT_WALL_ROOTS: &[&str] = &[
     "crates/rank/src/lib.rs",
     "crates/tpo/src/lib.rs",
     "crates/crowd/src/lib.rs",
+    "crates/quality/src/lib.rs",
     "crates/datagen/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/service/src/lib.rs",
@@ -270,6 +273,9 @@ mod tests {
     #[test]
     fn scope_classification() {
         assert!(rule_set_for("crates/tpo/src/worlds.rs").determinism);
+        assert!(rule_set_for("crates/quality/src/estimator.rs").determinism);
+        assert!(rule_set_for("crates/quality/src/crowd.rs").panic);
+        assert!(!rule_set_for("crates/quality/tests/x.rs").panic);
         assert!(rule_set_for("src/lib.rs").float);
         assert!(rule_set_for("crates/analyze/src/engine.rs").panic);
         assert!(!rule_set_for("crates/analyze/src/engine.rs").determinism);

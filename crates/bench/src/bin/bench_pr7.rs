@@ -1,0 +1,250 @@
+//! Quality-layer acceptance report (PR 7 numbers).
+//!
+//! Two gates, both enforced by assertion:
+//!
+//! 1. **Strict win** — on a spammer-contaminated roster (1/3 of workers
+//!    near or below chance, ≥ the 25% acceptance floor), full top-K
+//!    sessions served by the accuracy-weighted [`QualityCrowd`] (gold
+//!    qualification round + online estimation + log-odds fusion) must
+//!    end strictly closer to the ground-truth top-K than sessions served
+//!    by the legacy unweighted `Majority(3)` pool at the **same vote
+//!    budget**, averaged over repetitions.
+//! 2. **Bit identity** — on a uniform-quality roster (no prices, no
+//!    churn), `QualityConfig::majority_compat` must reproduce the plain
+//!    `CrowdSimulator<WorkerPool>` session outcome bit for bit: the
+//!    quality layer costs nothing when its features are off.
+//!
+//! Emits `BENCH_PR7.json`. CI runs `--small` mode, which shrinks the
+//! repetition count but keeps both gates armed.
+//!
+//! `cargo run --release -p ctk-bench --bin bench_pr7 [--small] [--out FILE]`
+
+use ctk_core::measures::MeasureKind;
+use ctk_core::session::{Algorithm, SessionConfig, UrReport, UrSession};
+use ctk_crowd::{Crowd, CrowdSimulator, GroundTruth, NoisyWorker, VotePolicy, WorkerPool};
+use ctk_datagen::{generate, gold_questions, spammer_pool, DatasetSpec};
+use ctk_prob::UncertainTable;
+use ctk_quality::{QualityConfig, QualityCrowd, WorkerSpec};
+use ctk_rank::topk::topk_distance;
+use ctk_rank::RankList;
+use ctk_tpo::build::{Engine, McConfig};
+
+struct Sizes {
+    n: usize,
+    k: usize,
+    reps: u64,
+    session_budget: usize,
+    roster: usize,
+}
+
+const FULL: Sizes = Sizes {
+    n: 15,
+    k: 5,
+    reps: 16,
+    session_budget: 20,
+    roster: 9,
+};
+
+const SMALL: Sizes = Sizes {
+    n: 10,
+    k: 4,
+    reps: 6,
+    session_budget: 14,
+    roster: 9,
+};
+
+const PANEL: usize = 3;
+const SPAMMER_FRACTION: f64 = 1.0 / 3.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small" || a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let sz = if small { SMALL } else { FULL };
+    eprintln!(
+        "# quality layer: n={} K={} reps={} budget={}q panel={} spammers={:.0}%{}",
+        sz.n,
+        sz.k,
+        sz.reps,
+        sz.session_budget,
+        PANEL,
+        100.0 * SPAMMER_FRACTION,
+        if small { " [small]" } else { "" }
+    );
+
+    // --- gate 2: bit identity on a uniform roster (every mode) ----------
+    let identical = uniform_pool_bit_identity(&sz);
+    eprintln!("# uniform-pool majority_compat bit-identical: {identical}");
+    assert!(
+        identical,
+        "majority_compat diverged from the plain majority simulator"
+    );
+
+    // --- gate 1: strict win at equal vote budget -------------------------
+    // Equal footing: every worker costs one vote in both arms, so a vote
+    // budget of panel * session_budget serves the same question count.
+    let vote_budget = PANEL * sz.session_budget;
+    let mut majority_sum = 0.0;
+    let mut weighted_sum = 0.0;
+    let mut wins = 0u64;
+    let mut ties = 0u64;
+    for rep in 0..sz.reps {
+        let table = generate(&DatasetSpec::paper_default(sz.n, 0.4, 100 + rep)).expect("valid");
+        let truth = GroundTruth::sample(&table, 1000 + rep);
+        let truth_topk = truth.top_k(sz.k);
+        let specs: Vec<WorkerSpec> = spammer_pool(sz.roster, SPAMMER_FRACTION, 7000 + rep)
+            .iter()
+            .map(|s| WorkerSpec::new(s.accuracy()))
+            .collect();
+        let seed = 0xA5EED ^ rep;
+
+        // Majority arm: the legacy pool, unweighted majority of 3.
+        let workers: Vec<NoisyWorker> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| NoisyWorker::adversarial(s.accuracy(), seed.wrapping_add(i as u64)))
+            .collect();
+        let pool = WorkerPool::from_workers(workers).expect("non-empty roster");
+        let mut majority = CrowdSimulator::new(
+            truth.clone(),
+            pool,
+            VotePolicy::Majority(PANEL),
+            vote_budget,
+        )
+        .expect("valid vote policy");
+        let d_majority = run_session(&table, &mut majority, &sz, rep)
+            .map(|r| distance(&r, &truth_topk))
+            .expect("majority session");
+
+        // Weighted arm: same hidden accuracies, same worker seeds, same
+        // vote budget — plus the quality layer (gold qualification round,
+        // online estimation, log-odds fusion, posterior grading).
+        let mut quality = QualityCrowd::new(
+            truth.clone(),
+            &specs,
+            QualityConfig::weighted(PANEL),
+            vote_budget,
+            seed,
+        )
+        .expect("valid roster");
+        quality.calibrate_gold(&gold_questions(sz.n as u32, 1));
+        let d_weighted = run_session(&table, &mut quality, &sz, rep)
+            .map(|r| distance(&r, &truth_topk))
+            .expect("weighted session");
+
+        majority_sum += d_majority;
+        weighted_sum += d_weighted;
+        if d_weighted < d_majority {
+            wins += 1;
+        } else if d_weighted == d_majority {
+            ties += 1;
+        }
+        eprintln!("# rep {rep:>2}: majority D={d_majority:.4}  weighted D={d_weighted:.4}");
+    }
+    let majority_mean = majority_sum / sz.reps as f64;
+    let weighted_mean = weighted_sum / sz.reps as f64;
+    eprintln!(
+        "# mean top-K distance: majority {majority_mean:.4}  weighted {weighted_mean:.4}  \
+         ({wins} wins, {ties} ties, {} losses)",
+        sz.reps - wins - ties
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"quality_layer\",\n  \"mode\": \"{}\",\n  \"config\": {{ \"n\": {}, \"k\": {}, \"reps\": {}, \"session_budget\": {}, \"vote_budget\": {}, \"panel\": {}, \"roster\": {}, \"spammer_fraction\": {:.4} }},\n  \"uniform_pool_bit_identical\": {},\n  \"majority_mean_topk_distance\": {:.6},\n  \"weighted_mean_topk_distance\": {:.6},\n  \"weighted_wins\": {},\n  \"ties\": {}\n}}\n",
+        if small { "small" } else { "full" },
+        sz.n,
+        sz.k,
+        sz.reps,
+        sz.session_budget,
+        vote_budget,
+        PANEL,
+        sz.roster,
+        SPAMMER_FRACTION,
+        identical,
+        majority_mean,
+        weighted_mean,
+        wins,
+        ties,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_PR7.json");
+    eprintln!("# wrote {out}");
+
+    assert!(
+        weighted_mean < majority_mean,
+        "accuracy-weighted fusion must beat unweighted majority at equal vote budget: \
+         weighted {weighted_mean:.4} vs majority {majority_mean:.4}"
+    );
+}
+
+/// Runs one full top-K session of the bench configuration over `crowd`.
+fn run_session<C: Crowd>(
+    table: &UncertainTable,
+    crowd: &mut C,
+    sz: &Sizes,
+    rep: u64,
+) -> Option<UrReport> {
+    let config = SessionConfig {
+        k: sz.k,
+        budget: sz.session_budget,
+        measure: MeasureKind::WeightedEntropy,
+        algorithm: Algorithm::T1On,
+        engine: Engine::MonteCarlo(McConfig {
+            worlds: 2000,
+            seed: 7,
+        }),
+        seed: rep,
+        uncertainty_target: None,
+    };
+    UrSession::new(config).ok()?.run(table, crowd).ok()
+}
+
+/// Top-K distance of a finished session's answer to the true top-K.
+fn distance(report: &UrReport, truth_topk: &RankList) -> f64 {
+    topk_distance(
+        &RankList::new_unchecked(report.final_topk.clone()),
+        truth_topk,
+    )
+}
+
+/// Gate 2: a uniform-quality roster under `majority_compat` must replay
+/// the plain `CrowdSimulator<WorkerPool>` session bit for bit.
+fn uniform_pool_bit_identity(sz: &Sizes) -> bool {
+    let table = generate(&DatasetSpec::paper_default(sz.n, 0.4, 42)).expect("valid");
+    let truth = GroundTruth::sample(&table, 4242);
+    let accuracies = [0.9, 0.8, 0.85, 0.75, 0.95];
+    let seed: u64 = 0xB17;
+    let vote_budget = PANEL * sz.session_budget;
+
+    let workers: Vec<NoisyWorker> = accuracies
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| NoisyWorker::adversarial(a, seed.wrapping_add(i as u64)))
+        .collect();
+    let pool = WorkerPool::from_workers(workers).expect("non-empty roster");
+    let mut plain = CrowdSimulator::new(
+        truth.clone(),
+        pool,
+        VotePolicy::Majority(PANEL),
+        vote_budget,
+    )
+    .expect("valid vote policy");
+    let reference = run_session(&table, &mut plain, sz, 0).expect("plain session");
+
+    let specs: Vec<WorkerSpec> = accuracies.iter().map(|&a| WorkerSpec::new(a)).collect();
+    let mut compat = QualityCrowd::new(
+        truth,
+        &specs,
+        QualityConfig::majority_compat(PANEL),
+        vote_budget,
+        seed,
+    )
+    .expect("valid roster");
+    let replayed = run_session(&table, &mut compat, sz, 0).expect("compat session");
+
+    reference.same_outcome(&replayed)
+}

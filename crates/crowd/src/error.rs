@@ -11,6 +11,11 @@ pub enum CrowdError {
         /// The rejected majority count.
         count: usize,
     },
+    /// A worker pool constructed without any workers.
+    EmptyPool,
+    /// A difficulty-aware worker with a non-positive (or non-finite)
+    /// difficulty scale.
+    InvalidDifficultyScale,
 }
 
 impl fmt::Display for CrowdError {
@@ -18,6 +23,10 @@ impl fmt::Display for CrowdError {
         match self {
             CrowdError::InvalidVotePolicy { count } => {
                 write!(f, "majority policy needs an odd count >= 3, got {count}")
+            }
+            CrowdError::EmptyPool => write!(f, "a worker pool needs at least one worker"),
+            CrowdError::InvalidDifficultyScale => {
+                write!(f, "difficulty scale must be positive and finite")
             }
         }
     }

@@ -12,7 +12,34 @@ use crate::error::CrowdError;
 use crate::ledger::{BudgetLedger, CostModel};
 use crate::oracle::GroundTruth;
 use crate::question::{Answer, Question};
-use crate::worker::AnswerModel;
+use crate::worker::{AnswerModel, Vote};
+
+/// A caller-supplied hint about how much an answer is worth: the
+/// question-routing layer (`ctk-quality`) asks for cheap workers on
+/// wide-margin questions and experts on narrow ones. Backends without
+/// worker tiers ignore the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteHint {
+    /// No preference; the backend picks whoever is next.
+    Any,
+    /// The belief margin is wide — a cheap, lower-accuracy worker panel
+    /// suffices.
+    Cheap,
+    /// The belief margin is narrow — route to the highest-posterior
+    /// workers available.
+    Expert,
+}
+
+/// An aggregated answer together with the raw per-worker votes that
+/// produced it — the attribution record the `ctk-quality` estimators
+/// consume.
+#[derive(Debug, Clone)]
+pub struct AttributedAnswer {
+    /// The aggregated answer (exactly what [`Crowd::ask`] would return).
+    pub answer: Answer,
+    /// The individual votes, in the order they were collected.
+    pub votes: Vec<Vote>,
+}
 
 /// What the selection engine may do with a crowd.
 ///
@@ -34,6 +61,14 @@ pub trait Crowd: Send {
 
     /// Full history so far.
     fn history(&self) -> &[Answer];
+
+    /// Asks one question with a routing hint. Backends with worker tiers
+    /// (see `ctk-quality`) honor the hint; the default ignores it, so
+    /// every existing crowd keeps its behavior.
+    fn ask_routed(&mut self, q: Question, hint: RouteHint) -> Option<Answer> {
+        let _ = hint;
+        self.ask(q)
+    }
 }
 
 /// Simulated crowd: ground truth + worker model + vote policy + budget.
@@ -93,12 +128,15 @@ impl<M: AnswerModel> CrowdSimulator<M> {
     pub fn ledger(&self) -> &BudgetLedger {
         &self.ledger
     }
-}
 
-impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
-    fn ask(&mut self, q: Question) -> Option<Answer> {
-        let votes = self.policy.votes_per_question();
-        if !self.ledger.can_afford(votes) {
+    /// Like [`Crowd::ask`] but reporting which worker produced each vote.
+    /// Draws exactly the randomness [`Crowd::ask`] would (the default
+    /// [`AnswerModel::vote_with_gap`] delegates to `answer_with_gap`), so
+    /// attributed and unattributed runs over the same simulator state are
+    /// bit-identical in everything but the extra provenance.
+    pub fn ask_attributed(&mut self, q: Question) -> Option<AttributedAnswer> {
+        let cost = self.policy.votes_per_question();
+        if !self.ledger.can_afford(cost) {
             // Regression guard for the budget denomination mismatch: a
             // majority question the remaining budget cannot pay in full
             // is refused outright, not sold at a one-unit discount.
@@ -106,22 +144,26 @@ impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
         }
         let truth = self.truth.true_answer(&q);
         let gap = (self.truth.scores()[q.i as usize] - self.truth.scores()[q.j as usize]).abs();
-        let answer = match self.policy {
-            VotePolicy::Single => self.model.answer_with_gap(&q, truth, gap),
-            VotePolicy::Majority(n) => {
-                let vs: Vec<bool> = (0..n)
-                    .map(|_| self.model.answer_with_gap(&q, truth, gap))
-                    .collect();
+        let votes: Vec<Vote> = (0..cost)
+            .map(|_| self.model.vote_with_gap(&q, truth, gap))
+            .collect();
+        let yes = match self.policy {
+            VotePolicy::Single => votes[0].yes,
+            VotePolicy::Majority(_) => {
+                let vs: Vec<bool> = votes.iter().map(|v| v.yes).collect();
                 majority_vote(&vs)
             }
         };
-        let ans = Answer {
-            question: q,
-            yes: answer,
-        };
-        let recorded = self.ledger.record(ans, votes);
+        let answer = Answer { question: q, yes };
+        let recorded = self.ledger.record(answer, cost);
         debug_assert!(recorded, "affordability was checked above");
-        Some(ans)
+        Some(AttributedAnswer { answer, votes })
+    }
+}
+
+impl<M: AnswerModel> Crowd for CrowdSimulator<M> {
+    fn ask(&mut self, q: Question) -> Option<Answer> {
+        self.ask_attributed(q).map(|a| a.answer)
     }
 
     fn remaining(&self) -> usize {
@@ -239,6 +281,55 @@ mod tests {
         }
         let rate = correct as f64 / 20_000.0;
         assert!((rate - 0.8).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn attributed_ask_matches_plain_ask_bit_for_bit() {
+        use crate::worker::WorkerPool;
+        let pool = || WorkerPool::new(&[0.9, 0.6, 0.75], 11).expect("non-empty");
+        let mut plain =
+            CrowdSimulator::new(truth(), pool(), VotePolicy::Majority(3), 30).expect("valid");
+        let mut attr =
+            CrowdSimulator::new(truth(), pool(), VotePolicy::Majority(3), 30).expect("valid");
+        let qs = [
+            Question::new(1, 0),
+            Question::new(0, 2),
+            Question::new(2, 1),
+        ];
+        for q in qs {
+            let a = plain.ask(q).unwrap();
+            let b = attr.ask_attributed(q).unwrap();
+            assert_eq!(a, b.answer, "same draws, same aggregate");
+            assert_eq!(b.votes.len(), 3);
+            // Round-robin attribution: pool of 3, panel of 3 — each
+            // question sees every worker exactly once, starting where the
+            // cursor left off.
+            let ids: Vec<u32> = b.votes.iter().map(|v| v.worker.0).collect();
+            assert_eq!(ids, vec![0, 1, 2]);
+        }
+        assert_eq!(plain.remaining(), attr.remaining());
+    }
+
+    #[test]
+    fn attributed_ask_respects_budget_without_side_effects() {
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Majority(3), 2)
+            .expect("valid vote policy");
+        assert!(c.ask_attributed(Question::new(1, 0)).is_none());
+        assert_eq!(c.remaining(), 0);
+        assert!(c.history().is_empty(), "refused ask leaves no trace");
+    }
+
+    #[test]
+    fn default_routed_ask_ignores_hint() {
+        let mut c = CrowdSimulator::new(truth(), PerfectWorker, VotePolicy::Single, 2)
+            .expect("valid vote policy");
+        let a = c
+            .ask_routed(Question::new(1, 0), RouteHint::Expert)
+            .unwrap();
+        assert!(a.yes);
+        let b = c.ask_routed(Question::new(1, 0), RouteHint::Cheap).unwrap();
+        assert_eq!(a, b, "hints are advisory for hint-blind backends");
+        assert_eq!(c.remaining(), 0);
     }
 
     #[test]

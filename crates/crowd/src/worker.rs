@@ -4,11 +4,43 @@
 //! §III-C models a worker by an *accuracy* — the probability that the
 //! returned answer is correct. The experiment harness uses
 //! [`PerfectWorker`] for the noiseless setting and [`NoisyWorker`] /
-//! [`WorkerPool`] for the noisy-crowd experiments.
+//! [`WorkerPool`] for the noisy-crowd experiments. Every answer can also be
+//! *attributed*: [`AnswerModel::vote_with_gap`] reports which member of the
+//! model produced it as a [`Vote`], the raw material the `ctk-quality`
+//! crate's per-worker accuracy estimation is built on.
 
+use crate::error::CrowdError;
 use crate::question::Question;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Identifies one worker within an answer model (e.g. the index of a pool
+/// member). Single-worker models attribute everything to
+/// [`WorkerId::SOLO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The id single-worker models attribute their answers to.
+    pub const SOLO: WorkerId = WorkerId(0);
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// One worker's raw (un-aggregated) verdict on a question, attributed to
+/// whoever produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// Who answered.
+    pub worker: WorkerId,
+    /// `true` iff this worker said `i` ranks above `j`.
+    pub yes: bool,
+}
 
 /// Turns the true answer of a question into the worker's (possibly wrong)
 /// response.
@@ -30,6 +62,19 @@ pub trait AnswerModel: Send {
     /// calls override this; the default ignores the gap.
     fn answer_with_gap(&mut self, q: &Question, truth: bool, _gap: f64) -> bool {
         self.answer(q, truth)
+    }
+
+    /// Like [`AnswerModel::answer_with_gap`] but attributing the answer to
+    /// the worker that produced it. Single-worker models keep the default
+    /// ([`WorkerId::SOLO`]); pools override it to report the selected
+    /// member. The returned answer is drawn exactly as
+    /// [`AnswerModel::answer_with_gap`] would draw it, so attributed and
+    /// unattributed asks consume identical randomness.
+    fn vote_with_gap(&mut self, q: &Question, truth: bool, gap: f64) -> Vote {
+        Vote {
+            worker: WorkerId::SOLO,
+            yes: self.answer_with_gap(q, truth, gap),
+        }
     }
 }
 
@@ -64,6 +109,18 @@ impl NoisyWorker {
             rng: StdRng::seed_from_u64(seed),
         }
     }
+
+    /// Creates a worker whose accuracy may drop below a coin flip
+    /// (clamped to `[0, 1]` only) — the adversarial/spammer model the
+    /// `ctk-quality` estimation layer exists to detect. A worker at
+    /// accuracy 0.5 is a pure spammer; below 0.5 it is systematically
+    /// misleading.
+    pub fn adversarial(accuracy: f64, seed: u64) -> Self {
+        Self {
+            accuracy: accuracy.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
 }
 
 impl AnswerModel for NoisyWorker {
@@ -80,35 +137,52 @@ impl AnswerModel for NoisyWorker {
     }
 }
 
-/// A heterogeneous pool of noisy workers; questions are assigned
-/// round-robin (simulating a crowdsourcing platform distributing tasks).
+/// A heterogeneous pool of workers; questions are assigned round-robin
+/// (simulating a crowdsourcing platform distributing tasks). Generic over
+/// the member model, defaulting to the classic [`NoisyWorker`] pool.
 #[derive(Debug, Clone)]
-pub struct WorkerPool {
-    workers: Vec<NoisyWorker>,
+pub struct WorkerPool<W = NoisyWorker> {
+    workers: Vec<W>,
     cursor: usize,
 }
 
-impl WorkerPool {
+impl WorkerPool<NoisyWorker> {
     /// Builds a pool from explicit accuracies.
-    pub fn new(accuracies: &[f64], seed: u64) -> Self {
-        assert!(!accuracies.is_empty(), "pool needs at least one worker");
-        let workers = accuracies
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| NoisyWorker::new(a, seed.wrapping_add(i as u64)))
-            .collect();
-        Self { workers, cursor: 0 }
+    ///
+    /// Fails with [`CrowdError::EmptyPool`] when no accuracies are given.
+    pub fn new(accuracies: &[f64], seed: u64) -> Result<Self, CrowdError> {
+        Self::from_workers(
+            accuracies
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| NoisyWorker::new(a, seed.wrapping_add(i as u64)))
+                .collect(),
+        )
     }
 
     /// Builds a pool of `size` workers with accuracies drawn uniformly from
     /// `[lo, hi]` (deterministic given `seed`).
-    pub fn uniform(size: usize, lo: f64, hi: f64, seed: u64) -> Self {
-        assert!(size > 0, "pool needs at least one worker");
+    ///
+    /// Fails with [`CrowdError::EmptyPool`] when `size` is zero.
+    pub fn uniform(size: usize, lo: f64, hi: f64, seed: u64) -> Result<Self, CrowdError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let accuracies: Vec<f64> = (0..size)
             .map(|_| rng.gen_range(lo.min(hi)..=hi.max(lo)))
             .collect();
         Self::new(&accuracies, seed.wrapping_add(0x9e37_79b9))
+    }
+}
+
+impl<W: AnswerModel> WorkerPool<W> {
+    /// Builds a pool from prebuilt member models (any [`AnswerModel`] —
+    /// difficulty-aware workers, adversarial workers, mixtures).
+    ///
+    /// Fails with [`CrowdError::EmptyPool`] when `workers` is empty.
+    pub fn from_workers(workers: Vec<W>) -> Result<Self, CrowdError> {
+        if workers.is_empty() {
+            return Err(CrowdError::EmptyPool);
+        }
+        Ok(Self { workers, cursor: 0 })
     }
 
     /// Number of workers.
@@ -120,17 +194,41 @@ impl WorkerPool {
     pub fn is_empty(&self) -> bool {
         false
     }
-}
 
-impl AnswerModel for WorkerPool {
-    fn answer(&mut self, q: &Question, truth: bool) -> bool {
+    /// Advances the round-robin cursor and returns the selected worker's
+    /// index.
+    fn next_index(&mut self) -> usize {
         let idx = self.cursor;
         self.cursor = (self.cursor + 1) % self.workers.len();
+        idx
+    }
+}
+
+impl<W: AnswerModel> AnswerModel for WorkerPool<W> {
+    fn answer(&mut self, q: &Question, truth: bool) -> bool {
+        let idx = self.next_index();
         self.workers[idx].answer(q, truth)
     }
 
     fn accuracy(&self) -> f64 {
         self.workers.iter().map(|w| w.accuracy()).sum::<f64>() / self.workers.len() as f64
+    }
+
+    /// Forwards the gap to the selected member. (Regression: the pool used
+    /// to route `answer_with_gap` through `answer`, silently dropping the
+    /// gap at the pool boundary — a pool of difficulty-aware workers
+    /// behaved like its asymptotic-accuracy caricature.)
+    fn answer_with_gap(&mut self, q: &Question, truth: bool, gap: f64) -> bool {
+        let idx = self.next_index();
+        self.workers[idx].answer_with_gap(q, truth, gap)
+    }
+
+    fn vote_with_gap(&mut self, q: &Question, truth: bool, gap: f64) -> Vote {
+        let idx = self.next_index();
+        Vote {
+            worker: WorkerId(idx as u32),
+            yes: self.workers[idx].answer_with_gap(q, truth, gap),
+        }
     }
 }
 
@@ -153,13 +251,18 @@ impl DifficultyWorker {
     /// Creates a difficulty-aware worker. `eta_max` is the accuracy on
     /// well-separated pairs (clamped to `[0.5, 1]`); `scale > 0` is the
     /// score gap at which ~63% of the accuracy headroom is reached.
-    pub fn new(eta_max: f64, scale: f64, seed: u64) -> Self {
-        assert!(scale > 0.0, "difficulty scale must be positive");
-        Self {
+    ///
+    /// Fails with [`CrowdError::InvalidDifficultyScale`] when `scale` is
+    /// not positive and finite.
+    pub fn new(eta_max: f64, scale: f64, seed: u64) -> Result<Self, CrowdError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(CrowdError::InvalidDifficultyScale);
+        }
+        Ok(Self {
             eta_max: eta_max.clamp(0.5, 1.0),
             scale,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Accuracy on a pair with true score gap `gap`.
@@ -229,8 +332,20 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_worker_can_be_systematically_wrong() {
+        let mut w = NoisyWorker::adversarial(0.1, 3);
+        assert_eq!(w.accuracy(), 0.1);
+        assert_eq!(NoisyWorker::adversarial(-0.2, 0).accuracy(), 0.0);
+        assert_eq!(NoisyWorker::adversarial(1.2, 0).accuracy(), 1.0);
+        const N: usize = 20_000;
+        let correct = (0..N).filter(|_| w.answer(&q(), true)).count();
+        let rate = correct as f64 / N as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
     fn pool_round_robin_and_average_accuracy() {
-        let mut pool = WorkerPool::new(&[1.0, 0.5], 7);
+        let mut pool = WorkerPool::new(&[1.0, 0.5], 7).expect("non-empty");
         assert_eq!(pool.len(), 2);
         assert!(!pool.is_empty());
         assert!((pool.accuracy() - 0.75).abs() < 1e-12);
@@ -240,16 +355,81 @@ mod tests {
     }
 
     #[test]
+    fn empty_pools_are_errors_not_aborts() {
+        assert_eq!(WorkerPool::new(&[], 0).unwrap_err(), CrowdError::EmptyPool);
+        assert_eq!(
+            WorkerPool::uniform(0, 0.6, 0.9, 1).unwrap_err(),
+            CrowdError::EmptyPool
+        );
+        assert_eq!(
+            WorkerPool::<NoisyWorker>::from_workers(Vec::new()).unwrap_err(),
+            CrowdError::EmptyPool
+        );
+    }
+
+    #[test]
     fn uniform_pool_accuracies_in_range() {
-        let pool = WorkerPool::uniform(50, 0.6, 0.9, 3);
+        let pool = WorkerPool::uniform(50, 0.6, 0.9, 3).expect("non-empty");
         assert_eq!(pool.len(), 50);
         let avg = pool.accuracy();
         assert!(avg > 0.6 && avg < 0.9, "avg = {avg}");
     }
 
     #[test]
+    fn pool_votes_are_attributed_round_robin() {
+        let mut pool = WorkerPool::new(&[1.0, 0.5, 0.9], 7).expect("non-empty");
+        let votes: Vec<Vote> = (0..5)
+            .map(|_| pool.vote_with_gap(&q(), true, 0.2))
+            .collect();
+        let ids: Vec<u32> = votes.iter().map(|v| v.worker.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1], "round-robin attribution");
+        // The accuracy-1.0 worker (w0) always answers truthfully.
+        assert!(votes[0].yes && votes[3].yes);
+    }
+
+    #[test]
+    fn pool_forwards_gap_to_members() {
+        // Regression: `answer_with_gap` on a pool used to drop the gap, so
+        // difficulty-aware members behaved like their asymptotic selves.
+        // A pool of difficulty workers must be near-random on ties and
+        // near-eta_max on wide gaps.
+        let pool = || {
+            WorkerPool::from_workers(
+                (0..4)
+                    .map(|i| DifficultyWorker::new(0.95, 0.1, i).expect("positive scale"))
+                    .collect(),
+            )
+            .expect("non-empty")
+        };
+        const N: usize = 20_000;
+        let mut tie_pool = pool();
+        let tie_rate = (0..N)
+            .filter(|_| tie_pool.answer_with_gap(&q(), true, 0.0))
+            .count() as f64
+            / N as f64;
+        let mut wide_pool = pool();
+        let wide_rate = (0..N)
+            .filter(|_| wide_pool.answer_with_gap(&q(), true, 10.0))
+            .count() as f64
+            / N as f64;
+        assert!(
+            (tie_rate - 0.5).abs() < 0.02,
+            "ties ~ coin flip: {tie_rate}"
+        );
+        assert!(wide_rate > 0.92, "wide gaps ~ eta_max: {wide_rate}");
+        // And attribution carries the same gap-forwarding path.
+        let mut attr_pool = pool();
+        let mut plain_pool = pool();
+        for _ in 0..200 {
+            let v = attr_pool.vote_with_gap(&q(), true, 0.3);
+            let a = plain_pool.answer_with_gap(&q(), true, 0.3);
+            assert_eq!(v.yes, a, "vote_with_gap must draw like answer_with_gap");
+        }
+    }
+
+    #[test]
     fn difficulty_worker_errs_more_on_close_calls() {
-        let w = DifficultyWorker::new(0.95, 0.1, 0);
+        let w = DifficultyWorker::new(0.95, 0.1, 0).expect("positive scale");
         assert!(
             (w.accuracy_at(0.0) - 0.5).abs() < 1e-12,
             "ties are coin flips"
@@ -259,7 +439,7 @@ mod tests {
         assert_eq!(w.accuracy(), 0.95);
 
         // Empirical check at a fixed gap.
-        let mut w = DifficultyWorker::new(0.9, 0.1, 7);
+        let mut w = DifficultyWorker::new(0.9, 0.1, 7).expect("positive scale");
         let expect = w.accuracy_at(0.1);
         const N: usize = 20_000;
         let correct = (0..N)
@@ -274,12 +454,20 @@ mod tests {
         let mut w = PerfectWorker;
         assert!(w.answer_with_gap(&q(), true, 0.0));
         assert!(!w.answer_with_gap(&q(), false, 0.0));
+        let v = w.vote_with_gap(&q(), true, 0.0);
+        assert_eq!(v.worker, WorkerId::SOLO);
+        assert!(v.yes);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn difficulty_scale_must_be_positive() {
-        let _ = DifficultyWorker::new(0.9, 0.0, 0);
+    fn difficulty_scale_must_be_positive_and_finite() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                DifficultyWorker::new(0.9, bad, 0).unwrap_err(),
+                CrowdError::InvalidDifficultyScale,
+                "scale {bad} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -289,5 +477,11 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.answer(&q(), true), b.answer(&q(), true));
         }
+    }
+
+    #[test]
+    fn worker_id_display() {
+        assert_eq!(format!("{}", WorkerId(3)), "w3");
+        assert_eq!(WorkerId::SOLO, WorkerId(0));
     }
 }

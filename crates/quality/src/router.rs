@@ -1,0 +1,114 @@
+//! Margin-aware question routing: spend experts where the belief is
+//! tight.
+//!
+//! The engine's pairwise prior `p = P(t_i ≻ t_j)` prices how much a
+//! crowd answer is worth: at margin `|2p − 1| ≈ 1` the answer is nearly
+//! known already and a cheap worker panel merely confirms it, while at
+//! margin ≈ 0 the answer flips a genuinely uncertain comparison and
+//! deserves the highest-posterior workers the roster has. The router
+//! maps that margin to a [`RouteHint`] the quality crowd honors when
+//! selecting panels under its [`ctk_crowd::CostModel`] pricing.
+
+use crate::error::QualityError;
+use ctk_crowd::RouteHint;
+
+/// Maps belief margins to routing hints via two thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuestionRouter {
+    narrow_below: f64,
+    wide_above: f64,
+}
+
+impl QuestionRouter {
+    /// Creates a router: margins below `narrow_below` route to experts,
+    /// margins at or above `wide_above` to cheap workers, the band in
+    /// between is left to the backend's default rotation.
+    ///
+    /// Fails with [`QualityError::InvalidThreshold`] unless
+    /// `0 <= narrow_below <= wide_above <= 1` and both are finite.
+    pub fn new(narrow_below: f64, wide_above: f64) -> Result<Self, QualityError> {
+        let valid = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
+        if !valid(narrow_below) || !valid(wide_above) || narrow_below > wide_above {
+            return Err(QualityError::InvalidThreshold);
+        }
+        Ok(Self {
+            narrow_below,
+            wide_above,
+        })
+    }
+
+    /// The default policy: experts below margin 0.3, cheap workers from
+    /// margin 0.7 up.
+    pub fn standard() -> Self {
+        Self {
+            narrow_below: 0.3,
+            wide_above: 0.7,
+        }
+    }
+
+    /// Routes a belief margin `|2p − 1|` (clamped to `[0, 1]`; NaN is
+    /// treated as zero margin, i.e. maximal uncertainty).
+    pub fn hint(&self, margin: f64) -> RouteHint {
+        let m = if margin.is_nan() {
+            0.0
+        } else {
+            margin.clamp(0.0, 1.0)
+        };
+        if m < self.narrow_below {
+            RouteHint::Expert
+        } else if m >= self.wide_above {
+            RouteHint::Cheap
+        } else {
+            RouteHint::Any
+        }
+    }
+
+    /// The expert threshold.
+    pub fn narrow_below(&self) -> f64 {
+        self.narrow_below
+    }
+
+    /// The cheap threshold.
+    pub fn wide_above(&self) -> f64 {
+        self.wide_above
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_validated() {
+        assert!(QuestionRouter::new(0.0, 1.0).is_ok());
+        assert!(QuestionRouter::new(0.4, 0.4).is_ok(), "empty Any band");
+        for (lo, hi) in [(0.7, 0.3), (-0.1, 0.5), (0.1, 1.5), (f64::NAN, 0.5)] {
+            assert_eq!(
+                QuestionRouter::new(lo, hi).unwrap_err(),
+                QualityError::InvalidThreshold,
+                "({lo}, {hi}) must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn margins_route_by_band() {
+        let r = QuestionRouter::standard();
+        assert_eq!(r.hint(0.0), RouteHint::Expert);
+        assert_eq!(r.hint(0.29), RouteHint::Expert);
+        assert_eq!(r.hint(0.3), RouteHint::Any);
+        assert_eq!(r.hint(0.5), RouteHint::Any);
+        assert_eq!(r.hint(0.7), RouteHint::Cheap);
+        assert_eq!(r.hint(1.0), RouteHint::Cheap);
+        assert!((r.narrow_below() - 0.3).abs() < 1e-12);
+        assert!((r.wide_above() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_margins_are_safe() {
+        let r = QuestionRouter::standard();
+        assert_eq!(r.hint(f64::NAN), RouteHint::Expert, "unknown = uncertain");
+        assert_eq!(r.hint(-3.0), RouteHint::Expert);
+        assert_eq!(r.hint(7.0), RouteHint::Cheap);
+    }
+}

@@ -16,7 +16,7 @@
 //! lossless.
 
 use crate::registry::SessionId;
-use ctk_crowd::{Answer, Crowd, Question};
+use ctk_crowd::{Answer, Crowd, Question, RouteHint};
 use std::collections::BTreeMap;
 
 /// One remembered crowd verdict.
@@ -140,6 +140,10 @@ pub struct RoundStats {
     pub cache_hits: u64,
     /// Questions that could not be served (crowd exhausted, no cache).
     pub unanswered: u64,
+    /// Live questions routed to expert panels (narrow belief margin).
+    pub routed_expert: u64,
+    /// Live questions routed to cheap panels (wide belief margin).
+    pub routed_cheap: u64,
 }
 
 /// Resolves one round of batched questions against the cache first and
@@ -156,12 +160,30 @@ pub fn resolve_round<C: Crowd>(
     crowd: &mut C,
     cache: &mut AnswerCache,
 ) -> (Vec<SessionAnswers>, RoundStats) {
+    let routed: Vec<(SessionId, Vec<(Question, RouteHint)>)> = requests
+        .iter()
+        .map(|(id, qs)| (*id, qs.iter().map(|q| (*q, RouteHint::Any)).collect()))
+        .collect();
+    resolve_round_routed(&routed, crowd, cache)
+}
+
+/// Like [`resolve_round`] but with a per-question [`RouteHint`] attached
+/// by the caller's routing policy (see `QuestionRouter` in
+/// `ctk-quality`). Hints only reach the crowd on live purchases — a
+/// cache hit costs nothing regardless of routing — and hint-blind
+/// backends fall back to plain [`Crowd::ask`] via the trait default, so
+/// an all-`Any` request list is exactly [`resolve_round`].
+pub fn resolve_round_routed<C: Crowd>(
+    requests: &[(SessionId, Vec<(Question, RouteHint)>)],
+    crowd: &mut C,
+    cache: &mut AnswerCache,
+) -> (Vec<SessionAnswers>, RoundStats) {
     let mut out = Vec::with_capacity(requests.len());
     let mut stats = RoundStats::default();
     for (id, questions) in requests {
         let mut answers = Vec::with_capacity(questions.len());
         let mut hits = 0;
-        for q in questions {
+        for (q, hint) in questions {
             if let Some((ans, accuracy)) = cache.get(*q) {
                 hits += 1;
                 answers.push(ServedAnswer {
@@ -169,8 +191,13 @@ pub fn resolve_round<C: Crowd>(
                     accuracy,
                     cached: true,
                 });
-            } else if let Some(ans) = crowd.ask(*q) {
+            } else if let Some(ans) = crowd.ask_routed(*q, *hint) {
                 stats.crowd_questions += 1;
+                match hint {
+                    RouteHint::Expert => stats.routed_expert += 1,
+                    RouteHint::Cheap => stats.routed_cheap += 1,
+                    RouteHint::Any => {}
+                }
                 let accuracy = crowd.answer_accuracy();
                 cache.insert(ans, accuracy);
                 answers.push(ServedAnswer {

@@ -44,6 +44,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use batcher::{AnswerCache, RoundStats, ServedAnswer, SessionAnswers};
+pub use ctk_quality::QuestionRouter;
 pub use metrics::ServiceMetrics;
 pub use registry::{Registry, SessionId, SessionSpec, SessionState};
 pub use scheduler::Scheduler;

@@ -25,6 +25,11 @@ pub struct ServiceMetrics {
     pub crowd_questions: u64,
     /// Answers served from the cross-session answer cache.
     pub cache_hits: u64,
+    /// Live questions hinted to expert panels (narrow belief margin;
+    /// stays 0 without a configured `QuestionRouter`).
+    pub routed_expert: u64,
+    /// Live questions hinted to cheap panels (wide belief margin).
+    pub routed_cheap: u64,
     /// Wall time spent inside `tick` (selection, crowd calls, updates).
     pub serving_time: Duration,
     latency_sum: Duration,
@@ -90,6 +95,7 @@ impl ServiceMetrics {
             "sessions: {} submitted, {} completed, {} failed, {} starved | \
              rounds: {} ({} worker threads) | \
              answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
+             routing: {} expert, {} cheap | \
              throughput: {:.0} answers/s, {:.1} sessions/s | latency avg {:?} max {:?}",
             self.submitted,
             self.completed,
@@ -101,6 +107,8 @@ impl ServiceMetrics {
             self.crowd_questions,
             self.cache_hits,
             100.0 * self.cache_hit_rate(),
+            self.routed_expert,
+            self.routed_cheap,
             self.answers_per_sec(),
             self.sessions_per_sec(),
             self.avg_latency().unwrap_or_default(),

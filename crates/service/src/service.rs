@@ -15,16 +15,17 @@
 //! any worker thread count (pinned by tests and the `many_tenants`
 //! suite).
 
-use crate::batcher::{resolve_round, AnswerCache, SessionAnswers};
+use crate::batcher::{resolve_round_routed, AnswerCache, SessionAnswers};
 use crate::metrics::ServiceMetrics;
 use crate::registry::{Registry, SessionEntry, SessionId, SessionSpec, SessionState};
 use crate::scheduler::Scheduler;
 use ctk_core::driver::{DriverStatus, SessionDriver};
 use ctk_core::session::UrReport;
 use ctk_core::{CoreError, Result};
-use ctk_crowd::{Crowd, Question};
+use ctk_crowd::{Crowd, Question, RouteHint};
 use ctk_prob::compare::PairwiseMatrix;
 use ctk_prob::UncertainTable;
+use ctk_quality::QuestionRouter;
 use ctk_rank::RankList;
 use std::sync::Arc;
 use std::time::Instant;
@@ -108,6 +109,13 @@ pub struct TopKService<C: Crowd> {
     /// sweep-line fast path (DESIGN.md §10), so even the first tenant on
     /// a table pays milliseconds, not the old per-pair quadratures.
     pairwise_cache: Vec<(UncertainTable, Arc<PairwiseMatrix>)>,
+    /// Optional belief-margin routing policy: when set, each live
+    /// question carries a [`RouteHint`] derived from the asking session's
+    /// current belief margin, which hint-aware crowds (e.g.
+    /// `ctk_quality::QualityCrowd`) use to pick cheap vs expert panels.
+    /// Hint-blind crowds ignore it, so routing never changes verdicts on
+    /// the plain simulator.
+    router: Option<QuestionRouter>,
 }
 
 impl<C: Crowd> TopKService<C> {
@@ -125,6 +133,7 @@ impl<C: Crowd> TopKService<C> {
             metrics,
             threads,
             pairwise_cache: Vec::new(),
+            router: None,
         }
     }
 
@@ -151,6 +160,21 @@ impl<C: Crowd> TopKService<C> {
     /// Worker threads the round loop shards over.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Routes live questions by belief margin (builder style): questions
+    /// the asking session is still torn about (margin below the router's
+    /// narrow threshold) are hinted [`RouteHint::Expert`], near-settled
+    /// ones [`RouteHint::Cheap`]. Only crowds that implement
+    /// [`Crowd::ask_routed`] beyond the default act on the hints.
+    pub fn with_router(mut self, router: QuestionRouter) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// The configured routing policy, if any.
+    pub fn router(&self) -> Option<&QuestionRouter> {
+        self.router.as_ref()
     }
 
     /// Registers a session over `table`. The TPO (or world sample) is
@@ -240,7 +264,12 @@ impl<C: Crowd> TopKService<C> {
 
         // Merge: per-shard question demand funnels into one request list
         // in plan order; lifecycle transitions happen here, sequentially.
-        let mut requests: Vec<(SessionId, Vec<Question>)> = Vec::with_capacity(planned.len());
+        // When a router is configured, each question is tagged with the
+        // hint its session's *current* belief margin implies — computed
+        // here, before any of this round's answers move the belief.
+        let router = self.router;
+        let mut requests: Vec<(SessionId, Vec<(Question, RouteHint)>)> =
+            Vec::with_capacity(planned.len());
         for (id, batch) in planned.iter().copied().zip(gathered) {
             match batch {
                 Ok(batch) if batch.is_empty() => {
@@ -248,11 +277,26 @@ impl<C: Crowd> TopKService<C> {
                     outcome.finished += 1;
                 }
                 Ok(batch) => {
-                    self.registry
-                        .get_mut(id)
-                        .expect("scheduled id exists") // ctk-allow(panic-unwrap): plan ids come from the registry this round
-                        .state = SessionState::AwaitingAnswers;
-                    requests.push((id, batch));
+                    let entry = self.registry.get_mut(id).expect("scheduled id exists"); // ctk-allow(panic-unwrap): plan ids come from the registry this round
+                    entry.state = SessionState::AwaitingAnswers;
+                    let hinted: Vec<(Question, RouteHint)> = match &router {
+                        Some(r) => {
+                            let driver = entry
+                                .driver
+                                .as_ref()
+                                // ctk-allow(panic-unwrap): awaiting entries always hold a driver (set two lines up)
+                                .expect("awaiting session has driver");
+                            batch
+                                .into_iter()
+                                .map(|q| {
+                                    let hint = r.hint(driver.question_margin(&q));
+                                    (q, hint)
+                                })
+                                .collect()
+                        }
+                        None => batch.into_iter().map(|q| (q, RouteHint::Any)).collect(),
+                    };
+                    requests.push((id, hinted));
                 }
                 Err(err) => {
                     self.fail(id, err);
@@ -265,7 +309,7 @@ impl<C: Crowd> TopKService<C> {
         // cache-first, crowd-second. The single crowd walk in plan order
         // keeps budget accounting and cache population identical to the
         // sequential loop regardless of how the other phases shard.
-        let (served, stats) = resolve_round(&requests, &mut self.crowd, &mut self.cache);
+        let (served, stats) = resolve_round_routed(&requests, &mut self.crowd, &mut self.cache);
 
         // Feed phase (sharded): apply each session's answers, each with
         // the accuracy it was actually bought at (a cached answer keeps
@@ -314,6 +358,8 @@ impl<C: Crowd> TopKService<C> {
         self.metrics.answers_served += stats.answers_served;
         self.metrics.crowd_questions += stats.crowd_questions;
         self.metrics.cache_hits += stats.cache_hits;
+        self.metrics.routed_expert += stats.routed_expert;
+        self.metrics.routed_cheap += stats.routed_cheap;
         self.metrics.serving_time += t0.elapsed();
         outcome
     }
@@ -854,6 +900,85 @@ mod tests {
         assert!(
             !served_b.same_outcome(&flattened),
             "uniform 0.7 grading must be distinguishable, or the test is vacuous"
+        );
+    }
+
+    #[test]
+    fn routing_is_invisible_to_hint_blind_crowds() {
+        // The plain simulator ignores hints (trait default), so a routed
+        // service must produce bit-identical reports to an unrouted one —
+        // routing only annotates, the backend decides whether to act.
+        let run = |router: Option<QuestionRouter>| {
+            let mut svc = service(1000);
+            if let Some(r) = router {
+                svc = svc.with_router(r);
+            }
+            let a = svc
+                .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+                .unwrap();
+            let b = svc
+                .submit(&table(), SessionSpec::new(config(Algorithm::TbOff, 1)))
+                .unwrap();
+            svc.run_to_completion();
+            let reports = vec![
+                svc.report(a).unwrap().clone(),
+                svc.report(b).unwrap().clone(),
+            ];
+            (reports, svc.metrics().clone())
+        };
+        let (plain, plain_m) = run(None);
+        // Thresholds (1, 1): every live question is hinted — sub-certain
+        // margins go Expert, fully settled pairs Cheap — so the counter
+        // arithmetic is exact: expert + cheap = live questions.
+        let (routed, routed_m) = run(Some(QuestionRouter::new(1.0, 1.0).unwrap()));
+        for (t, (x, y)) in plain.iter().zip(&routed).enumerate() {
+            assert!(x.same_outcome(y), "tenant {t} diverged under routing");
+        }
+        assert_eq!(plain_m.routed_expert + plain_m.routed_cheap, 0);
+        assert_eq!(
+            routed_m.routed_expert + routed_m.routed_cheap,
+            routed_m.crowd_questions,
+            "with thresholds (1,1) every live ask carries a hint"
+        );
+        assert!(routed_m.routed_expert > 0, "uncertain pairs must exist");
+        assert!(routed_m.summary().contains("expert"));
+    }
+
+    #[test]
+    fn routed_service_completes_on_a_quality_crowd() {
+        use ctk_quality::{QualityConfig, QualityCrowd, WorkerSpec};
+        // End-to-end: a hint-aware quality crowd (cheap spammers, pricey
+        // experts) behind the router. The session must complete, spend
+        // live budget, and have its wide-margin questions routed cheap.
+        let specs = vec![
+            WorkerSpec::new(0.97).with_cost(5),
+            WorkerSpec::new(0.95).with_cost(5),
+            WorkerSpec::new(0.9).with_cost(5),
+            WorkerSpec::new(0.55),
+            WorkerSpec::new(0.55),
+            WorkerSpec::new(0.5),
+        ];
+        let truth = GroundTruth::sample(&table(), 99);
+        let crowd = QualityCrowd::new(truth, &specs, QualityConfig::weighted(3), 10_000, 13)
+            .expect("valid roster");
+        // Thresholds (0.5, 0.5): an empty Any band, so every live ask is
+        // decisively routed and the counter assertion below is exact.
+        let mut svc = TopKService::new(crowd).with_router(QuestionRouter::new(0.5, 0.5).unwrap());
+        let id = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 3)))
+            .unwrap();
+        svc.run_to_completion();
+        assert_eq!(svc.state(id), Some(SessionState::Done));
+        assert!(svc.crowd().asked() > 0, "live questions were purchased");
+        assert_eq!(
+            svc.metrics().crowd_questions,
+            svc.crowd().asked(),
+            "service accounting must match the backend's"
+        );
+        assert_eq!(
+            svc.metrics().routed_cheap + svc.metrics().routed_expert,
+            svc.metrics().crowd_questions,
+            "an empty Any band routes every live ask decisively"
         );
     }
 }

@@ -15,9 +15,10 @@
 //! | [`rank`] | rank lists, top-K Kendall / footrule distances, weighted tournaments, optimal rank aggregation |
 //! | [`tpo`] | the tree of possible orderings: construction engines, pruning, Bayesian updates |
 //! | [`crowd`] | questions, workers, vote aggregation, budget ledger, crowd simulator |
-//! | [`datagen`] | synthetic datasets and the paper's experiment scenarios |
+//! | [`quality`] | per-worker accuracy estimation (Beta posteriors, Dawid–Skene EM), spammer gates, accuracy-weighted vote fusion, margin-aware question routing |
+//! | [`datagen`] | synthetic datasets, the paper's experiment scenarios, and crowd roster presets |
 //! | [`core`] | uncertainty measures, expected residual uncertainty, question-selection strategies, the sans-IO session driver, the UR session |
-//! | [`service`] | multi-session serving: registry, scheduler, cross-session question batching with an answer cache |
+//! | [`service`] | multi-session serving: registry, scheduler, cross-session question batching with an answer cache, belief-margin routing |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@ pub use ctk_core as core;
 pub use ctk_crowd as crowd;
 pub use ctk_datagen as datagen;
 pub use ctk_prob as prob;
+pub use ctk_quality as quality;
 pub use ctk_rank as rank;
 pub use ctk_service as service;
 pub use ctk_tpo as tpo;
@@ -58,6 +60,7 @@ pub use ctk_tpo as tpo;
 pub mod prelude {
     pub use ctk_core::prelude::*;
     pub use ctk_prob::{ScoreDist, TupleId, UncertainTable};
+    pub use ctk_quality::{QualityConfig, QualityCrowd, QuestionRouter, WorkerSpec};
     pub use ctk_rank::RankList;
     pub use ctk_service::{SessionSpec, SessionState, TopKService};
     pub use ctk_tpo::{PathSet, Tpo};

@@ -108,7 +108,7 @@ fn difficulty_workers_degrade_gracefully() {
             if is_diff {
                 let mut crowd = CrowdSimulator::new(
                     GroundTruth::sample(&table, 900 + run),
-                    DifficultyWorker::new(0.9, 0.05, run),
+                    DifficultyWorker::new(0.9, 0.05, run).expect("positive scale"),
                     VotePolicy::Single,
                     B,
                 )

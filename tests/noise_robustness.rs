@@ -94,7 +94,7 @@ fn heterogeneous_pools_work() {
     let top = truth.top_k(scenario.k);
     let mut crowd = CrowdSimulator::new(
         GroundTruth::sample(&scenario.table, 8),
-        WorkerPool::uniform(20, 0.65, 0.95, 3),
+        WorkerPool::uniform(20, 0.65, 0.95, 3).expect("non-empty pool"),
         VotePolicy::Single,
         15,
     )
