@@ -273,6 +273,9 @@ mod tests {
     #[test]
     fn scope_classification() {
         assert!(rule_set_for("crates/tpo/src/worlds.rs").determinism);
+        assert!(rule_set_for("crates/tpo/src/precision.rs").determinism);
+        assert!(rule_set_for("crates/tpo/src/precision.rs").float);
+        assert!(rule_set_for("crates/prob/src/bounds.rs").panic);
         assert!(rule_set_for("crates/quality/src/estimator.rs").determinism);
         assert!(rule_set_for("crates/quality/src/crowd.rs").panic);
         assert!(!rule_set_for("crates/quality/tests/x.rs").panic);

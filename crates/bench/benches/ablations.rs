@@ -28,15 +28,7 @@ fn quick(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallT
 fn bench_partition_vs_bruteforce(c: &mut Criterion) {
     let scenario = scenarios::measures(0);
     let pairwise = PairwiseMatrix::compute(&scenario.table);
-    let ps = build_mc(
-        &scenario.table,
-        scenario.k,
-        &McConfig {
-            worlds: 2_000,
-            seed: 0,
-        },
-    )
-    .unwrap();
+    let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(2_000, 0)).unwrap();
     let measure = MeasureKind::WeightedEntropy.build();
     let ctx = ResidualCtx {
         measure: measure.as_ref(),
@@ -61,7 +53,7 @@ fn bench_mc_worlds(c: &mut Criterion) {
     quick(&mut group);
     for worlds in [1_000usize, 10_000, 50_000] {
         group.bench_with_input(BenchmarkId::from_parameter(worlds), &worlds, |b, &w| {
-            b.iter(|| build_mc(&table, 5, &McConfig { worlds: w, seed: 0 }).unwrap())
+            b.iter(|| build_mc(&table, 5, &McConfig::fixed(w, 0)).unwrap())
         });
     }
     group.finish();
@@ -69,15 +61,7 @@ fn bench_mc_worlds(c: &mut Criterion) {
 
 fn bench_ora_exact_vs_heuristic(c: &mut Criterion) {
     let scenario = scenarios::fig1(0);
-    let ps = build_mc(
-        &scenario.table,
-        scenario.k,
-        &McConfig {
-            worlds: 5_000,
-            seed: 0,
-        },
-    )
-    .unwrap();
+    let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(5_000, 0)).unwrap();
     let t = Tournament::from_weighted_lists(&ps.to_weighted_lists());
     let mut group = c.benchmark_group("ora");
     quick(&mut group);

@@ -28,7 +28,7 @@ fn table(n: usize) -> UncertainTable {
 }
 
 fn bench_belief(c: &mut Criterion) {
-    const WORLDS: usize = 10_000;
+    const WORLDS: usize = ctk_tpo::DEFAULT_WORLDS;
     const N: usize = 200;
     let t = table(N);
     let wm = WorldModel::sample(&t, WORLDS, 7).expect("worlds > 0");
@@ -99,10 +99,7 @@ fn bench_builders(c: &mut Criterion) {
     g.finish();
 
     let t = table(50);
-    let cfg = McConfig {
-        worlds: 20_000,
-        seed: 5,
-    };
+    let cfg = McConfig::fixed(20_000, 5);
     let mut g = c.benchmark_group("build_mc");
     g.sample_size(10);
     g.bench_function("parallel", |b| {
@@ -122,15 +119,7 @@ fn bench_residual(c: &mut Criterion) {
         measure: measure.as_ref(),
         pairwise: &pw,
     };
-    let ps = build_mc(
-        &t,
-        4,
-        &McConfig {
-            worlds: 4000,
-            seed: 2,
-        },
-    )
-    .unwrap();
+    let ps = build_mc(&t, 4, &McConfig::fixed(4000, 2)).unwrap();
     let qs: Vec<_> = relevant_questions(&ps, &ctx).into_iter().take(3).collect();
 
     let mut g = c.benchmark_group("residual_partition");

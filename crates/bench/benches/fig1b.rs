@@ -13,15 +13,7 @@ use std::time::Duration;
 fn bench_selection(c: &mut Criterion) {
     let scenario = scenarios::fig1(0);
     let pairwise = PairwiseMatrix::compute(&scenario.table);
-    let ps = build_mc(
-        &scenario.table,
-        scenario.k,
-        &McConfig {
-            worlds: 2_000,
-            seed: 0,
-        },
-    )
-    .unwrap();
+    let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(2_000, 0)).unwrap();
     let measure = MeasureKind::WeightedEntropy.build();
     let ctx = ResidualCtx {
         measure: measure.as_ref(),

@@ -9,15 +9,7 @@ use std::time::Duration;
 
 fn bench_measures(c: &mut Criterion) {
     let scenario = scenarios::fig1(0);
-    let ps = build_mc(
-        &scenario.table,
-        scenario.k,
-        &McConfig {
-            worlds: 5_000,
-            seed: 0,
-        },
-    )
-    .unwrap();
+    let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(5_000, 0)).unwrap();
 
     let mut group = c.benchmark_group("measures");
     group

@@ -32,10 +32,7 @@ fn tenant_config(tenant: usize) -> SessionConfig {
         budget: BUDGET,
         measure: MeasureKind::WeightedEntropy,
         algorithm,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds: 1500,
-            seed: 17,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(1500, 17)),
         seed: (tenant % 4) as u64,
         uncertainty_target: None,
     }

@@ -16,17 +16,7 @@ fn bench_builders(c: &mut Criterion) {
     for n in [10usize, 20, 40] {
         let table = generate(&DatasetSpec::paper_default(n, 0.4, 1)).expect("valid spec");
         group.bench_with_input(BenchmarkId::new("mc_10k", n), &table, |b, t| {
-            b.iter(|| {
-                build_mc(
-                    t,
-                    5,
-                    &McConfig {
-                        worlds: 10_000,
-                        seed: 0,
-                    },
-                )
-                .unwrap()
-            })
+            b.iter(|| build_mc(t, 5, &McConfig::fixed(ctk_tpo::DEFAULT_WORLDS, 0)).unwrap())
         });
         if n <= 10 {
             group.bench_with_input(BenchmarkId::new("exact", n), &table, |b, t| {

@@ -30,7 +30,7 @@ struct Sizes {
 }
 
 const FULL: Sizes = Sizes {
-    worlds: 10_000,
+    worlds: ctk_tpo::DEFAULT_WORLDS,
     n: 200,
     k: 5,
 };
@@ -141,10 +141,7 @@ fn main() {
     let pairwise = Entry::new("pairwise_compute", seq, par);
 
     // --- build_mc --------------------------------------------------------
-    let cfg = McConfig {
-        worlds: sz.worlds * 2,
-        seed: 5,
-    };
+    let cfg = McConfig::fixed(sz.worlds * 2, 5);
     let bk = sz.k.min(table.len());
     let mc_par = time_ns(preps, || {
         build_mc_with_threads(&table, bk, &cfg, 0).unwrap().len()
@@ -172,10 +169,7 @@ fn main() {
     let ps = build_mc_with_threads(
         &rtable,
         4,
-        &McConfig {
-            worlds: if smoke { 1000 } else { 4000 },
-            seed: 2,
-        },
+        &McConfig::fixed(if smoke { 1000 } else { 4000 }, 2),
         0,
     )
     .unwrap();

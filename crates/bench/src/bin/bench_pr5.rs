@@ -38,7 +38,7 @@ struct Sizes {
 }
 
 const FULL: Sizes = Sizes {
-    worlds: 10_000,
+    worlds: ctk_tpo::DEFAULT_WORLDS,
     n: 200,
     k: 5,
     reps: 3,
@@ -101,19 +101,18 @@ fn main() {
     let pairwise = Entry::new("pairwise_compute", ref_t, new_t);
 
     // --- Monte-Carlo build -----------------------------------------------
-    let cfg = McConfig {
-        worlds: sz.worlds,
-        seed: 5,
-    };
+    let cfg = McConfig::fixed(sz.worlds, 5);
     let mc_new = time_ns(sz.reps, || {
         build_mc_with_threads(&table, sz.k, &cfg, 1).unwrap().len()
     });
     let mc_ref = time_ns(sz.reps, || {
-        build_mc_reference(&table, sz.k, &cfg).unwrap().len()
+        build_mc_reference(&table, sz.k, sz.worlds, 5)
+            .unwrap()
+            .len()
     });
     assert!(
         path_sets_identical(
-            &build_mc_reference(&table, sz.k, &cfg).unwrap(),
+            &build_mc_reference(&table, sz.k, sz.worlds, 5).unwrap(),
             &build_mc_with_threads(&table, sz.k, &cfg, 1).unwrap(),
         ),
         "partial-selection build diverged from the full-sort reference"
@@ -128,7 +127,7 @@ fn main() {
     });
     let cold_ref = time_ns(sz.reps, || {
         let pw = PairwiseMatrix::compute_reference(&table);
-        let ps = build_mc_reference(&table, sz.k, &cfg).unwrap();
+        let ps = build_mc_reference(&table, sz.k, sz.worlds, 5).unwrap();
         pw.len() + ps.len()
     });
     let cold = Entry::new("cold_start", cold_ref, cold_new);

@@ -193,10 +193,7 @@ fn run_session<C: Crowd>(
         budget: sz.session_budget,
         measure: MeasureKind::WeightedEntropy,
         algorithm: Algorithm::T1On,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds: 2000,
-            seed: 7,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(2000, 7)),
         seed: rep,
         uncertainty_target: None,
     };

@@ -35,7 +35,7 @@ fn full() -> Grid {
         tenants: vec![16, 64],
         threads: vec![1, 2, 4],
         tuples: 18,
-        worlds: 10_000,
+        worlds: ctk_tpo::DEFAULT_WORLDS,
         budget: 12,
     }
 }
@@ -66,10 +66,7 @@ fn tenant_config(tenant: usize, worlds: usize, budget: usize) -> SessionConfig {
         budget,
         measure: MeasureKind::WeightedEntropy,
         algorithm,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds,
-            seed: 17 + (tenant % 4) as u64,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(worlds, 17 + (tenant % 4) as u64)),
         seed: tenant as u64,
         uncertainty_target: None,
     }

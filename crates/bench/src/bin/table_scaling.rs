@@ -36,15 +36,8 @@ fn main() {
                 let table =
                     generate(&DatasetSpec::paper_default(n, width, seed)).expect("valid spec");
                 let t = Instant::now();
-                let mc = build_mc(
-                    &table,
-                    K,
-                    &McConfig {
-                        worlds: 10_000,
-                        seed,
-                    },
-                )
-                .unwrap();
+                let mc =
+                    build_mc(&table, K, &McConfig::fixed(ctk_tpo::DEFAULT_WORLDS, seed)).unwrap();
                 mc_secs += t.elapsed().as_secs_f64();
                 mc_orderings += mc.len() as f64;
 

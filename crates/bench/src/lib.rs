@@ -98,10 +98,7 @@ pub fn evaluate<F: Fn(u64) -> Scenario>(
             budget,
             measure: opts.measure,
             algorithm: algorithm.clone(),
-            engine: Engine::MonteCarlo(McConfig {
-                worlds: opts.worlds,
-                seed: run,
-            }),
+            engine: Engine::MonteCarlo(McConfig::fixed(opts.worlds, run)),
             seed: run,
             uncertainty_target: None,
         })

@@ -45,12 +45,14 @@ use crate::select::{
 use crate::session::{Algorithm, SessionConfig, StepRecord, UrReport};
 use ctk_crowd::{Answer, Question};
 use ctk_prob::compare::PairwiseMatrix;
-use ctk_prob::UncertainTable;
+use ctk_prob::{TopKBounds, UncertainTable};
 use ctk_rank::RankList;
-use ctk_tpo::build::Engine;
+use ctk_tpo::build::{build_mc_bounded, sample_adaptive, AdaptiveSample, Engine};
 use ctk_tpo::prune::prune;
 use ctk_tpo::update::bayes_update;
-use ctk_tpo::{PathSet, TpoError, WorldModel};
+use ctk_tpo::{
+    PathSet, PrecisionReport, PrecisionTarget, StopReason, TpoError, WorldModel, DEFAULT_WORLDS,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -143,6 +145,22 @@ impl SessionDriver {
         truth: Option<&RankList>,
         pairwise: Arc<PairwiseMatrix>,
     ) -> Result<Self> {
+        Self::new_shared(config, table, truth, pairwise, None)
+    }
+
+    /// Like [`SessionDriver::new_with_pairwise`] but additionally reusing
+    /// precomputed certain/possible top-K bounds for `(table, k)` — a
+    /// serving layer caches them beside the pairwise matrix so repeat
+    /// tenants skip the O(n²) dominance scan. Bounds whose table size or
+    /// depth do not match this session are ignored (recomputed), never
+    /// trusted.
+    pub fn new_shared(
+        config: SessionConfig,
+        table: &UncertainTable,
+        truth: Option<&RankList>,
+        pairwise: Arc<PairwiseMatrix>,
+        shared_bounds: Option<Arc<TopKBounds>>,
+    ) -> Result<Self> {
         if pairwise.len() != table.len() {
             return Err(CoreError::InvalidConfig(format!(
                 "pairwise matrix covers {} tuples but the table has {}",
@@ -172,7 +190,16 @@ impl SessionDriver {
         }
         let measure = config.measure.build();
         let started = Instant::now(); // ctk-allow(det-wall-clock): timing metric for the report only; never feeds a decision
+                                      // Certain/possible top-K bounds from the pairwise comparison
+                                      // probabilities: an adaptive-precision build consults them before
+                                      // sampling a single world, and a fully pinned prefix ends the
+                                      // session with zero questions (the scores alone decide the query).
+        let bounds = match shared_bounds {
+            Some(b) if b.k() == config.k && b.len() == table.len() => b,
+            _ => Arc::new(TopKBounds::from_matrix(&pairwise, config.k).map_err(TpoError::from)?),
+        };
         let (mode, report);
+        let mut done = false;
         match &config.algorithm {
             Algorithm::Incr {
                 questions_per_round,
@@ -183,23 +210,73 @@ impl SessionDriver {
                 // back to a generously sized world sample rather than
                 // erroring, trading exactness for incr's construction
                 // savings.
-                let (worlds, seed) = match &config.engine {
-                    Engine::MonteCarlo(cfg) => (cfg.worlds, cfg.seed),
-                    Engine::Exact(_) => (20_000, config.seed),
+                let (sample, precision) = match &config.engine {
+                    Engine::MonteCarlo(mc) => match mc.precision {
+                        PrecisionTarget::Adaptive { epsilon, delta } => sample_adaptive(
+                            table,
+                            config.k,
+                            epsilon,
+                            delta,
+                            mc.seed,
+                            Some(bounds.as_ref()),
+                        )?,
+                        PrecisionTarget::FixedWorlds(m) => (
+                            AdaptiveSample::Sampled(WorldModel::sample(table, m, mc.seed)?),
+                            PrecisionReport::fixed(m),
+                        ),
+                    },
+                    Engine::Exact(_) => {
+                        let m = 2 * DEFAULT_WORLDS;
+                        (
+                            AdaptiveSample::Sampled(WorldModel::sample(table, m, config.seed)?),
+                            PrecisionReport::fixed(m),
+                        )
+                    }
                 };
-                let mut wm = WorldModel::sample(table, worlds, seed)?;
-                // Baseline numbers come from the *full-depth* tree so
-                // reports are comparable with the full-tree algorithms.
-                let initial_ps = wm.path_set_cached(config.k)?;
-                report = report_skeleton(&config, &initial_ps, measure.as_ref(), truth);
-                mode = Mode::Incr {
-                    wm,
-                    depth: 1,
-                    n_per_round: *questions_per_round,
-                };
+                match sample {
+                    AdaptiveSample::Pinned(prefix) => {
+                        // The certain bounds pinned the whole ordered
+                        // prefix: the belief is a single path, no crowd
+                        // question is relevant, and the session is done
+                        // before it starts.
+                        let ps = PathSet::from_weighted(config.k, vec![(prefix, 1.0)])?;
+                        report = report_skeleton(&config, &ps, measure.as_ref(), truth, &precision);
+                        mode = Mode::Tree {
+                            ps,
+                            sel: TreeSel::Offline { planned: true },
+                        };
+                        done = true;
+                    }
+                    AdaptiveSample::Sampled(mut wm) => {
+                        // Baseline numbers come from the *full-depth* tree
+                        // so reports are comparable with the full-tree
+                        // algorithms.
+                        let initial_ps = wm.path_set_cached(config.k)?;
+                        report = report_skeleton(
+                            &config,
+                            &initial_ps,
+                            measure.as_ref(),
+                            truth,
+                            &precision,
+                        );
+                        mode = Mode::Incr {
+                            wm,
+                            depth: 1,
+                            n_per_round: *questions_per_round,
+                        };
+                    }
+                }
             }
             algorithm => {
-                let ps = config.engine.build(table, config.k)?;
+                let (ps, precision) = match &config.engine {
+                    Engine::MonteCarlo(mc) => {
+                        build_mc_bounded(table, config.k, mc, Some(bounds.as_ref()))?
+                    }
+                    Engine::Exact(_) => (
+                        config.engine.build(table, config.k)?,
+                        PrecisionReport::exact(),
+                    ),
+                };
                 let sel = match algorithm {
                     Algorithm::T1On => TreeSel::Online(Box::new(T1On)),
                     Algorithm::AStarOn {
@@ -211,7 +288,7 @@ impl SessionDriver {
                     })),
                     _ => TreeSel::Offline { planned: false },
                 };
-                report = report_skeleton(&config, &ps, measure.as_ref(), truth);
+                report = report_skeleton(&config, &ps, measure.as_ref(), truth, &precision);
                 mode = Mode::Tree { ps, sel };
             }
         }
@@ -225,7 +302,7 @@ impl SessionDriver {
             started,
             pending: VecDeque::new(),
             outstanding: VecDeque::new(),
-            done: false,
+            done,
             mode,
         })
     }
@@ -565,6 +642,7 @@ fn report_skeleton(
     ps: &PathSet,
     measure: &dyn UncertaintyMeasure,
     truth: Option<&RankList>,
+    precision: &PrecisionReport,
 ) -> UrReport {
     UrReport {
         algorithm: config.algorithm.name(),
@@ -576,6 +654,10 @@ fn report_skeleton(
         contradictions: 0,
         resolved: ps.is_resolved(),
         final_topk: ps.most_probable().items.clone(),
+        worlds_drawn: precision.worlds_drawn,
+        achieved_epsilon: precision.epsilon,
+        precision_delta: precision.delta,
+        certain_early_stop: precision.reason == StopReason::CertainOrder,
         selection_time: Duration::ZERO,
         total_time: Duration::ZERO,
     }
@@ -605,10 +687,7 @@ mod tests {
             budget,
             measure: MeasureKind::WeightedEntropy,
             algorithm,
-            engine: Engine::MonteCarlo(McConfig {
-                worlds: 3000,
-                seed: 7,
-            }),
+            engine: Engine::MonteCarlo(McConfig::fixed(3000, 7)),
             seed: 11,
             uncertainty_target: None,
         }
@@ -861,6 +940,77 @@ mod tests {
         // scoped worker threads; keep that a compile-time guarantee.
         fn assert_send<T: Send>() {}
         assert_send::<SessionDriver>();
+    }
+
+    #[test]
+    fn adaptive_certain_early_stop_ends_session_before_any_question() {
+        // Disjoint staircase: the certain/possible bounds pin the whole
+        // top-3 prefix, so every algorithm family ends with zero worlds
+        // drawn and zero questions asked.
+        let decided = UncertainTable::new(
+            (0..6)
+                .map(|i| ScoreDist::uniform_centered(i as f64, 0.2).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        for alg in [
+            Algorithm::T1On,
+            Algorithm::TbOff,
+            Algorithm::Incr {
+                questions_per_round: 2,
+            },
+        ] {
+            let name = alg.name();
+            let mut cfg = config(alg, 8);
+            cfg.engine = Engine::MonteCarlo(McConfig::adaptive(0.02, 0.05, 7));
+            let mut d = SessionDriver::new(cfg, &decided, None).unwrap();
+            assert!(d.next_batch(8).unwrap().is_empty(), "{name}");
+            assert!(d.is_done(), "{name}");
+            let r = d.finish().unwrap();
+            assert!(r.certain_early_stop, "{name}");
+            assert_eq!(r.worlds_drawn, 0, "{name}");
+            assert_eq!(r.achieved_epsilon, Some(0.0), "{name}");
+            assert!(r.resolved, "{name}");
+            assert_eq!(r.final_topk, vec![5, 4, 3], "{name}");
+            assert!(r.steps.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sessions_report_their_achieved_precision() {
+        // Overlapping table: sampling is needed, the report carries the
+        // achieved half-width, and the session still answers questions.
+        let truth = GroundTruth::sample(&table(), 99);
+        for alg in [
+            Algorithm::T1On,
+            Algorithm::Incr {
+                questions_per_round: 2,
+            },
+        ] {
+            let name = alg.name();
+            let mut cfg = config(alg, 6);
+            cfg.engine = Engine::MonteCarlo(McConfig::adaptive(0.05, 0.05, 7));
+            let mut crowd =
+                CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 6)
+                    .expect("valid vote policy");
+            let r = drive(cfg, &table(), &mut crowd);
+            assert!(r.worlds_drawn > 0, "{name}: overlap forces sampling");
+            assert!(!r.certain_early_stop, "{name}");
+            let achieved = r.achieved_epsilon.expect("adaptive builds report a width");
+            assert!(achieved <= 0.05, "{name}: achieved {achieved}");
+            assert_eq!(r.precision_delta, Some(0.05), "{name}");
+            assert!(r.questions_asked() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn fixed_worlds_reports_compat_budget() {
+        let d = SessionDriver::new(config(Algorithm::T1On, 4), &table(), None).unwrap();
+        let r = d.report();
+        assert_eq!(r.worlds_drawn, 3000);
+        assert_eq!(r.achieved_epsilon, None);
+        assert_eq!(r.precision_delta, None);
+        assert!(!r.certain_early_stop);
     }
 
     #[test]

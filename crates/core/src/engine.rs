@@ -86,9 +86,19 @@ impl CrowdTopK {
         self
     }
 
-    /// Uses the Monte-Carlo TPO engine with `worlds` samples.
+    /// Uses the Monte-Carlo TPO engine with a fixed budget of `worlds`
+    /// samples (the historical compat mode).
     pub fn monte_carlo(mut self, worlds: usize, seed: u64) -> Self {
-        self.config.engine = Engine::MonteCarlo(McConfig { worlds, seed });
+        self.config.engine = Engine::MonteCarlo(McConfig::fixed(worlds, seed));
+        self
+    }
+
+    /// Uses the Monte-Carlo TPO engine in adaptive-precision mode: the
+    /// sample grows until every path probability is within `epsilon` of
+    /// its true value with confidence `1 − delta`, or the certain bounds
+    /// decide the query outright (zero worlds drawn).
+    pub fn adaptive_precision(mut self, epsilon: f64, delta: f64, seed: u64) -> Self {
+        self.config.engine = Engine::MonteCarlo(McConfig::adaptive(epsilon, delta, seed));
         self
     }
 

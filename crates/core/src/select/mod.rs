@@ -84,15 +84,7 @@ pub(crate) mod test_util {
         ])
         .unwrap();
         let pw = PairwiseMatrix::compute(&table);
-        let ps = build_mc(
-            &table,
-            3,
-            &McConfig {
-                worlds: 4000,
-                seed: 42,
-            },
-        )
-        .unwrap();
+        let ps = build_mc(&table, 3, &McConfig::fixed(4000, 42)).unwrap();
         (table, pw, ps)
     }
 

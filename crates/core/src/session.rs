@@ -168,6 +168,19 @@ pub struct UrReport {
     /// The reported result: the most probable ordering of the final
     /// belief.
     pub final_topk: Vec<u32>,
+    /// Possible worlds sampled to build the initial belief (0 for the
+    /// exact engine and for certain-order early stops).
+    pub worlds_drawn: usize,
+    /// Simultaneous per-path half-width achieved by the build (`None`
+    /// for fixed budgets and the exact engine, which claim no guarantee).
+    pub achieved_epsilon: Option<f64>,
+    /// Requested confidence parameter of an adaptive build (`None`
+    /// outside adaptive mode).
+    pub precision_delta: Option<f64>,
+    /// True when the certain/possible bounds pinned the whole ordered
+    /// prefix before any sampling — the session's result was decided by
+    /// the score distributions alone and no crowd questions were needed.
+    pub certain_early_stop: bool,
     /// Time spent inside question selection (the paper's Fig. 1(b) cost).
     pub selection_time: Duration,
     /// End-to-end wall time.
@@ -229,6 +242,10 @@ impl UrReport {
             && self.contradictions == other.contradictions
             && self.resolved == other.resolved
             && self.final_topk == other.final_topk
+            && self.worlds_drawn == other.worlds_drawn
+            && self.achieved_epsilon.map(f64::to_bits) == other.achieved_epsilon.map(f64::to_bits)
+            && self.precision_delta.map(f64::to_bits) == other.precision_delta.map(f64::to_bits)
+            && self.certain_early_stop == other.certain_early_stop
     }
 }
 
@@ -322,10 +339,7 @@ mod tests {
             budget,
             measure: MeasureKind::WeightedEntropy,
             algorithm,
-            engine: Engine::MonteCarlo(McConfig {
-                worlds: 4000,
-                seed: 7,
-            }),
+            engine: Engine::MonteCarlo(McConfig::fixed(4000, 7)),
             seed: 11,
             uncertainty_target: None,
         }

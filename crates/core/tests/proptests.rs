@@ -32,8 +32,7 @@ fn fixture(n: usize) -> impl Strategy<Value = (UncertainTable, PairwiseMatrix, P
             )
             .unwrap();
             let pw = PairwiseMatrix::compute(&table);
-            let ps =
-                build_mc(&table, 3.min(table.len()), &McConfig { worlds: 1500, seed }).unwrap();
+            let ps = build_mc(&table, 3.min(table.len()), &McConfig::fixed(1500, seed)).unwrap();
             (table, pw, ps)
         })
 }

@@ -29,6 +29,7 @@
 //! evaluator, and a per-distribution cache of the piecewise CDF tables
 //! ([`DistCache`]) reused across all `n−1` comparisons of a tuple.
 
+use crate::bounds::certainly_greater;
 use crate::dist::ScoreDist;
 use crate::gaussian::Gaussian;
 use crate::grid::SupportGrid;
@@ -634,6 +635,41 @@ impl PairwiseMatrix {
             }
         }
         c
+    }
+
+    /// True if the relative order of tuples `i` and `j` is decided — the
+    /// entry is saturated at (numerically) 0 or 1.
+    pub fn decided(&self, i: usize, j: usize) -> bool {
+        !self.uncertain(i, j)
+    }
+
+    /// Number of unordered pairs whose relative order is decided — the
+    /// complement of [`PairwiseMatrix::uncertain_pair_count`].
+    pub fn decided_pair_count(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2 - self.uncertain_pair_count()
+    }
+
+    /// Per-tuple certain-dominance counts: for each tuple `t`, how many
+    /// other tuples are certainly above it and how many are certainly
+    /// below it. One O(n²) scan; the input of the certain/possible top-K
+    /// bounds ([`crate::bounds::TopKBounds`]).
+    pub fn certain_dominance_counts(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut above = vec![0u32; self.n];
+        let mut below = vec![0u32; self.n];
+        for t in 0..self.n {
+            for j in 0..self.n {
+                if j == t {
+                    continue;
+                }
+                let p = self.pr(t, j);
+                if certainly_greater(p) {
+                    below[t] += 1;
+                } else if certainly_greater(1.0 - p) {
+                    above[t] += 1;
+                }
+            }
+        }
+        (above, below)
     }
 }
 

@@ -20,6 +20,13 @@ pub enum ProbError {
     RequiresContinuous(&'static str),
     /// An empty table (no tuples) was supplied where at least one is needed.
     EmptyTable,
+    /// A query depth `k` outside `1..=n` was requested.
+    InvalidK {
+        /// The requested depth.
+        k: usize,
+        /// The table size it was requested against.
+        n: usize,
+    },
 }
 
 impl fmt::Display for ProbError {
@@ -36,6 +43,12 @@ impl fmt::Display for ProbError {
                 write!(f, "operation `{op}` requires continuous distributions")
             }
             ProbError::EmptyTable => write!(f, "uncertain table must contain at least one tuple"),
+            ProbError::InvalidK { k, n } => {
+                write!(
+                    f,
+                    "query depth k = {k} out of range for a table of {n} tuples"
+                )
+            }
         }
     }
 }
@@ -65,6 +78,7 @@ mod tests {
         assert!(e.to_string().contains("prefix_probability"));
 
         assert!(ProbError::EmptyTable.to_string().contains("tuple"));
+        assert!(ProbError::InvalidK { k: 9, n: 3 }.to_string().contains("9"));
         assert!(ProbError::InvalidWeights("all zero".into())
             .to_string()
             .contains("all zero"));

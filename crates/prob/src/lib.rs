@@ -42,6 +42,7 @@
 //! assert_eq!(pr_greater(table.dist_at(2), table.dist_at(0)), 0.0);
 //! ```
 
+pub mod bounds;
 pub mod compare;
 pub mod discrete;
 pub mod dist;
@@ -58,6 +59,7 @@ pub mod special;
 pub mod table;
 pub mod uniform;
 
+pub use bounds::TopKBounds;
 pub use dist::ScoreDist;
 pub use error::{ProbError, Result};
 pub use grid::SupportGrid;

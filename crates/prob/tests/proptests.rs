@@ -2,10 +2,10 @@
 //! invariants that must hold for *any* valid parameters, not just the
 //! hand-picked cases in the unit tests.
 
-use ctk_prob::compare::{pr_greater, pr_greater_reference_res};
+use ctk_prob::compare::{pr_greater, pr_greater_reference_res, PairwiseMatrix};
 use ctk_prob::nested::prefix_probability;
 use ctk_prob::sample::{ranking_from_scores, sample_scores, top_k_prefix_into, WorldSampler};
-use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
+use ctk_prob::{ScoreDist, SupportGrid, TopKBounds, UncertainTable};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -232,6 +232,42 @@ proptest! {
         // Scores along the ranking are non-increasing.
         for w in r.windows(2) {
             prop_assert!(scores[w[0] as usize] >= scores[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn topk_bounds_bracket_every_sampled_world(
+        dists in proptest::collection::vec(moderate_dist(), 2..9),
+        seed in any::<u64>(),
+        kseed in any::<usize>(),
+    ) {
+        // PR 8 pin: the deterministic certain/possible sets derived from
+        // the pairwise matrix bracket the top-K of *every* possible world
+        // — certain tuples appear in each sampled world's top-K, and no
+        // sampled top-K member falls outside the possible set.
+        let table = UncertainTable::new(dists).unwrap();
+        let k = kseed % table.len() + 1;
+        let bounds = TopKBounds::from_matrix(&PairwiseMatrix::compute(&table), k).unwrap();
+        prop_assert!(bounds.certain().len() <= k);
+        prop_assert!(bounds.possible().len() >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = Vec::new();
+        let mut prefix = vec![0u32; k];
+        for _ in 0..64 {
+            let scores = sample_scores(&table, &mut rng);
+            top_k_prefix_into(&scores, &mut ids, &mut prefix);
+            for &c in bounds.certain() {
+                prop_assert!(
+                    prefix.contains(&c),
+                    "certain tuple t{} missing from a sampled top-{}", c, k
+                );
+            }
+            for &t in &prefix {
+                prop_assert!(
+                    bounds.is_possibly_in(t as usize),
+                    "sampled top-{} member t{} outside the possible set", k, t
+                );
+            }
         }
     }
 

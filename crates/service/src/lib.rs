@@ -45,6 +45,7 @@ pub mod service;
 
 pub use batcher::{AnswerCache, RoundStats, ServedAnswer, SessionAnswers};
 pub use ctk_quality::QuestionRouter;
+pub use ctk_tpo::{PrecisionTarget, StopReason};
 pub use metrics::ServiceMetrics;
 pub use registry::{Registry, SessionId, SessionSpec, SessionState};
 pub use scheduler::Scheduler;

@@ -30,6 +30,14 @@ pub struct ServiceMetrics {
     pub routed_expert: u64,
     /// Live questions hinted to cheap panels (wide belief margin).
     pub routed_cheap: u64,
+    /// Possible worlds sampled across all completed sessions' initial
+    /// builds (adaptive builds draw fewer on easy tables; certain-order
+    /// early stops draw zero).
+    pub worlds_drawn: u64,
+    /// Completed sessions whose certain/possible bounds pinned the whole
+    /// ordered prefix before sampling — decided without any crowd
+    /// questions or worlds.
+    pub certain_early_stops: u64,
     /// Wall time spent inside `tick` (selection, crowd calls, updates).
     pub serving_time: Duration,
     latency_sum: Duration,
@@ -96,6 +104,7 @@ impl ServiceMetrics {
              rounds: {} ({} worker threads) | \
              answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
              routing: {} expert, {} cheap | \
+             precision: {} worlds drawn, {} certain early stops | \
              throughput: {:.0} answers/s, {:.1} sessions/s | latency avg {:?} max {:?}",
             self.submitted,
             self.completed,
@@ -109,6 +118,8 @@ impl ServiceMetrics {
             100.0 * self.cache_hit_rate(),
             self.routed_expert,
             self.routed_cheap,
+            self.worlds_drawn,
+            self.certain_early_stops,
             self.answers_per_sec(),
             self.sessions_per_sec(),
             self.avg_latency().unwrap_or_default(),

@@ -10,6 +10,7 @@ use ctk_core::driver::SessionDriver;
 use ctk_core::session::{SessionConfig, UrReport};
 use ctk_core::CoreError;
 use ctk_crowd::BudgetLedger;
+use ctk_tpo::PrecisionTarget;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,11 @@ pub struct SessionSpec {
     pub config: SessionConfig,
     /// Scheduling priority; higher is more urgent. Default 0.
     pub priority: u8,
+    /// Optional per-tenant precision override for the Monte-Carlo engine:
+    /// when set, it replaces the engine's own [`PrecisionTarget`] at
+    /// submit time (a tenant on an exact engine is unaffected). `None`
+    /// keeps whatever the config's engine specifies.
+    pub precision: Option<PrecisionTarget>,
 }
 
 impl SessionSpec {
@@ -53,12 +59,19 @@ impl SessionSpec {
         Self {
             config,
             priority: 0,
+            precision: None,
         }
     }
 
     /// Sets the scheduling priority.
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Overrides the Monte-Carlo precision target for this tenant.
+    pub fn with_precision(mut self, precision: PrecisionTarget) -> Self {
+        self.precision = Some(precision);
         self
     }
 }

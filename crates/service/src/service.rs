@@ -24,9 +24,10 @@ use ctk_core::session::UrReport;
 use ctk_core::{CoreError, Result};
 use ctk_crowd::{Crowd, Question, RouteHint};
 use ctk_prob::compare::PairwiseMatrix;
-use ctk_prob::UncertainTable;
+use ctk_prob::{TopKBounds, UncertainTable};
 use ctk_quality::QuestionRouter;
 use ctk_rank::RankList;
+use ctk_tpo::build::Engine;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +49,14 @@ impl RoundOutcome {
     pub fn progressed(&self) -> bool {
         self.scheduled > 0
     }
+}
+
+/// One served table's shared derived state: the pairwise matrix plus the
+/// certain/possible top-K bounds per query depth seen so far.
+struct TableCacheEntry {
+    table: UncertainTable,
+    pairwise: Arc<PairwiseMatrix>,
+    bounds: Vec<(usize, Arc<TopKBounds>)>,
 }
 
 /// A multi-tenant top-K query service over one crowd backend.
@@ -81,7 +90,7 @@ impl RoundOutcome {
 ///     budget: 6,
 ///     measure: MeasureKind::WeightedEntropy,
 ///     algorithm: Algorithm::T1On,
-///     engine: Engine::MonteCarlo(McConfig { worlds: 1500, seed: 3 }),
+///     engine: Engine::MonteCarlo(McConfig::fixed(1500, 3)),
 ///     seed: 0,
 ///     uncertainty_target: None,
 /// };
@@ -107,8 +116,11 @@ pub struct TopKService<C: Crowd> {
     /// share a single `Arc` instead of recomputing per submit. Cache
     /// misses run `PairwiseMatrix::compute` — since PR 5 the analytic
     /// sweep-line fast path (DESIGN.md §10), so even the first tenant on
-    /// a table pays milliseconds, not the old per-pair quadratures.
-    pairwise_cache: Vec<(UncertainTable, Arc<PairwiseMatrix>)>,
+    /// a table pays milliseconds, not the old per-pair quadratures. Each
+    /// entry also caches the certain/possible [`TopKBounds`] per query
+    /// depth served over the table, so repeat tenants skip the O(n²)
+    /// dominance scan too.
+    pairwise_cache: Vec<TableCacheEntry>,
     /// Optional belief-margin routing policy: when set, each live
     /// question carries a [`RouteHint`] derived from the asking session's
     /// current belief margin, which hint-aware crowds (e.g.
@@ -191,8 +203,12 @@ impl<C: Crowd> TopKService<C> {
         spec: SessionSpec,
         truth: Option<&RankList>,
     ) -> Result<SessionId> {
-        let pairwise = self.pairwise_for(table);
-        let driver = SessionDriver::new_with_pairwise(spec.config, table, truth, pairwise)?;
+        let mut config = spec.config;
+        if let (Some(p), Engine::MonteCarlo(mc)) = (spec.precision, &mut config.engine) {
+            mc.precision = p;
+        }
+        let (pairwise, bounds) = self.table_entry_for(table, config.k);
+        let driver = SessionDriver::new_shared(config, table, truth, pairwise, bounds)?;
         let id = self.registry.insert(driver, spec.priority);
         self.metrics.submitted += 1;
         Ok(id)
@@ -204,27 +220,63 @@ impl<C: Crowd> TopKService<C> {
     /// by retired tables and the per-submit equality scan.
     const MAX_PAIRWISE_CACHE: usize = 32;
 
-    /// The shared pairwise matrix for `table`, computing it on first use.
-    fn pairwise_for(&mut self, table: &UncertainTable) -> Arc<PairwiseMatrix> {
-        if let Some(idx) = self.pairwise_cache.iter().position(|(t, _)| t == table) {
-            // Move to the back so eviction is least-recently-used.
-            let entry = self.pairwise_cache.remove(idx);
-            let pw = Arc::clone(&entry.1);
-            self.pairwise_cache.push(entry);
-            return pw;
+    /// The shared pairwise matrix and certain/possible top-K bounds for
+    /// `(table, k)`, computing both on first use. Bounds for an invalid
+    /// depth are not computed (`None`): the driver rejects the config
+    /// with its usual error instead.
+    fn table_entry_for(
+        &mut self,
+        table: &UncertainTable,
+        k: usize,
+    ) -> (Arc<PairwiseMatrix>, Option<Arc<TopKBounds>>) {
+        let idx = match self.pairwise_cache.iter().position(|e| &e.table == table) {
+            Some(idx) => {
+                // Move to the back so eviction is least-recently-used.
+                let entry = self.pairwise_cache.remove(idx);
+                self.pairwise_cache.push(entry);
+                self.pairwise_cache.len() - 1
+            }
+            None => {
+                let pw = Arc::new(PairwiseMatrix::compute(table));
+                if self.pairwise_cache.len() >= Self::MAX_PAIRWISE_CACHE {
+                    self.pairwise_cache.remove(0);
+                }
+                self.pairwise_cache.push(TableCacheEntry {
+                    table: table.clone(),
+                    pairwise: pw,
+                    bounds: Vec::new(),
+                });
+                self.pairwise_cache.len() - 1
+            }
+        };
+        let entry = &mut self.pairwise_cache[idx];
+        let pw = Arc::clone(&entry.pairwise);
+        if k == 0 || k > table.len() {
+            return (pw, None);
         }
-        let pw = Arc::new(PairwiseMatrix::compute(table));
-        if self.pairwise_cache.len() >= Self::MAX_PAIRWISE_CACHE {
-            self.pairwise_cache.remove(0);
+        if let Some((_, b)) = entry.bounds.iter().find(|(depth, _)| *depth == k) {
+            return (pw, Some(Arc::clone(b)));
         }
-        self.pairwise_cache.push((table.clone(), Arc::clone(&pw)));
-        pw
+        match TopKBounds::from_matrix(&pw, k) {
+            Ok(b) => {
+                let b = Arc::new(b);
+                entry.bounds.push((k, Arc::clone(&b)));
+                (pw, Some(b))
+            }
+            Err(_) => (pw, None),
+        }
     }
 
     /// Distinct tables whose pairwise matrices are cached (observability
     /// for tests and dashboards).
     pub fn pairwise_tables_cached(&self) -> usize {
         self.pairwise_cache.len()
+    }
+
+    /// Distinct `(table, k)` certain/possible bound sets currently cached
+    /// beside the pairwise matrices.
+    pub fn bounds_cached(&self) -> usize {
+        self.pairwise_cache.iter().map(|e| e.bounds.len()).sum()
     }
 
     /// Runs one scheduling round. Returns what happened; a round over an
@@ -417,6 +469,8 @@ impl<C: Crowd> TopKService<C> {
         let driver = entry.driver.take().expect("finalize once"); // ctk-allow(panic-unwrap): state machine guarantees a live driver here
         match driver.finish() {
             Ok(report) => {
+                self.metrics.worlds_drawn += report.worlds_drawn as u64;
+                self.metrics.certain_early_stops += u64::from(report.certain_early_stop);
                 entry.report = Some(report);
                 entry.state = SessionState::Done;
                 let latency = entry.submitted_at.elapsed();
@@ -512,10 +566,7 @@ mod tests {
             budget: 6,
             measure: MeasureKind::WeightedEntropy,
             algorithm,
-            engine: Engine::MonteCarlo(McConfig {
-                worlds: 2000,
-                seed: 7,
-            }),
+            engine: Engine::MonteCarlo(McConfig::fixed(2000, 7)),
             seed,
             uncertainty_target: None,
         }
@@ -708,6 +759,51 @@ mod tests {
         );
         svc.run_to_completion();
         assert_eq!(svc.metrics().completed, distinct as u64);
+    }
+
+    #[test]
+    fn per_tenant_precision_override_and_bounds_cache() {
+        use ctk_tpo::PrecisionTarget;
+        // A staircase with disjoint supports: the certain bounds pin the
+        // whole top-3 prefix, so adaptive tenants stop at zero worlds and
+        // zero questions while fixed-budget tenants still sample.
+        let decided = UncertainTable::new(
+            (0..5)
+                .map(|i| ScoreDist::uniform_centered(i as f64, 0.1).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let mut svc = service(1000);
+        let spec = SessionSpec::new(config(Algorithm::T1On, 0)).with_precision(
+            PrecisionTarget::Adaptive {
+                epsilon: 0.02,
+                delta: 0.05,
+            },
+        );
+        let a = svc.submit(&decided, spec.clone()).unwrap();
+        let b = svc.submit(&decided, spec).unwrap();
+        assert_eq!(svc.bounds_cached(), 1, "same (table, k): one bound set");
+        svc.run_to_completion();
+        for id in [a, b] {
+            let r = svc.report(id).unwrap();
+            assert!(r.certain_early_stop, "decided table must pin the prefix");
+            assert_eq!(r.worlds_drawn, 0);
+            assert_eq!(r.questions_asked(), 0);
+            assert_eq!(r.final_topk, vec![4, 3, 2]);
+        }
+        assert_eq!(svc.metrics().certain_early_stops, 2);
+        assert_eq!(svc.metrics().worlds_drawn, 0);
+        assert!(svc.metrics().summary().contains("certain early stops"));
+        // A fixed-budget tenant (no override) still draws its configured
+        // worlds, and a new depth on the same table adds a bound set.
+        let c = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        svc.run_to_completion();
+        assert_eq!(svc.report(c).unwrap().worlds_drawn, 2000);
+        assert!(!svc.report(c).unwrap().certain_early_stop);
+        assert_eq!(svc.metrics().worlds_drawn, 2000);
+        assert_eq!(svc.bounds_cached(), 2, "second table, second bound set");
     }
 
     #[test]

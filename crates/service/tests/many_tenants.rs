@@ -39,10 +39,7 @@ fn tenant_config(tenant: usize) -> SessionConfig {
         budget: BUDGET,
         measure: MeasureKind::WeightedEntropy,
         algorithm,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds: 2000,
-            seed: 17,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(2000, 17)),
         // Stochastic selectors draw from this seed; recycle it across the
         // cycle so tenants 3 and 11 (both Random) are exact duplicates.
         seed: (tenant % 8) as u64,

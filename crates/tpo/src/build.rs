@@ -18,30 +18,56 @@
 
 use crate::error::{Result, TpoError};
 use crate::path::PathSet;
+use crate::precision::{
+    eb_half_width, PrecisionReport, PrecisionTarget, StopReason, ADAPTIVE_INITIAL_BATCH,
+    ADAPTIVE_MAX_WORLDS,
+};
 use crate::worlds::{WorldModel, PARALLEL_WORLDS_MIN};
-use ctk_prob::compare::{available_cores, planned_threads};
+use ctk_prob::compare::{available_cores, planned_threads, PairwiseMatrix};
 use ctk_prob::nested::{prefix_probability_with, NestedScratch};
 use ctk_prob::sample::{top_k_prefix_into, WorldSampler};
-use ctk_prob::{ScoreDist, SupportGrid, UncertainTable};
+use ctk_prob::{ScoreDist, SupportGrid, TopKBounds, UncertainTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 // ctk-allow(det-hash-collection): all maps in this module hold exact integer counts merged commutatively and drained through PathSet::from_weighted's canonical sort
 use std::collections::HashMap;
 
 /// Configuration of the Monte-Carlo engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct McConfig {
-    /// Number of sampled possible worlds `M`.
-    pub worlds: usize,
+    /// How precise the sampled posterior must be: a fixed world budget
+    /// (the historical `worlds` knob, bit-identical compat mode) or an
+    /// adaptive `(ε, δ)` target (see [`crate::precision`]).
+    pub precision: PrecisionTarget,
     /// PRNG seed (sampling is fully deterministic given the seed).
     pub seed: u64,
 }
 
-impl Default for McConfig {
-    fn default() -> Self {
+impl McConfig {
+    /// Fixed `worlds`-sample compat mode — the historical
+    /// `McConfig { worlds, seed }` spelled through the precision layer.
+    pub fn fixed(worlds: usize, seed: u64) -> Self {
         Self {
-            worlds: 10_000,
-            seed: 0,
+            precision: PrecisionTarget::FixedWorlds(worlds),
+            seed,
+        }
+    }
+
+    /// Adaptive mode: sample until the sequential bound clears
+    /// `(epsilon, delta)` or the certain bounds decide the query.
+    pub fn adaptive(epsilon: f64, delta: f64, seed: u64) -> Self {
+        Self {
+            precision: PrecisionTarget::Adaptive { epsilon, delta },
+            seed,
+        }
+    }
+
+    /// The default fixed budget ([`crate::precision::DEFAULT_WORLDS`])
+    /// with an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
         }
     }
 }
@@ -95,24 +121,36 @@ impl Engine {
 
     /// Builds the depth-`k` path set of `table` with this engine.
     pub fn build(&self, table: &UncertainTable, k: usize) -> Result<PathSet> {
+        self.build_with_report(table, k).map(|(ps, _)| ps)
+    }
+
+    /// [`Engine::build`] plus the [`PrecisionReport`] of what the build
+    /// actually did (worlds drawn, achieved bound, stop reason).
+    pub fn build_with_report(
+        &self,
+        table: &UncertainTable,
+        k: usize,
+    ) -> Result<(PathSet, PrecisionReport)> {
         match self {
-            Engine::MonteCarlo(cfg) => build_mc(table, k, cfg),
-            Engine::Exact(cfg) => build_exact(table, k, cfg),
+            Engine::MonteCarlo(cfg) => build_mc_with_report(table, k, cfg),
+            Engine::Exact(cfg) => Ok((build_exact(table, k, cfg)?, PrecisionReport::exact())),
         }
     }
 }
 
-/// Monte-Carlo TPO construction: sample `cfg.worlds` possible worlds and
-/// group their depth-`k` prefixes into a normalized [`PathSet`].
+/// Monte-Carlo TPO construction: realize `cfg.precision` (a fixed world
+/// budget or an adaptive `(ε, δ)` target) and group the sampled worlds'
+/// depth-`k` prefixes into a normalized [`PathSet`].
 ///
-/// `cfg.worlds == 0` is an invalid spec and fails with
+/// `FixedWorlds(0)` is an invalid spec and fails with
 /// [`TpoError::InvalidWorlds`] (it used to be silently clamped to 1,
-/// masking configuration bugs).
+/// masking configuration bugs); out-of-range adaptive targets fail with
+/// [`TpoError::InvalidPrecision`].
 ///
-/// This is the fast path (DESIGN.md §10): scores come from a per-table
-/// compiled [`WorldSampler`] (draw-for-draw identical to the reference
-/// sampling), and each world is ranked with an O(n + k·log k) partial
-/// selection instead of a full sort — the depth-`k` prefix is
+/// The fixed mode is the fast path (DESIGN.md §10): scores come from a
+/// per-table compiled [`WorldSampler`] (draw-for-draw identical to the
+/// reference sampling), and each world is ranked with an O(n + k·log k)
+/// partial selection instead of a full sort — the depth-`k` prefix is
 /// bit-identical to the full sort's by the total-order argument, so the
 /// result equals [`build_mc_reference`] exactly (pinned by tests). The
 /// rank and group phases are chunked across threads above a work cutoff;
@@ -120,34 +158,180 @@ impl Engine {
 /// strictly sequential in the seeded PRNG, each world is ranked
 /// independently, and per-prefix totals are exact integer counts).
 pub fn build_mc(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
-    build_mc_with_threads(table, k, cfg, 0)
+    build_mc_with_report(table, k, cfg).map(|(ps, _)| ps)
 }
 
-/// The pre-PR 5 Monte-Carlo pipeline — materialize a full [`WorldModel`]
-/// (complete per-world rankings and position index) and group prefixes —
-/// kept as the equivalence and benchmark baseline for [`build_mc`].
-pub fn build_mc_reference(table: &UncertainTable, k: usize, cfg: &McConfig) -> Result<PathSet> {
+/// [`build_mc`] plus the [`PrecisionReport`] of what the build did.
+pub fn build_mc_with_report(
+    table: &UncertainTable,
+    k: usize,
+    cfg: &McConfig,
+) -> Result<(PathSet, PrecisionReport)> {
+    build_mc_bounded(table, k, cfg, None)
+}
+
+/// [`build_mc_with_report`] reusing caller-cached certain/possible
+/// bounds.
+///
+/// The driver and the service hold per-table [`TopKBounds`] next to
+/// their shared pairwise matrices; passing them here lets an adaptive
+/// build skip recomputing the O(n²) pairwise scan. Bounds for a
+/// different `k` or table size are ignored (fresh ones are derived).
+/// Fixed-budget builds never touch the bounds, keeping the compat mode
+/// byte-for-byte on its historical pipeline.
+pub fn build_mc_bounded(
+    table: &UncertainTable,
+    k: usize,
+    cfg: &McConfig,
+    bounds: Option<&TopKBounds>,
+) -> Result<(PathSet, PrecisionReport)> {
+    match cfg.precision {
+        PrecisionTarget::FixedWorlds(m) => Ok((
+            fixed_mc_with_threads(table, k, m, cfg.seed, 0)?,
+            PrecisionReport::fixed(m),
+        )),
+        PrecisionTarget::Adaptive { epsilon, delta } => {
+            let (sample, report) = sample_adaptive(table, k, epsilon, delta, cfg.seed, bounds)?;
+            let ps = match sample {
+                AdaptiveSample::Pinned(prefix) => PathSet::from_weighted(k, vec![(prefix, 1.0)])?,
+                AdaptiveSample::Sampled(wm) => {
+                    let threads =
+                        planned_threads(wm.num_worlds(), PARALLEL_WORLDS_MIN, available_cores());
+                    wm.path_set_uniform(k, threads)?
+                }
+            };
+            Ok((ps, report))
+        }
+    }
+}
+
+/// Outcome of an adaptive sampling run: either the certain bounds pinned
+/// the whole ordered prefix (zero worlds drawn), or a batch-grown
+/// [`WorldModel`] whose posterior cleared (or capped out on) the target.
+#[derive(Debug, Clone)]
+pub enum AdaptiveSample {
+    /// The fully decided ordered top-K prefix.
+    Pinned(Vec<u32>),
+    /// The grown world model (the `incr` driver keeps it as its belief).
+    Sampled(WorldModel),
+}
+
+/// Grows a world sample until the empirical-Bernstein sequential bound
+/// ([`crate::precision::eb_half_width`]) certifies every depth-`k` path
+/// probability within `epsilon` at confidence `1 − delta` — or returns
+/// immediately, with zero worlds, when the decided pairwise structure
+/// already pins the ordered prefix.
+///
+/// Batches double from [`ADAPTIVE_INITIAL_BATCH`] up to
+/// [`ADAPTIVE_MAX_WORLDS`]; all draws continue one seeded PRNG stream, so
+/// the grown model is bit-identical to a one-shot sample of the same
+/// total size (pinned by tests). `bounds` as in [`build_mc_bounded`].
+pub fn sample_adaptive(
+    table: &UncertainTable,
+    k: usize,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    bounds: Option<&TopKBounds>,
+) -> Result<(AdaptiveSample, PrecisionReport)> {
+    let n = table.len();
+    if k == 0 || k > n {
+        return Err(TpoError::InvalidK { k, n });
+    }
+    PrecisionTarget::Adaptive { epsilon, delta }.validate()?;
+    let computed;
+    let bounds = match bounds {
+        Some(b) if b.k() == k && b.len() == n => b,
+        _ => {
+            computed = TopKBounds::from_matrix(&PairwiseMatrix::compute(table), k)?;
+            &computed
+        }
+    };
+    if let Some(prefix) = bounds.pinned_order() {
+        let report = PrecisionReport {
+            worlds_drawn: 0,
+            epsilon: Some(0.0),
+            delta: Some(delta),
+            reason: StopReason::CertainOrder,
+        };
+        return Ok((AdaptiveSample::Pinned(prefix), report));
+    }
+    let mut wm = WorldModel::empty(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut look = 0usize;
+    let (achieved, reason) = loop {
+        look += 1;
+        let drawn = wm.num_worlds();
+        let batch = if drawn == 0 {
+            ADAPTIVE_INITIAL_BATCH.min(ADAPTIVE_MAX_WORLDS)
+        } else {
+            drawn.min(ADAPTIVE_MAX_WORLDS - drawn)
+        };
+        wm.append_sampled(table, batch, &mut rng)?;
+        let counts = wm.prefix_count_values(k);
+        let width = eb_half_width(&counts, wm.num_worlds(), look, delta);
+        if width <= epsilon {
+            break (width, StopReason::Converged);
+        }
+        if wm.num_worlds() >= ADAPTIVE_MAX_WORLDS {
+            break (width, StopReason::WorldCap);
+        }
+    };
+    let report = PrecisionReport {
+        worlds_drawn: wm.num_worlds(),
+        epsilon: Some(achieved),
+        delta: Some(delta),
+        reason,
+    };
+    Ok((AdaptiveSample::Sampled(wm), report))
+}
+
+/// The pre-PR 5 fixed-`worlds` Monte-Carlo pipeline — materialize a full
+/// [`WorldModel`] (complete per-world rankings and position index) and
+/// group prefixes — kept as the equivalence and benchmark baseline for
+/// [`build_mc`]'s fixed mode.
+pub fn build_mc_reference(
+    table: &UncertainTable,
+    k: usize,
+    worlds: usize,
+    seed: u64,
+) -> Result<PathSet> {
     if k == 0 || k > table.len() {
         return Err(TpoError::InvalidK { k, n: table.len() });
     }
-    let wm = WorldModel::sample_with_threads(table, cfg.worlds, cfg.seed, 1)?;
+    let wm = WorldModel::sample_with_threads(table, worlds, seed, 1)?;
     wm.path_set_uniform(k, 1)
 }
 
 /// [`build_mc`] with an explicit thread count for the rank/group phases
 /// (`0` = auto, `1` = the sequential reference). Any count produces
-/// bit-identical output (pinned by tests).
+/// bit-identical output (pinned by tests). The knob applies to fixed
+/// budgets; adaptive builds auto-thread their internal phases (their
+/// stopping schedule is thread-independent either way).
 pub fn build_mc_with_threads(
     table: &UncertainTable,
     k: usize,
     cfg: &McConfig,
     threads: usize,
 ) -> Result<PathSet> {
+    match cfg.precision {
+        PrecisionTarget::FixedWorlds(m) => fixed_mc_with_threads(table, k, m, cfg.seed, threads),
+        PrecisionTarget::Adaptive { .. } => build_mc(table, k, cfg),
+    }
+}
+
+/// The fixed-budget Monte-Carlo pipeline body (see [`build_mc`]).
+fn fixed_mc_with_threads(
+    table: &UncertainTable,
+    k: usize,
+    m: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<PathSet> {
     let n = table.len();
     if k == 0 || k > n {
         return Err(TpoError::InvalidK { k, n });
     }
-    let m = cfg.worlds;
     if m == 0 {
         return Err(TpoError::InvalidWorlds);
     }
@@ -158,7 +342,7 @@ pub fn build_mc_with_threads(
     };
 
     let sampler = WorldSampler::new(table);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut prefixes = vec![0u32; m * k];
     if threads == 1 {
         // Streaming: one recycled score row, rank each world as it is
@@ -345,8 +529,25 @@ mod tests {
     fn zero_worlds_rejected_not_repaired() {
         let t = table(3, 0.5);
         assert!(matches!(
-            build_mc(&t, 2, &McConfig { worlds: 0, seed: 1 }),
+            build_mc(&t, 2, &McConfig::fixed(0, 1)),
             Err(TpoError::InvalidWorlds)
+        ));
+    }
+
+    #[test]
+    fn invalid_adaptive_targets_rejected() {
+        let t = table(3, 0.5);
+        assert!(matches!(
+            build_mc(&t, 2, &McConfig::adaptive(0.0, 0.05, 1)),
+            Err(TpoError::InvalidPrecision { .. })
+        ));
+        assert!(matches!(
+            build_mc(&t, 2, &McConfig::adaptive(0.02, 1.0, 1)),
+            Err(TpoError::InvalidPrecision { .. })
+        ));
+        assert!(matches!(
+            sample_adaptive(&t, 0, 0.02, 0.05, 1, None),
+            Err(TpoError::InvalidK { .. })
         ));
     }
 
@@ -357,9 +558,9 @@ mod tests {
         let t = table(6, 0.7);
         for seed in [0u64, 9, 31] {
             for k in [1usize, 2, 4, 6] {
-                let cfg = McConfig { worlds: 3001, seed };
+                let cfg = McConfig::fixed(3001, seed);
                 let fast = build_mc_with_threads(&t, k, &cfg, 1).unwrap();
-                let reference = build_mc_reference(&t, k, &cfg).unwrap();
+                let reference = build_mc_reference(&t, k, 3001, seed).unwrap();
                 assert_eq!(fast.len(), reference.len(), "seed {seed} k {k}");
                 for (a, b) in fast.paths().iter().zip(reference.paths()) {
                     assert_eq!(a.items, b.items, "seed {seed} k {k}");
@@ -373,7 +574,7 @@ mod tests {
     fn parallel_mc_build_is_bit_identical_to_sequential() {
         let t = table(5, 0.6);
         for seed in [0u64, 3, 17] {
-            let cfg = McConfig { worlds: 4100, seed };
+            let cfg = McConfig::fixed(4100, seed);
             let seq = build_mc_with_threads(&t, 3, &cfg, 1).unwrap();
             for threads in [2, 4, 7] {
                 let par = build_mc_with_threads(&t, 3, &cfg, threads).unwrap();
@@ -421,15 +622,7 @@ mod tests {
     fn engines_roughly_agree_here_too() {
         let t = table(4, 0.6);
         let exact = build_exact(&t, 2, &ExactConfig::default()).unwrap();
-        let mc = build_mc(
-            &t,
-            2,
-            &McConfig {
-                worlds: 60_000,
-                seed: 3,
-            },
-        )
-        .unwrap();
+        let mc = build_mc(&t, 2, &McConfig::fixed(60_000, 3)).unwrap();
         for p in exact.paths() {
             let q = mc
                 .paths()
@@ -471,9 +664,129 @@ mod tests {
     fn engine_dispatch_and_default() {
         let t = table(3, 0.5);
         assert_eq!(Engine::default().name(), "mc");
-        let ps = Engine::Exact(ExactConfig::default()).build(&t, 2).unwrap();
+        let (ps, report) = Engine::Exact(ExactConfig::default())
+            .build_with_report(&t, 2)
+            .unwrap();
         assert!((ps.total_prob() - 1.0).abs() < 1e-9);
-        let ps = Engine::default().build(&t, 2).unwrap();
+        assert_eq!(report.reason, StopReason::Exact);
+        assert_eq!(report.worlds_drawn, 0);
+        let (ps, report) = Engine::default().build_with_report(&t, 2).unwrap();
         assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+        assert_eq!(report.reason, StopReason::FixedBudget);
+        assert_eq!(report.worlds_drawn, crate::precision::DEFAULT_WORLDS);
+        assert_eq!(report.epsilon, None);
+    }
+
+    #[test]
+    fn adaptive_pinned_order_draws_zero_worlds() {
+        // Far-apart narrow supports: the whole prefix is decided, so the
+        // adaptive build must not sample at all.
+        let t = table(4, 0.1);
+        let (ps, report) = build_mc_with_report(&t, 3, &McConfig::adaptive(0.02, 0.05, 1)).unwrap();
+        assert_eq!(report.worlds_drawn, 0);
+        assert_eq!(report.reason, StopReason::CertainOrder);
+        assert_eq!(report.epsilon, Some(0.0));
+        assert!(ps.is_resolved());
+        assert_eq!(ps.paths()[0].items, vec![3, 2, 1]);
+        // ... and agrees with the exact engine.
+        let exact = build_exact(&t, 3, &ExactConfig::default()).unwrap();
+        assert_eq!(ps.paths()[0].items, exact.paths()[0].items);
+    }
+
+    #[test]
+    fn adaptive_build_stops_under_the_fixed_default_on_easy_tables() {
+        // One overlapping pair in an otherwise decided staircase: a low-
+        // variance posterior the Bernstein bound clears early.
+        let dists: Vec<ScoreDist> = (0..6)
+            .map(|i| {
+                let c = i as f64;
+                let w = if i == 2 { 2.0 } else { 0.3 }; // t2 overlaps t1 and t3 slightly
+                ScoreDist::uniform_centered(c, w).unwrap()
+            })
+            .collect();
+        let t = UncertainTable::new(dists).unwrap();
+        let (ps, report) = build_mc_with_report(&t, 3, &McConfig::adaptive(0.02, 0.05, 7)).unwrap();
+        assert_eq!(report.reason, StopReason::Converged);
+        assert!(
+            report.worlds_drawn < crate::precision::DEFAULT_WORLDS,
+            "easy table should need fewer than the fixed default, drew {}",
+            report.worlds_drawn
+        );
+        // ctk-allow(panic-unwrap): converged adaptive reports always carry a width
+        let achieved = report.epsilon.expect("adaptive reports carry a width");
+        assert!(achieved <= 0.02, "achieved {achieved}");
+        // Every path probability is within epsilon of a converged
+        // reference build.
+        let reference = build_mc_reference(&t, 3, 400_000, 99).unwrap();
+        for p in ps.paths() {
+            let r = reference
+                .paths()
+                .iter()
+                .find(|q| q.items == p.items)
+                .map(|q| q.prob)
+                .unwrap_or(0.0);
+            assert!(
+                (p.prob - r).abs() < 0.02 + 0.01,
+                "{:?}: adaptive {} vs reference {r}",
+                p.items,
+                p.prob
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_sample_reuses_matching_bounds_only() {
+        let t = table(4, 0.1);
+        let matrix = PairwiseMatrix::compute(&t);
+        let right = TopKBounds::from_matrix(&matrix, 2).unwrap();
+        let wrong_k = TopKBounds::from_matrix(&matrix, 4).unwrap();
+        let (with_right, ra) = sample_adaptive(&t, 2, 0.05, 0.05, 1, Some(&right)).unwrap();
+        let (with_wrong, rb) = sample_adaptive(&t, 2, 0.05, 0.05, 1, Some(&wrong_k)).unwrap();
+        let (with_none, rc) = sample_adaptive(&t, 2, 0.05, 0.05, 1, None).unwrap();
+        assert!(ra.same_outcome(&rb) && ra.same_outcome(&rc));
+        for s in [&with_right, &with_wrong, &with_none] {
+            match s {
+                AdaptiveSample::Pinned(prefix) => assert_eq!(prefix, &vec![3, 2]),
+                AdaptiveSample::Sampled(_) => panic!("decided table must pin"),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_world_cap_is_reported_not_silent() {
+        // An impossibly tight target on an iid table cannot converge
+        // before the cap; the report must say so.
+        let t = UncertainTable::new(
+            (0..5)
+                .map(|_| ScoreDist::uniform(0.0, 1.0).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let (sample, report) = sample_adaptive(&t, 2, 1e-4, 0.05, 3, None).unwrap();
+        assert_eq!(report.reason, StopReason::WorldCap);
+        assert_eq!(report.worlds_drawn, ADAPTIVE_MAX_WORLDS);
+        // ctk-allow(panic-unwrap): adaptive reports always carry a width
+        assert!(report.epsilon.expect("width") > 1e-4);
+        assert!(matches!(sample, AdaptiveSample::Sampled(_)));
+    }
+
+    #[test]
+    fn adaptive_batches_replay_one_shot_worlds() {
+        // The adaptive model must be the same worlds a one-shot sample of
+        // the same size would draw (PRNG stream continuity).
+        let t = UncertainTable::new(
+            (0..4)
+                .map(|i| ScoreDist::uniform_centered(0.1 * i as f64, 1.0).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let (sample, report) = sample_adaptive(&t, 2, 0.05, 0.1, 11, None).unwrap();
+        let wm = match sample {
+            AdaptiveSample::Sampled(wm) => wm,
+            AdaptiveSample::Pinned(_) => panic!("iid-ish table cannot pin"),
+        };
+        assert_eq!(wm.num_worlds(), report.worlds_drawn);
+        let one_shot = WorldModel::sample_with_threads(&t, report.worlds_drawn, 11, 1).unwrap();
+        assert_eq!(one_shot.surviving_rankings(), wm.surviving_rankings());
     }
 }

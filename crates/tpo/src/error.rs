@@ -13,6 +13,14 @@ pub enum TpoError {
     /// A sampled-worlds belief needs at least one world (`M >= 1`).
     /// Invalid specs are errors, not silent repairs.
     InvalidWorlds,
+    /// An adaptive precision target needs `0 < epsilon < 1` and
+    /// `0 < delta < 1`.
+    InvalidPrecision {
+        /// The rejected per-path error tolerance.
+        epsilon: f64,
+        /// The rejected failure probability.
+        delta: f64,
+    },
     /// The exact engine exceeded its configured path budget.
     PathExplosion { paths: usize, max: usize },
     /// An answer (or answer sequence) eliminated every ordering.
@@ -30,6 +38,13 @@ impl fmt::Display for TpoError {
             }
             TpoError::InvalidWorlds => {
                 write!(f, "a sampled-worlds belief needs at least one world")
+            }
+            TpoError::InvalidPrecision { epsilon, delta } => {
+                write!(
+                    f,
+                    "adaptive precision target (epsilon = {epsilon}, delta = {delta}) \
+                     must satisfy 0 < epsilon < 1 and 0 < delta < 1"
+                )
             }
             TpoError::PathExplosion { paths, max } => {
                 write!(
@@ -75,6 +90,12 @@ mod tests {
         assert!(e.source().is_some());
         assert!(TpoError::InvalidK { k: 9, n: 3 }.to_string().contains("9"));
         assert!(TpoError::InvalidWorlds.to_string().contains("world"));
+        assert!(TpoError::InvalidPrecision {
+            epsilon: 0.0,
+            delta: 2.0
+        }
+        .to_string()
+        .contains("epsilon"));
         assert!(TpoError::PathExplosion { paths: 10, max: 5 }
             .to_string()
             .contains("exceeded"));

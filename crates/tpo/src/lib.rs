@@ -51,6 +51,7 @@ pub mod answers;
 pub mod build;
 pub mod error;
 pub mod path;
+pub mod precision;
 pub mod prune;
 pub mod stats;
 pub mod tree;
@@ -58,7 +59,9 @@ pub mod update;
 pub mod worlds;
 
 pub use answers::{implication, Implication};
+pub use build::AdaptiveSample;
 pub use error::{Result, TpoError};
 pub use path::{Path, PathSet};
+pub use precision::{PrecisionReport, PrecisionTarget, StopReason, DEFAULT_WORLDS};
 pub use tree::{Tpo, TpoNode};
 pub use worlds::WorldModel;

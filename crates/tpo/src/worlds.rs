@@ -130,6 +130,72 @@ impl WorldModel {
         })
     }
 
+    /// An empty belief over `n` tuples, ready for incremental
+    /// [`WorldModel::append_sampled`] growth. An empty model is not a
+    /// valid belief on its own — `path_set` on it fails — so callers must
+    /// append at least one batch before reading.
+    pub fn empty(n: usize) -> Self {
+        Self::from_rankings(n, Vec::new())
+    }
+
+    /// Appends `additional` freshly sampled worlds, continuing `rng`'s
+    /// draw stream.
+    ///
+    /// Score draws stay strictly sequential in the PRNG (world-major,
+    /// tuple-minor, exactly as [`WorldModel::sample`] consumes them), so
+    /// growing a model batch by batch with one RNG is bit-identical to
+    /// sampling all the worlds in one shot from the same seed (pinned by
+    /// tests) — the property the adaptive precision builder relies on.
+    /// New worlds arrive with unit weight; the incremental prefix cache
+    /// is dropped (its groups no longer cover the appended worlds).
+    pub fn append_sampled(
+        &mut self,
+        table: &UncertainTable,
+        additional: usize,
+        rng: &mut StdRng,
+    ) -> Result<()> {
+        debug_assert_eq!(table.len(), self.n, "table width must match the model");
+        if additional == 0 {
+            return Ok(());
+        }
+        let n = self.n;
+        let sampler = WorldSampler::new(table);
+        let mut scores = vec![0.0f64; additional * n];
+        for row in scores.chunks_mut(n) {
+            sampler.sample_into(rng, row);
+        }
+        let mut rankings: Vec<Vec<u32>> = vec![Vec::new(); additional];
+        let mut pos = vec![0u32; additional * n];
+        let threads = auto_threads(additional).clamp(1, additional);
+        if threads == 1 {
+            rank_chunk(&scores, &mut rankings, &mut pos, n);
+        } else {
+            let chunk = additional.div_ceil(threads);
+            // ctk-allow(det-thread-spawn): planned_threads fanout; each thread fills a disjoint pre-chunked slice
+            std::thread::scope(|s| {
+                for ((sc, rc), pc) in scores
+                    .chunks(chunk * n)
+                    .zip(rankings.chunks_mut(chunk))
+                    .zip(pos.chunks_mut(chunk * n))
+                {
+                    s.spawn(move || rank_chunk(sc, rc, pc, n));
+                }
+            });
+        }
+        self.rankings.extend(rankings);
+        self.pos.extend(pos);
+        self.weights.extend(std::iter::repeat_n(1.0, additional));
+        self.cache = None;
+        Ok(())
+    }
+
+    /// Depth-`k` prefix multiplicities over all worlds, in unspecified
+    /// order — the input of the adaptive builder's stopping bound, which
+    /// only folds an order-invariant maximum over them.
+    pub(crate) fn prefix_count_values(&self, k: usize) -> Vec<u64> {
+        group_counts(&self.rankings, k).into_values().collect()
+    }
+
     /// Builds from explicit rankings (each must be a permutation of
     /// `0..n`); used by tests and by deterministic replays.
     pub fn from_rankings(n: usize, rankings: Vec<Vec<u32>>) -> Self {
@@ -650,6 +716,48 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn appended_batches_replay_one_shot_sampling_bit_for_bit() {
+        // The adaptive builder's contract: batch-growing with one RNG is
+        // the same draw stream as sampling everything at once.
+        let table = table3();
+        let one_shot = WorldModel::sample_with_threads(&table, 700, 13, 1).unwrap();
+        let mut grown = WorldModel::empty(table.len());
+        let mut rng = StdRng::seed_from_u64(13);
+        for batch in [1usize, 99, 300, 0, 300] {
+            grown.append_sampled(&table, batch, &mut rng).unwrap();
+        }
+        assert_eq!(grown.num_worlds(), 700);
+        assert_eq!(one_shot.surviving_rankings(), grown.surviving_rankings());
+        assert_eq!(one_shot.pos, grown.pos);
+        assert!((grown.total_weight() - 700.0).abs() < 1e-12);
+        let a = one_shot.path_set(2).unwrap();
+        let b = grown.path_set(2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn append_invalidates_the_prefix_cache() {
+        let table = table3();
+        let mut m = WorldModel::sample(&table, 400, 3).unwrap();
+        let before = m.path_set_cached(2).unwrap();
+        assert_eq!(before, m.path_set(2).unwrap());
+        let mut rng = StdRng::seed_from_u64(77);
+        m.append_sampled(&table, 250, &mut rng).unwrap();
+        // The cached grouping must cover the appended worlds too.
+        let after = m.path_set_cached(2).unwrap();
+        assert_eq!(after, m.path_set(2).unwrap());
+        assert_eq!(m.num_worlds(), 650);
+    }
+
+    #[test]
+    fn prefix_count_values_sum_to_world_count() {
+        let m = WorldModel::sample(&table3(), 321, 5).unwrap();
+        let counts = m.prefix_count_values(2);
+        assert_eq!(counts.iter().sum::<u64>(), 321);
+        assert_eq!(counts.len(), m.path_set(2).unwrap().len());
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! updates must preserve distribution invariants for arbitrary tables and
 //! answer sequences.
 
-use ctk_prob::{ScoreDist, UncertainTable};
+use ctk_prob::compare::PairwiseMatrix;
+use ctk_prob::{ScoreDist, TopKBounds, UncertainTable};
 use ctk_tpo::build::{
-    build_exact, build_mc, build_mc_reference, build_mc_with_threads, ExactConfig, McConfig,
+    build_exact, build_mc, build_mc_bounded, build_mc_reference, build_mc_with_threads,
+    ExactConfig, McConfig,
 };
 use ctk_tpo::prune::prune;
 use ctk_tpo::stats::{level_distributions, membership_probability, precedence_probability};
 use ctk_tpo::tree::Tpo;
 use ctk_tpo::update::bayes_update;
 use ctk_tpo::worlds::WorldModel;
+use ctk_tpo::{PrecisionReport, StopReason};
 use proptest::prelude::*;
 
 /// A random table of `n` overlapping uniform scores.
@@ -37,8 +40,8 @@ proptest! {
         // selection) is bit-identical to the full-sort WorldModel pipeline
         // at every depth, for the auto and the forced-sequential paths.
         for k in [1usize, 3, 7] {
-            let cfg = McConfig { worlds: 1200, seed };
-            let reference = build_mc_reference(&table, k, &cfg).unwrap();
+            let cfg = McConfig::fixed(1200, seed);
+            let reference = build_mc_reference(&table, k, 1200, seed).unwrap();
             for fast in [
                 build_mc(&table, k, &cfg).unwrap(),
                 build_mc_with_threads(&table, k, &cfg, 1).unwrap(),
@@ -55,7 +58,7 @@ proptest! {
 
     #[test]
     fn mc_paths_are_valid_prefixes((table, seed) in (uniform_table(6), any::<u64>())) {
-        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed }).unwrap();
+        let ps = build_mc(&table, 3, &McConfig::fixed(2000, seed)).unwrap();
         prop_assert!((ps.total_prob() - 1.0).abs() < 1e-9);
         for p in ps.paths() {
             prop_assert_eq!(p.items.len(), 3);
@@ -88,7 +91,7 @@ proptest! {
     #[test]
     fn mc_close_to_exact((table, seed) in (uniform_table(4), any::<u64>())) {
         let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
-        let mc = build_mc(&table, 2, &McConfig { worlds: 60_000, seed }).unwrap();
+        let mc = build_mc(&table, 2, &McConfig::fixed(60_000, seed)).unwrap();
         for ep in exact.paths() {
             let mp = mc.paths().iter().find(|p| p.items == ep.items).map(|p| p.prob).unwrap_or(0.0);
             prop_assert!((ep.prob - mp).abs() < 0.02,
@@ -98,7 +101,7 @@ proptest! {
 
     #[test]
     fn pruning_conserves_and_shrinks((table, seed) in (uniform_table(6), any::<u64>())) {
-        let ps = build_mc(&table, 3, &McConfig { worlds: 3000, seed }).unwrap();
+        let ps = build_mc(&table, 3, &McConfig::fixed(3000, seed)).unwrap();
         // Take the most probable path's top pair as a consistent answer.
         let best = ps.most_probable().clone();
         let (i, j) = (best.items[0], best.items[1]);
@@ -125,7 +128,7 @@ proptest! {
 
     #[test]
     fn bayes_update_preserves_support((table, seed, eta) in (uniform_table(5), any::<u64>(), 0.55..0.95f64)) {
-        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed }).unwrap();
+        let ps = build_mc(&table, 3, &McConfig::fixed(2000, seed)).unwrap();
         let best = ps.most_probable().clone();
         let updated = bayes_update(&ps, best.items[0], best.items[1], true, eta, 0.5).unwrap();
         prop_assert_eq!(updated.len(), ps.len(), "noisy updates never eliminate paths");
@@ -208,7 +211,7 @@ proptest! {
         // Thread-count independence of the Monte-Carlo build: sampling,
         // ranking and grouping must be bit-identical however chunked.
         use ctk_tpo::build::build_mc_with_threads;
-        let cfg = McConfig { worlds: 3000, seed };
+        let cfg = McConfig::fixed(3000, seed);
         let seq = build_mc_with_threads(&table, 3, &cfg, 1).unwrap();
         let par = build_mc_with_threads(&table, 3, &cfg, threads).unwrap();
         prop_assert_eq!(seq.len(), par.len());
@@ -243,7 +246,7 @@ proptest! {
 
     #[test]
     fn level_distributions_are_distributions(table in uniform_table(6)) {
-        let ps = build_mc(&table, 3, &McConfig { worlds: 2000, seed: 1 }).unwrap();
+        let ps = build_mc(&table, 3, &McConfig::fixed(2000, 1)).unwrap();
         let levels = level_distributions(&ps);
         prop_assert_eq!(levels.len(), 3);
         let mut prev_len = 0usize;
@@ -256,8 +259,104 @@ proptest! {
     }
 
     #[test]
+    fn bounds_bracket_the_converged_topk(
+        (table, seed) in (uniform_table(6), any::<u64>()),
+    ) {
+        // PR 8 pin: the certain set sits inside, and the possible set
+        // outside, every ordered top-K a converged reference build can
+        // produce.
+        let k = 3;
+        let bounds = TopKBounds::from_matrix(&PairwiseMatrix::compute(&table), k).unwrap();
+        let reference = build_mc_reference(&table, k, 8000, seed).unwrap();
+        for path in reference.paths() {
+            for &c in bounds.certain() {
+                prop_assert!(
+                    path.items.contains(&c),
+                    "certain tuple t{} missing from reference path {:?}", c, path.items
+                );
+            }
+            for &t in &path.items {
+                prop_assert!(
+                    bounds.is_possibly_in(t as usize),
+                    "reference path member t{} outside the possible set", t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_build_meets_its_requested_target(
+        (table, seed) in (uniform_table(6), any::<u64>()),
+    ) {
+        let (epsilon, delta) = (0.05, 0.05);
+        let (ps, report) =
+            build_mc_bounded(&table, 3, &McConfig::adaptive(epsilon, delta, seed), None).unwrap();
+        prop_assert!((ps.total_prob() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(report.delta, Some(delta));
+        match report.reason {
+            StopReason::CertainOrder => {
+                // Bounds pinned the prefix: no sampling, exact answer.
+                prop_assert_eq!(report.worlds_drawn, 0);
+                prop_assert_eq!(report.epsilon, Some(0.0));
+                prop_assert_eq!(ps.len(), 1);
+            }
+            StopReason::Converged => {
+                // Never under-run the request; never exceed the cap.
+                prop_assert!(report.epsilon.unwrap() <= epsilon);
+                prop_assert!(report.worlds_drawn >= 1024);
+                prop_assert!(report.worlds_drawn <= 1 << 19);
+            }
+            StopReason::WorldCap => prop_assert_eq!(report.worlds_drawn, 1 << 19),
+            other => prop_assert!(false, "unexpected stop reason {:?}", other),
+        }
+    }
+
+    #[test]
+    fn adaptive_build_tracks_a_converged_reference(
+        (table, seed) in (uniform_table(5), any::<u64>()),
+    ) {
+        // Every adaptive path probability must lie within the requested
+        // epsilon of a converged reference (60k worlds), plus a small
+        // allowance for the reference's own sampling noise.
+        let epsilon = 0.08;
+        let (ps, report) =
+            build_mc_bounded(&table, 2, &McConfig::adaptive(epsilon, 0.05, seed), None).unwrap();
+        let reference = build_mc_reference(&table, 2, 60_000, seed ^ 0xABCD).unwrap();
+        for p in ps.paths() {
+            let q = reference
+                .paths()
+                .iter()
+                .find(|r| r.items == p.items)
+                .map_or(0.0, |r| r.prob);
+            prop_assert!(
+                (p.prob - q).abs() <= epsilon + 0.03,
+                "path {:?}: adaptive {:.4} vs reference {:.4} (reason {:?})",
+                p.items, p.prob, q, report.reason
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_target_ignores_bounds_bit_for_bit(
+        (table, seed) in (uniform_table(6), any::<u64>()),
+    ) {
+        // Compat mode: FixedWorlds(m) must replay the plain build_mc
+        // pipeline bit for bit whether or not bounds are supplied.
+        let cfg = McConfig::fixed(1500, seed);
+        let plain = build_mc(&table, 3, &cfg).unwrap();
+        let bounds = TopKBounds::from_matrix(&PairwiseMatrix::compute(&table), 3).unwrap();
+        let (bounded, report) = build_mc_bounded(&table, 3, &cfg, Some(&bounds)).unwrap();
+        prop_assert!(report.same_outcome(&PrecisionReport::fixed(1500)));
+        prop_assert_eq!(plain.len(), bounded.len());
+        for (a, b) in plain.paths().iter().zip(bounded.paths()) {
+            prop_assert_eq!(&a.items, &b.items);
+            prop_assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+        }
+    }
+
+    #[test]
     fn precedence_and_membership_consistent(table in uniform_table(5)) {
-        let ps = build_mc(&table, 2, &McConfig { worlds: 3000, seed: 9 }).unwrap();
+        let ps = build_mc(&table, 2, &McConfig::fixed(3000, 9)).unwrap();
         for i in 0..table.len() as u32 {
             let m = membership_probability(&ps, i);
             prop_assert!((0.0..=1.0 + 1e-9).contains(&m));

@@ -40,7 +40,7 @@ fn main() {
                 .k(K)
                 .budget(BUDGET)
                 .algorithm(algorithm)
-                .monte_carlo(10_000, 1)
+                .monte_carlo(ctk_tpo::DEFAULT_WORLDS, 1)
                 .run_with_truth(&mut crowd, &top)
                 .unwrap();
             let elapsed = start.elapsed();

@@ -34,10 +34,7 @@ fn tenant_config(tenant: usize) -> SessionConfig {
         budget: BUDGET,
         measure: MeasureKind::WeightedEntropy,
         algorithm,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds: 2500,
-            seed: 17,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(2500, 17)),
         seed: (tenant % 6) as u64,
         uncertainty_target: None,
     }

@@ -31,15 +31,7 @@ fn main() {
 
     // Cross-check the two TPO engines on this mixed-family table.
     let exact = build_exact(&table, K, &ExactConfig::default()).unwrap();
-    let mc = build_mc(
-        &table,
-        K,
-        &McConfig {
-            worlds: 100_000,
-            seed: 9,
-        },
-    )
-    .unwrap();
+    let mc = build_mc(&table, K, &McConfig::fixed(100_000, 9)).unwrap();
     println!(
         "TPO size: exact engine {} orderings, Monte-Carlo {} orderings",
         exact.len(),

@@ -30,12 +30,7 @@ fn astar_off_matches_exhaustive_minimum() {
     for seed in 0..4u64 {
         let scenario = scenarios::astar(seed);
         let pw = PairwiseMatrix::compute(&scenario.table);
-        let ps = build_mc(
-            &scenario.table,
-            scenario.k,
-            &McConfig { worlds: 2000, seed },
-        )
-        .unwrap();
+        let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(2000, seed)).unwrap();
         for kind in [MeasureKind::Entropy, MeasureKind::WeightedEntropy] {
             let m = kind.build();
             let ctx = ResidualCtx {
@@ -70,12 +65,7 @@ fn astar_off_dominates_heuristics_under_its_measure() {
     for seed in 0..3u64 {
         let scenario = scenarios::astar(seed);
         let pw = PairwiseMatrix::compute(&scenario.table);
-        let ps = build_mc(
-            &scenario.table,
-            scenario.k,
-            &McConfig { worlds: 2000, seed },
-        )
-        .unwrap();
+        let ps = build_mc(&scenario.table, scenario.k, &McConfig::fixed(2000, seed)).unwrap();
         let m = MeasureKind::WeightedEntropy.build();
         let ctx = ResidualCtx {
             measure: m.as_ref(),

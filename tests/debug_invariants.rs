@@ -59,10 +59,7 @@ fn sharded_service_respects_scheduler_deficit_bound() {
         budget: 4,
         measure: MeasureKind::WeightedEntropy,
         algorithm: Algorithm::T1On,
-        engine: Engine::MonteCarlo(McConfig {
-            worlds: 2_000,
-            seed: 3,
-        }),
+        engine: Engine::MonteCarlo(McConfig::fixed(2_000, 3)),
         seed: 3,
         uncertainty_target: None,
     };

@@ -8,15 +8,7 @@ use crowd_topk::tpo::build::{build_exact, build_mc, ExactConfig, McConfig};
 
 fn compare_engines(table: &UncertainTable, k: usize, tolerance: f64) {
     let exact = build_exact(table, k, &ExactConfig::default()).unwrap();
-    let mc = build_mc(
-        table,
-        k,
-        &McConfig {
-            worlds: 120_000,
-            seed: 2024,
-        },
-    )
-    .unwrap();
+    let mc = build_mc(table, k, &McConfig::fixed(120_000, 2024)).unwrap();
     // Total variation distance between the two distributions over paths.
     let mut tv = 0.0;
     for p in exact.paths() {
@@ -90,7 +82,7 @@ fn monte_carlo_error_shrinks_with_more_worlds() {
     let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
     let mut errs = Vec::new();
     for worlds in [500usize, 5_000, 50_000] {
-        let mc = build_mc(&table, 2, &McConfig { worlds, seed: 7 }).unwrap();
+        let mc = build_mc(&table, 2, &McConfig::fixed(worlds, 7)).unwrap();
         let mut tv = 0.0;
         for p in exact.paths() {
             let q = mc

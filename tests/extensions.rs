@@ -49,15 +49,7 @@ fn mixture_tables_run_end_to_end() {
 fn mixture_engines_agree() {
     let table = bimodal_table();
     let exact = build_exact(&table, 2, &ExactConfig::default()).unwrap();
-    let mc = build_mc(
-        &table,
-        2,
-        &McConfig {
-            worlds: 120_000,
-            seed: 5,
-        },
-    )
-    .unwrap();
+    let mc = build_mc(&table, 2, &McConfig::fixed(120_000, 5)).unwrap();
     let mut tv = 0.0;
     for p in exact.paths() {
         let q = mc

@@ -53,10 +53,7 @@ fn member_crate_reexports_are_wired() {
     let ps = crowd_topk::tpo::build::build_mc(
         &table,
         2,
-        &crowd_topk::tpo::build::McConfig {
-            worlds: 2_000,
-            seed: 1,
-        },
+        &crowd_topk::tpo::build::McConfig::fixed(2_000, 1),
     )
     .unwrap();
     let ps: PathSet = ps;
