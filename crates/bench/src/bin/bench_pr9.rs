@@ -1,0 +1,232 @@
+//! PR 9 acceptance numbers: the shard-owned serving core over a
+//! tenants × shards × run-mode grid, up to 10 000 concurrent tenants.
+//! Emits `BENCH_PR9.json`.
+//!
+//! `cargo run --release -p ctk-bench --bin bench_pr9 [--small] [--out FILE]`
+//!
+//! Every cell is compared per-tenant (`UrReport::same_outcome`) against
+//! the tick-mode single-shard reference for its tenant count — the
+//! refactor's core claim is that run mode and shard count are invisible
+//! in the results. Timing records both the whole run loop and the
+//! purchase phase alone (`ServiceMetrics::purchase_time`), the
+//! crowd-facing slice PR 4's `service_scaling` bench could not separate;
+//! `--small` shrinks the grid for the CI smoke step.
+
+use ctk_core::measures::MeasureKind;
+use ctk_core::session::{Algorithm, SessionConfig, UrReport};
+use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+use ctk_datagen::{generate, DatasetSpec};
+use ctk_prob::UncertainTable;
+use ctk_service::{RunMode, SessionSpec, TopKService};
+use ctk_tpo::build::{Engine, McConfig};
+use std::time::Instant;
+
+struct Grid {
+    tenants: Vec<usize>,
+    shards: Vec<usize>,
+    tuples: usize,
+    worlds: usize,
+    budget: usize,
+}
+
+fn full() -> Grid {
+    Grid {
+        tenants: vec![100, 1_000, 10_000],
+        shards: vec![1, 2, 4],
+        tuples: 9,
+        worlds: 600,
+        budget: 4,
+    }
+}
+
+fn small() -> Grid {
+    Grid {
+        tenants: vec![48],
+        shards: vec![1, 2],
+        tuples: 8,
+        worlds: 400,
+        budget: 3,
+    }
+}
+
+/// Mixed per-tenant workloads, cheap enough that a 10k-tenant cell is
+/// dominated by the serving loop rather than the submit-time TPO builds.
+fn tenant_config(tenant: usize, worlds: usize, budget: usize) -> SessionConfig {
+    let algorithm = match tenant % 4 {
+        0 | 1 => Algorithm::T1On,
+        2 => Algorithm::TbOff,
+        _ => Algorithm::Incr {
+            questions_per_round: 2,
+        },
+    };
+    SessionConfig {
+        k: 2 + tenant % 2,
+        budget,
+        measure: MeasureKind::WeightedEntropy,
+        algorithm,
+        engine: Engine::MonteCarlo(McConfig::fixed(worlds, 17 + (tenant % 4) as u64)),
+        seed: (tenant % 16) as u64,
+        uncertainty_target: None,
+    }
+}
+
+struct Cell {
+    tenants: usize,
+    shards: usize,
+    mode: RunMode,
+    elapsed_ms: f64,
+    purchase_ms: f64,
+    rounds: u64,
+    answers_served: u64,
+    cache_hits: u64,
+    events: u64,
+    budget_granted: u64,
+    shard_imbalance: f64,
+}
+
+fn run_cell(
+    table: &UncertainTable,
+    truth: &GroundTruth,
+    grid: &Grid,
+    tenants: usize,
+    shards: usize,
+    mode: RunMode,
+) -> (Cell, Vec<UrReport>) {
+    let crowd = CrowdSimulator::new(truth.clone(), PerfectWorker, VotePolicy::Single, 10_000_000)
+        .expect("valid vote policy");
+    let mut service = TopKService::new(crowd)
+        .with_shards(shards)
+        .with_run_mode(mode)
+        .with_fanout(64);
+    let ids: Vec<_> = (0..tenants)
+        .map(|t| {
+            service
+                .submit(
+                    table,
+                    SessionSpec::new(tenant_config(t, grid.worlds, grid.budget)),
+                )
+                .expect("valid tenant config")
+        })
+        .collect();
+    // Time only the serving loop: session construction (TPO build) is
+    // submit-time work, identical across shards and run modes.
+    let t0 = Instant::now();
+    let metrics = service.run_to_completion().clone();
+    let elapsed = t0.elapsed();
+    assert_eq!(
+        metrics.completed as usize, tenants,
+        "every tenant completes"
+    );
+    assert_eq!(metrics.failed, 0);
+    let reports: Vec<UrReport> = ids
+        .iter()
+        .map(|id| service.report(*id).expect("done").clone())
+        .collect();
+    (
+        Cell {
+            tenants,
+            shards,
+            mode,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            purchase_ms: metrics.purchase_time.as_secs_f64() * 1e3,
+            rounds: metrics.rounds,
+            answers_served: metrics.answers_served,
+            cache_hits: metrics.cache_hits,
+            events: metrics.events_processed,
+            budget_granted: metrics.budget_granted,
+            shard_imbalance: metrics.shard_imbalance(),
+        },
+        reports,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small_mode = args.iter().any(|a| a == "--small");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let grid = if small_mode { small() } else { full() };
+    eprintln!(
+        "# shard-owned core: tenants {:?} x shards {:?} x modes [tick, event] (n={}, worlds={}, budget={}){}",
+        grid.tenants,
+        grid.shards,
+        grid.tuples,
+        grid.worlds,
+        grid.budget,
+        if small_mode { " [small]" } else { "" }
+    );
+
+    let table = generate(&DatasetSpec::paper_default(grid.tuples, 0.4, 7)).expect("valid spec");
+    let truth = GroundTruth::sample(&table, 4242);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &tenants in &grid.tenants {
+        let mut reference: Vec<UrReport> = Vec::new();
+        for &shards in &grid.shards {
+            for mode in [RunMode::Tick, RunMode::Event] {
+                let (cell, reports) = run_cell(&table, &truth, &grid, tenants, shards, mode);
+                if reference.is_empty() {
+                    // First cell of the row is tick mode at one shard —
+                    // the configuration bit-compatible with the
+                    // pre-refactor loop — and anchors the row.
+                    assert_eq!(shards, 1);
+                    assert_eq!(mode, RunMode::Tick);
+                    reference = reports;
+                } else {
+                    for (t, (a, b)) in reference.iter().zip(&reports).enumerate() {
+                        assert!(
+                            a.same_outcome(b),
+                            "tenant {t} diverged at {tenants} tenants / {shards} shards / {mode:?}"
+                        );
+                    }
+                }
+                eprintln!(
+                    "# tenants {:>6} shards {:>2} {:<5}: {:>9.1} ms total, {:>8.1} ms purchase, {:>5} rounds, {:>6} answers ({} cached), {:>7} events, imbalance {:.3}",
+                    cell.tenants,
+                    cell.shards,
+                    format!("{:?}", cell.mode).to_lowercase(),
+                    cell.elapsed_ms,
+                    cell.purchase_ms,
+                    cell.rounds,
+                    cell.answers_served,
+                    cell.cache_hits,
+                    cell.events,
+                    cell.shard_imbalance,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_pr9\",\n  \"mode\": \"{}\",\n  \"config\": {{ \"tuples\": {}, \"worlds\": {}, \"budget\": {}, \"fanout\": 64 }},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        if small_mode { "small" } else { "full" },
+        grid.tuples,
+        grid.worlds,
+        grid.budget,
+        cells
+            .iter()
+            .map(|c| format!(
+                "    {{ \"tenants\": {}, \"shards\": {}, \"run_mode\": \"{}\", \"elapsed_ms\": {:.1}, \"purchase_ms\": {:.1}, \"rounds\": {}, \"answers_served\": {}, \"cache_hits\": {}, \"events\": {}, \"budget_granted\": {}, \"shard_imbalance\": {:.3} }}",
+                c.tenants,
+                c.shards,
+                format!("{:?}", c.mode).to_lowercase(),
+                c.elapsed_ms,
+                c.purchase_ms,
+                c.rounds,
+                c.answers_served,
+                c.cache_hits,
+                c.events,
+                c.budget_granted,
+                c.shard_imbalance,
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH_PR9.json");
+    eprintln!("# wrote {out}");
+}

@@ -131,8 +131,9 @@ pub struct StepRecord {
 
 impl StepRecord {
     /// Bit-exact semantic equality (timing-free; used by
-    /// [`UrReport::same_outcome`]).
-    fn same_outcome(&self, other: &StepRecord) -> bool {
+    /// [`UrReport::same_outcome`], and by the wire layer's report
+    /// summaries to compare a decoded step against a live one).
+    pub fn same_outcome(&self, other: &StepRecord) -> bool {
         self.question == other.question
             && self.answer_yes == other.answer_yes
             && self.orderings == other.orderings

@@ -95,6 +95,99 @@ impl AnswerCache {
     }
 }
 
+/// Anything that can memoize crowd verdicts for the batcher: the plain
+/// [`AnswerCache`] or the question-hash-partitioned
+/// [`ShardedAnswerCache`]. The batcher resolves against the trait so the
+/// tick and event loops share one cache-first purchase path at any shard
+/// count.
+pub trait AnswerStore {
+    /// Looks up the answer for `q`, re-oriented to `q`'s orientation,
+    /// with the accuracy it was bought at.
+    fn lookup(&mut self, q: Question) -> Option<(Answer, f64)>;
+    /// Stores a freshly bought answer (canonicalized).
+    fn store(&mut self, answer: Answer, accuracy: f64);
+}
+
+impl AnswerStore for AnswerCache {
+    fn lookup(&mut self, q: Question) -> Option<(Answer, f64)> {
+        self.get(q)
+    }
+    fn store(&mut self, answer: Answer, accuracy: f64) {
+        self.insert(answer, accuracy)
+    }
+}
+
+/// An [`AnswerCache`] partitioned by question hash: both orientations of
+/// a pair land in the same partition (the hash is over the canonical
+/// orientation), so re-orientation semantics are exactly the single
+/// cache's. With one partition this *is* the single cache; partitioning
+/// only changes which map a question lives in, never what it answers —
+/// lookups and economics are identical at any shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedAnswerCache {
+    shards: Vec<AnswerCache>,
+}
+
+impl ShardedAnswerCache {
+    /// A cache over `shards` partitions (clamped to >= 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| AnswerCache::new()).collect(),
+        }
+    }
+
+    /// Which partition owns `q` — a deterministic multiplicative hash of
+    /// the canonical orientation, so `(i, j)` and `(j, i)` always agree.
+    fn shard_of(&self, q: Question) -> usize {
+        let c = q.canonical();
+        let h = u64::from(c.i).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(c.j).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Distinct questions remembered in partition `i` (observability for
+    /// the imbalance metric), `None` past the last partition.
+    pub fn shard_len(&self, i: usize) -> Option<usize> {
+        self.shards.get(i).map(AnswerCache::len)
+    }
+
+    /// Distinct questions remembered across all partitions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(AnswerCache::len).sum()
+    }
+
+    /// True when no answer was cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(AnswerCache::is_empty)
+    }
+
+    /// Lookups served from the cache, across partitions.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(AnswerCache::hits).sum()
+    }
+
+    /// Total lookups, across partitions.
+    pub fn lookups(&self) -> u64 {
+        self.shards.iter().map(AnswerCache::lookups).sum()
+    }
+}
+
+impl AnswerStore for ShardedAnswerCache {
+    fn lookup(&mut self, q: Question) -> Option<(Answer, f64)> {
+        let s = self.shard_of(q);
+        self.shards[s].get(q)
+    }
+    fn store(&mut self, answer: Answer, accuracy: f64) {
+        let s = self.shard_of(answer.question);
+        self.shards[s].insert(answer, accuracy)
+    }
+}
+
 /// One delivered answer with its provenance.
 #[derive(Debug, Clone, Copy)]
 pub struct ServedAnswer {
@@ -155,10 +248,10 @@ pub struct RoundStats {
 /// standalone loop). Cache hits never spend crowd budget; a live answer
 /// is cached immediately, so identical questions later in the same round
 /// — from any session — are already hits.
-pub fn resolve_round<C: Crowd>(
+pub fn resolve_round<C: Crowd, S: AnswerStore>(
     requests: &[(SessionId, Vec<Question>)],
     crowd: &mut C,
-    cache: &mut AnswerCache,
+    cache: &mut S,
 ) -> (Vec<SessionAnswers>, RoundStats) {
     let routed: Vec<(SessionId, Vec<(Question, RouteHint)>)> = requests
         .iter()
@@ -173,10 +266,10 @@ pub fn resolve_round<C: Crowd>(
 /// cache hit costs nothing regardless of routing — and hint-blind
 /// backends fall back to plain [`Crowd::ask`] via the trait default, so
 /// an all-`Any` request list is exactly [`resolve_round`].
-pub fn resolve_round_routed<C: Crowd>(
+pub fn resolve_round_routed<C: Crowd, S: AnswerStore>(
     requests: &[(SessionId, Vec<(Question, RouteHint)>)],
     crowd: &mut C,
-    cache: &mut AnswerCache,
+    cache: &mut S,
 ) -> (Vec<SessionAnswers>, RoundStats) {
     let mut out = Vec::with_capacity(requests.len());
     let mut stats = RoundStats::default();
@@ -184,7 +277,7 @@ pub fn resolve_round_routed<C: Crowd>(
         let mut answers = Vec::with_capacity(questions.len());
         let mut hits = 0;
         for (q, hint) in questions {
-            if let Some((ans, accuracy)) = cache.get(*q) {
+            if let Some((ans, accuracy)) = cache.lookup(*q) {
                 hits += 1;
                 answers.push(ServedAnswer {
                     answer: ans,
@@ -199,7 +292,7 @@ pub fn resolve_round_routed<C: Crowd>(
                     RouteHint::Any => {}
                 }
                 let accuracy = crowd.answer_accuracy();
-                cache.insert(ans, accuracy);
+                cache.store(ans, accuracy);
                 answers.push(ServedAnswer {
                     answer: ans,
                     accuracy,
@@ -282,6 +375,44 @@ mod tests {
         assert!(served[0].answers[1].answer.yes && served[1].answers[1].answer.yes);
         assert!(!served[0].answers[0].cached && served[1].answers[0].cached);
         assert_eq!(c.remaining(), 8);
+    }
+
+    #[test]
+    fn sharded_cache_agrees_with_the_single_cache() {
+        // The same insert/lookup trace against 1, 2, 3 and 4 partitions
+        // must answer exactly like the plain cache — partitioning decides
+        // where a fact lives, never what it says.
+        let pairs = [(2u32, 0u32), (1, 0), (2, 1), (0, 2), (1, 2)];
+        for shards in 1..=4 {
+            let mut single = AnswerCache::new();
+            let mut sharded = ShardedAnswerCache::new(shards);
+            for (n, &(i, j)) in pairs.iter().enumerate() {
+                let ans = Answer {
+                    question: Question::new(i, j),
+                    yes: n % 2 == 0,
+                };
+                single.insert(ans, 0.9);
+                sharded.store(ans, 0.9);
+            }
+            for &(i, j) in &pairs {
+                for q in [Question::new(i, j), Question::new(j, i)] {
+                    let a = single.get(q);
+                    let b = sharded.lookup(q);
+                    match (a, b) {
+                        (Some((x, xa)), Some((y, ya))) => {
+                            assert_eq!(x.yes, y.yes, "{q:?} at {shards} shards");
+                            assert_eq!(x.question, y.question);
+                            assert_eq!(xa.to_bits(), ya.to_bits());
+                        }
+                        (None, None) => {}
+                        other => panic!("presence diverged for {q:?}: {other:?}"),
+                    }
+                }
+            }
+            assert_eq!(single.len(), sharded.len());
+            assert_eq!(single.hits(), sharded.hits());
+            assert_eq!(single.lookups(), sharded.lookups());
+        }
     }
 
     #[test]

@@ -11,42 +11,56 @@
 //!
 //! The layer is built on the sans-IO [`ctk_core::driver::SessionDriver`]:
 //! each session is a state machine that emits question batches and absorbs
-//! answers, and this crate owns the dispatch:
+//! answers, and this crate owns the dispatch over a **shard-owned core**
+//! (DESIGN.md §14):
 //!
+//! * [`shard`] — the shard structs: each shard owns its sessions end to
+//!   end (registry, scheduler queues, budget-grant ledger, event
+//!   ready-queue); budget is reconciled against the crowd through
+//!   explicit [`ShardLedger`] grants;
 //! * [`registry`] — shard-aware session registry: per-session budgets,
-//!   lifecycle states (queued / awaiting-answers / done / failed), and
-//!   disjoint `&mut` entry access for the sharded round phases;
+//!   lifecycle states (queued / awaiting-answers / awaiting-budget /
+//!   done / failed), and disjoint `&mut` entry access for the sharded
+//!   round phases;
 //! * [`scheduler`] — strict priority between classes, deficit round-robin
 //!   within a class (persistent per-class service queues), bounded
 //!   fanout: every session of the top nonempty class is served within
-//!   `ceil(n / fanout)` rounds, churn-proof;
-//! * [`batcher`] — cross-session question batching with an
-//!   [`AnswerCache`]: identical pairwise questions from different tenants
-//!   are answered once, then served from memory, before any crowd budget
-//!   is spent;
-//! * [`service`] — [`TopKService`], the round loop tying them together:
-//!   gather and feed phases shard session work over `std::thread::scope`
-//!   worker chunks, the purchase phase stays sequential so budget and
-//!   cache semantics are exactly the single-threaded ones;
-//! * [`metrics`] — throughput / latency / cache-hit accounting.
+//!   `ceil(n / fanout)` rounds, churn-proof; one instance per shard;
+//! * [`batcher`] — cross-session question batching with an answer cache
+//!   ([`AnswerCache`], partitioned by question hash as
+//!   [`ShardedAnswerCache`]): identical pairwise questions from different
+//!   tenants are answered once, then served from memory, before any
+//!   crowd budget is spent;
+//! * [`service`] — [`TopKService`] in two run modes: [`RunMode::Tick`]
+//!   barrier rounds (gather/purchase/feed, bit-identical to the
+//!   pre-shard loop at one shard) and [`RunMode::Event`] sweeps draining
+//!   typed per-shard [`Event`] queues, with [`Quiescence`] telling
+//!   blocked-on-crowd apart from idle;
+//! * [`metrics`] — throughput / latency-histogram / cache-hit /
+//!   shard-imbalance accounting.
 //!
 //! With reliable (accuracy-1) workers the multiplexing is *lossless*:
 //! every session's final report equals the one the standalone blocking
 //! [`ctk_core::session::UrSession::run`] produces under the same seed —
-//! the integration suite pins this for 36 concurrent tenants, and pins
-//! that per-tenant reports are bit-identical at 1/2/4 worker threads.
-//! See DESIGN.md §7 and §9 for the architecture discussion.
+//! the integration suite pins this for 36 concurrent tenants, pins that
+//! per-tenant reports are bit-identical at 1/2/4 worker threads, and pins
+//! that both run modes agree at 1/2/4 shards. See DESIGN.md §7, §9 and
+//! §14 for the architecture discussion.
 
 pub mod batcher;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod shard;
 
-pub use batcher::{AnswerCache, RoundStats, ServedAnswer, SessionAnswers};
+pub use batcher::{
+    AnswerCache, AnswerStore, RoundStats, ServedAnswer, SessionAnswers, ShardedAnswerCache,
+};
 pub use ctk_quality::QuestionRouter;
 pub use ctk_tpo::{PrecisionTarget, StopReason};
 pub use metrics::ServiceMetrics;
 pub use registry::{Registry, SessionId, SessionSpec, SessionState};
 pub use scheduler::Scheduler;
-pub use service::{RoundOutcome, TopKService};
+pub use service::{RegistryView, RoundOutcome, RunMode, TopKService};
+pub use shard::{Event, Quiescence, ShardLedger};

@@ -1,6 +1,17 @@
 //! Service-level observability: throughput, latency and cache economics.
+//!
+//! Latency is tracked in a deterministic fixed-bucket histogram (bucket
+//! `i` holds latencies below `2^i` µs), so `latency_p50/p95/p99` report a
+//! bucket upper bound — coarse but allocation-free, mergeable, and stable
+//! across runs with the same bucket layout. Per-shard counters feed
+//! [`ServiceMetrics::shard_imbalance`], the load-skew signal of the
+//! shard-owned serving core (DESIGN.md §14).
 
 use std::time::Duration;
+
+/// Power-of-two µs buckets: bucket `i` covers latencies `< 2^i` µs. 40
+/// buckets reach ~12.7 days — everything above clamps into the last one.
+const LATENCY_BUCKETS: usize = 40;
 
 /// Counters and timings accumulated over a service's lifetime.
 #[derive(Debug, Clone, Default)]
@@ -14,7 +25,8 @@ pub struct ServiceMetrics {
     /// Sessions whose round was cut short by an exhausted crowd at least
     /// once (they still complete, with fewer questions than budgeted).
     pub starved: u64,
-    /// Scheduling rounds executed.
+    /// Scheduling rounds executed (tick mode: ticks; event mode: pump
+    /// sweeps that made progress).
     pub rounds: u64,
     /// Worker threads the round loop shards gather/feed work over (1 =
     /// the sequential loop; reports are identical at every setting).
@@ -38,19 +50,122 @@ pub struct ServiceMetrics {
     /// ordered prefix before sampling — decided without any crowd
     /// questions or worlds.
     pub certain_early_stops: u64,
-    /// Wall time spent inside `tick` (selection, crowd calls, updates).
+    /// Events drained from the shards' ready-queues (lifecycle markers
+    /// only in tick mode; the full event taxonomy in event mode).
+    pub events_processed: u64,
+    /// Budget-grant units the reconciler issued to shards (0 until a
+    /// session parks on an exhausted grant; tick mode grants implicitly
+    /// at purchase time, counted in the shard ledgers instead).
+    pub budget_granted: u64,
+    /// Wall time spent inside the run loop (selection, crowd calls,
+    /// updates).
     pub serving_time: Duration,
+    /// Wall time spent resolving questions against cache + crowd — the
+    /// purchase phase the sharded refactor exists to unblock, broken out
+    /// so benches can compare it against the PR 4 baseline.
+    pub purchase_time: Duration,
     latency_sum: Duration,
     latency_max: Duration,
     latency_count: u64,
+    latency_hist: Vec<u64>,
+    shard_answers: Vec<u64>,
+    shard_completed: Vec<u64>,
+}
+
+/// The histogram bucket `latency` falls into.
+fn bucket_index(latency: Duration) -> usize {
+    let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+    let idx = (u64::BITS - micros.leading_zeros()) as usize;
+    idx.min(LATENCY_BUCKETS - 1)
 }
 
 impl ServiceMetrics {
+    /// Sizes the per-shard counters (service construction time).
+    pub(crate) fn init_shards(&mut self, shards: usize) {
+        self.shard_answers = vec![0; shards];
+        self.shard_completed = vec![0; shards];
+    }
+
+    /// Credits `n` delivered answers to `shard`.
+    pub(crate) fn record_shard_answers(&mut self, shard: usize, n: u64) {
+        if let Some(slot) = self.shard_answers.get_mut(shard) {
+            *slot += n;
+        }
+    }
+
+    /// Credits one completed session to `shard`.
+    pub(crate) fn record_shard_completed(&mut self, shard: usize) {
+        if let Some(slot) = self.shard_completed.get_mut(shard) {
+            *slot += 1;
+        }
+    }
+
     /// Records one finished session's enqueue-to-done latency.
     pub(crate) fn record_latency(&mut self, latency: Duration) {
         self.latency_sum += latency;
         self.latency_max = self.latency_max.max(latency);
         self.latency_count += 1;
+        if self.latency_hist.is_empty() {
+            self.latency_hist = vec![0; LATENCY_BUCKETS];
+        }
+        self.latency_hist[bucket_index(latency)] += 1;
+    }
+
+    /// Answers delivered per shard (empty before the first submit).
+    pub fn shard_answers(&self) -> &[u64] {
+        &self.shard_answers
+    }
+
+    /// Sessions completed per shard.
+    pub fn shard_completed(&self) -> &[u64] {
+        &self.shard_completed
+    }
+
+    /// Load skew across shards: busiest shard's delivered answers over
+    /// the per-shard mean. `1.0` is perfectly balanced; `n` means one
+    /// shard did the work of `n`. Degenerate cases (≤ 1 shard, nothing
+    /// served) report `1.0`.
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shard_answers.iter().sum();
+        let n = self.shard_answers.len();
+        if n <= 1 || total == 0 {
+            return 1.0;
+        }
+        let busiest = self.shard_answers.iter().copied().max().unwrap_or(0);
+        busiest as f64 * n as f64 / total as f64
+    }
+
+    /// The latency below which `p` of finished sessions completed, as the
+    /// histogram bucket's upper bound (power-of-two µs). `None` before
+    /// the first completion.
+    fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        if self.latency_count == 0 {
+            return None;
+        }
+        let rank = ((p * self.latency_count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << i.min(62)));
+            }
+        }
+        Some(self.latency_max)
+    }
+
+    /// Median enqueue-to-done latency (histogram bucket upper bound).
+    pub fn latency_p50(&self) -> Option<Duration> {
+        self.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile enqueue-to-done latency.
+    pub fn latency_p95(&self) -> Option<Duration> {
+        self.latency_percentile(0.95)
+    }
+
+    /// 99th-percentile enqueue-to-done latency.
+    pub fn latency_p99(&self) -> Option<Duration> {
+        self.latency_percentile(0.99)
     }
 
     /// Fraction of delivered answers that never touched the crowd.
@@ -101,17 +216,22 @@ impl ServiceMetrics {
     pub fn summary(&self) -> String {
         format!(
             "sessions: {} submitted, {} completed, {} failed, {} starved | \
-             rounds: {} ({} worker threads) | \
+             rounds: {} ({} worker threads, {} shards, imbalance {:.2}) | \
              answers: {} served ({} live, {} cached, {:.1}% hit rate) | \
              routing: {} expert, {} cheap | \
              precision: {} worlds drawn, {} certain early stops | \
-             throughput: {:.0} answers/s, {:.1} sessions/s | latency avg {:?} max {:?}",
+             events: {} drained, {} budget units granted | \
+             throughput: {:.0} answers/s, {:.1} sessions/s | \
+             latency avg {:?} p50 {:?} p95 {:?} p99 {:?} max {:?} | \
+             purchase {:?} of {:?} serving",
             self.submitted,
             self.completed,
             self.failed,
             self.starved,
             self.rounds,
             self.worker_threads.max(1),
+            self.shard_answers.len().max(1),
+            self.shard_imbalance(),
             self.answers_served,
             self.crowd_questions,
             self.cache_hits,
@@ -120,10 +240,17 @@ impl ServiceMetrics {
             self.routed_cheap,
             self.worlds_drawn,
             self.certain_early_stops,
+            self.events_processed,
+            self.budget_granted,
             self.answers_per_sec(),
             self.sessions_per_sec(),
             self.avg_latency().unwrap_or_default(),
+            self.latency_p50().unwrap_or_default(),
+            self.latency_p95().unwrap_or_default(),
+            self.latency_p99().unwrap_or_default(),
             self.max_latency().unwrap_or_default(),
+            self.purchase_time,
+            self.serving_time,
         )
     }
 }
@@ -140,6 +267,9 @@ mod tests {
         assert_eq!(m.sessions_per_sec(), 0.0);
         assert!(m.avg_latency().is_none());
         assert!(m.max_latency().is_none());
+        assert!(m.latency_p50().is_none());
+        assert!(m.latency_p99().is_none());
+        assert_eq!(m.shard_imbalance(), 1.0);
     }
 
     #[test]
@@ -149,6 +279,58 @@ mod tests {
         m.record_latency(Duration::from_millis(30));
         assert_eq!(m.avg_latency(), Some(Duration::from_millis(20)));
         assert_eq!(m.max_latency(), Some(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn histogram_percentiles_hit_the_right_buckets() {
+        let mut m = ServiceMetrics::default();
+        // 98 fast sessions (~100µs), one slow (~50ms), one very slow
+        // (~3s): p50 stays in the fast bucket, p99 reaches the slow one,
+        // and the max is not a bucket bound but the true maximum.
+        for _ in 0..98 {
+            m.record_latency(Duration::from_micros(100));
+        }
+        m.record_latency(Duration::from_millis(50));
+        m.record_latency(Duration::from_secs(3));
+        // 100µs < 2^7 µs = 128µs.
+        assert_eq!(m.latency_p50(), Some(Duration::from_micros(128)));
+        assert_eq!(m.latency_p95(), Some(Duration::from_micros(128)));
+        // 50ms < 2^16 µs = 65.536ms.
+        assert_eq!(m.latency_p99(), Some(Duration::from_micros(1 << 16)));
+        assert_eq!(m.max_latency(), Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut m = ServiceMetrics::default();
+        for i in 0..200u64 {
+            m.record_latency(Duration::from_micros(1 + i * 37));
+        }
+        let (p50, p95, p99) = (
+            m.latency_p50().unwrap(),
+            m.latency_p95().unwrap(),
+            m.latency_p99().unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+    }
+
+    #[test]
+    fn shard_imbalance_reads_the_skew() {
+        let mut m = ServiceMetrics::default();
+        m.init_shards(4);
+        assert_eq!(m.shard_imbalance(), 1.0, "nothing served yet");
+        for shard in 0..4 {
+            m.record_shard_answers(shard, 10);
+        }
+        assert_eq!(m.shard_imbalance(), 1.0, "perfectly balanced");
+        m.record_shard_answers(0, 40);
+        // Shard 0 served 50 of 80: busiest/mean = 50 / 20 = 2.5.
+        assert!((m.shard_imbalance() - 2.5).abs() < 1e-12);
+        assert_eq!(m.shard_answers(), &[50, 10, 10, 10]);
+        // Out-of-range shards are ignored, not a panic.
+        m.record_shard_answers(99, 1);
+        m.record_shard_completed(99);
+        assert_eq!(m.shard_completed(), &[0, 0, 0, 0]);
     }
 
     #[test]
@@ -165,5 +347,7 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("32 submitted"));
         assert!(s.contains("40.0% hit rate"));
+        assert!(s.contains("p95"));
+        assert!(s.contains("imbalance"));
     }
 }

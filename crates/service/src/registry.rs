@@ -1,16 +1,22 @@
 //! The session registry: who is being served, with what allowance, and
 //! where each session stands in its lifecycle.
 //!
-//! The registry is shard-aware: [`Registry::entries_mut_in_order`] hands
-//! out disjoint `&mut` entries for a planned id set in plan order, which
-//! is what lets the service fan a round's driver work out over scoped
-//! worker threads without interior mutability or locking.
+//! Since the shard-owned refactor (DESIGN.md §14) a service holds one
+//! registry **per shard**: ids are assigned globally and strided across
+//! shards (`shard = id mod shards`), so each registry stores a strictly
+//! increasing id subsequence and resolves lookups by binary search.
+//! [`Registry::entries_mut_in_order`] hands out disjoint `&mut` entries
+//! for a planned id set in plan order, which is what lets the service fan
+//! a round's driver work out over scoped worker threads without interior
+//! mutability or locking.
 
+use crate::batcher::ServedAnswer;
 use ctk_core::driver::SessionDriver;
 use ctk_core::session::{SessionConfig, UrReport};
 use ctk_core::CoreError;
-use ctk_crowd::BudgetLedger;
+use ctk_crowd::{BudgetLedger, Question, RouteHint};
 use ctk_tpo::PrecisionTarget;
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -32,6 +38,11 @@ pub enum SessionState {
     /// Questions are on the wire; the session waits for crowd answers
     /// (transient within one service round).
     AwaitingAnswers,
+    /// Event mode only: the session has unresolved questions its shard
+    /// holds no budget grant for — parked until the reconciler issues a
+    /// [`crate::shard::Event::BudgetGranted`] or the service force-starves
+    /// it at quiescence. Blocked on external input, not on computation.
+    AwaitingBudget,
     /// Finished; the report is available.
     Done,
     /// The driver reported an error; see the stored [`CoreError`].
@@ -93,6 +104,18 @@ pub(crate) struct SessionEntry {
     pub(crate) error: Option<CoreError>,
     pub(crate) submitted_at: Instant,
     pub(crate) latency: Option<Duration>,
+    /// Event mode: hinted questions of the current batch not yet resolved
+    /// (front = next to serve). Non-empty only while `AwaitingAnswers`
+    /// (mid-resolve) or `AwaitingBudget` (parked on a grant).
+    pub(crate) pending: VecDeque<(Question, RouteHint)>,
+    /// Event mode: answers resolved so far for the current batch, in
+    /// request order — the session's mailbox, delivered on
+    /// [`crate::shard::Event::AnswersReady`].
+    pub(crate) served: Vec<ServedAnswer>,
+    /// Event mode: how many questions the current batch posed.
+    pub(crate) requested: usize,
+    /// Event mode: how many of `served` came from the cache.
+    pub(crate) batch_hits: usize,
 }
 
 /// The set of sessions a service instance is responsible for.
@@ -107,9 +130,18 @@ impl Registry {
         Self::default()
     }
 
-    /// Registers a new session in the `Queued` state.
-    pub(crate) fn insert(&mut self, driver: SessionDriver, priority: u8) -> SessionId {
-        let id = SessionId(self.entries.len() as u64);
+    /// Registers a new session in the `Queued` state under a
+    /// caller-assigned id. Ids are handed out by the service's global
+    /// counter and strided across shards, so within one registry they
+    /// arrive strictly increasing — the invariant binary-search lookups
+    /// rely on (checked here).
+    pub(crate) fn insert(&mut self, id: SessionId, driver: SessionDriver, priority: u8) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                last.id < id,
+                "session ids must be inserted in increasing order"
+            );
+        }
         let budget = driver.config().budget;
         self.entries.push(SessionEntry {
             id,
@@ -122,16 +154,23 @@ impl Registry {
             // ctk-allow(det-wall-clock): wall-clock latency metric only; never feeds scheduling or results
             submitted_at: Instant::now(),
             latency: None,
+            pending: VecDeque::new(),
+            served: Vec::new(),
+            requested: 0,
+            batch_hits: 0,
         });
-        id
+    }
+
+    fn position(&self, id: SessionId) -> Option<usize> {
+        self.entries.binary_search_by_key(&id, |e| e.id).ok()
     }
 
     pub(crate) fn get(&self, id: SessionId) -> Option<&SessionEntry> {
-        self.entries.get(id.0 as usize)
+        self.position(id).map(|i| &self.entries[i])
     }
 
     pub(crate) fn get_mut(&mut self, id: SessionId) -> Option<&mut SessionEntry> {
-        self.entries.get_mut(id.0 as usize)
+        self.position(id).map(|i| &mut self.entries[i])
     }
 
     /// Disjoint `&mut` borrows of the entries named by `ids`, returned in
@@ -188,10 +227,31 @@ impl Registry {
             .filter(|e| {
                 matches!(
                     e.state,
-                    SessionState::Queued | SessionState::AwaitingAnswers
+                    SessionState::Queued
+                        | SessionState::AwaitingAnswers
+                        | SessionState::AwaitingBudget
                 )
             })
             .count()
+    }
+
+    /// Sessions parked on a budget grant (event mode), in id order.
+    pub(crate) fn parked(&self) -> Vec<SessionId> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SessionState::AwaitingBudget)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Unresolved questions across parked sessions — the shard's budget
+    /// demand the reconciler grants against.
+    pub(crate) fn parked_demand(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SessionState::AwaitingBudget)
+            .map(|e| e.pending.len())
+            .sum()
     }
 
     /// Lifecycle state of a session.

@@ -1,24 +1,46 @@
 //! The serving loop: multiplexes many [`SessionDriver`]s over one shared
-//! crowd backend, one scheduling round at a time.
+//! crowd backend, in one of two run modes over a shard-owned core
+//! (DESIGN.md §14).
 //!
-//! Each round runs in three phases. The **gather** phase (sharded across
+//! Sessions are strided across [`Shard`]s by id; each shard owns its
+//! registry, scheduler queues, budget-grant ledger and an event
+//! ready-queue end to end. The answer cache shards separately, by
+//! question hash, because an answer is a fact about a pair of objects,
+//! not about the session that asked.
+//!
+//! **Tick mode** ([`RunMode::Tick`], the default) preserves the classic
+//! barrier round bit-exactly: the **gather** phase (sharded across
 //! `std::thread::scope` worker chunks) asks every scheduled driver for
 //! its next question batch; the **purchase** phase (sequential, single
 //! crowd) funnels the merged demand through the cache-first batcher so
 //! budget accounting and cache semantics are identical to the
 //! single-threaded loop; the **feed** phase (sharded again) applies the
-//! answers to each session's belief. Drivers are independent state
-//! machines (`SessionDriver: Send`, disjoint `&mut` borrows via the
-//! shard-aware registry), every cross-session effect — scheduling order,
-//! crowd spending, cache population, metrics — happens in the sequential
-//! merge steps in plan order, so per-tenant reports are bit-identical at
-//! any worker thread count (pinned by tests and the `many_tenants`
-//! suite).
+//! answers to each session's belief. At one shard this *is* the
+//! pre-refactor loop — pinned by the `many_tenants` suite.
+//!
+//! **Event mode** ([`RunMode::Event`]) replaces the barrier with
+//! [`TopKService::pump`] sweeps that drain each shard's typed ready-queue
+//! ([`Event`]): sessions resolve their batches independently, spend crowd
+//! budget only through grants the reconciler issues against parked
+//! demand, and a sweep that neither schedules, drains, nor grants is
+//! decisively *not* progress — which is how
+//! [`TopKService::run_until_quiescent`] tells "blocked on the crowd"
+//! ([`Quiescence::BlockedOnCrowd`]) apart from a livelock.
+//!
+//! Drivers are independent state machines (`SessionDriver: Send`,
+//! disjoint `&mut` borrows via the shard-aware registry); every
+//! cross-session effect — scheduling order, crowd spending, cache
+//! population, metrics — happens sequentially in shard-index order, so
+//! per-tenant reports are deterministic at any worker thread count and
+//! any fixed shard count.
 
-use crate::batcher::{resolve_round_routed, AnswerCache, SessionAnswers};
+use crate::batcher::{
+    resolve_round_routed, AnswerStore, ServedAnswer, SessionAnswers, ShardedAnswerCache,
+};
 use crate::metrics::ServiceMetrics;
 use crate::registry::{Registry, SessionEntry, SessionId, SessionSpec, SessionState};
 use crate::scheduler::Scheduler;
+use crate::shard::{Event, Quiescence, Shard, ShardLedger};
 use ctk_core::driver::{DriverStatus, SessionDriver};
 use ctk_core::session::UrReport;
 use ctk_core::{CoreError, Result};
@@ -31,23 +53,49 @@ use ctk_tpo::build::Engine;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// What one scheduling round did.
+/// How the service advances its sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Classic barrier rounds: every [`TopKService::tick`] plans,
+    /// gathers, purchases and feeds in lock-step. At one shard this is
+    /// the pre-shard loop, preserved bit-exactly.
+    #[default]
+    Tick,
+    /// Event-driven sweeps: [`TopKService::pump`] drains each shard's
+    /// ready-queue and resolves sessions independently, spending crowd
+    /// budget only through reconciled grants. Blocked-on-crowd is
+    /// distinguishable from idle (see [`Quiescence`]).
+    Event,
+}
+
+/// What one scheduling round (tick) or sweep (pump) did.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundOutcome {
-    /// Sessions the scheduler picked this round.
+    /// Sessions the scheduler picked.
     pub scheduled: usize,
     /// Answers delivered to sessions.
     pub answers_served: u64,
     /// Answers that came from the cache.
     pub cache_hits: u64,
-    /// Sessions that reached `Done` or `Failed` this round.
+    /// Sessions that reached `Done` or `Failed`.
     pub finished: usize,
+    /// Events drained from shard ready-queues (lifecycle markers, answer
+    /// deliveries, budget grants being consumed).
+    pub events: u64,
+    /// Budget-grant units the reconciler issued this sweep (event mode).
+    pub budget_granted: u64,
 }
 
 impl RoundOutcome {
-    /// True when the round moved any session forward.
+    /// True when the round moved any session forward — or issued a grant
+    /// that will. A sweep that neither schedules, drains, finishes, nor
+    /// grants cannot unblock anything by being repeated.
     pub fn progressed(&self) -> bool {
         self.scheduled > 0
+            || self.finished > 0
+            || self.answers_served > 0
+            || self.events > 0
+            || self.budget_granted > 0
     }
 }
 
@@ -57,6 +105,69 @@ struct TableCacheEntry {
     table: UncertainTable,
     pairwise: Arc<PairwiseMatrix>,
     bounds: Vec<(usize, Arc<TopKBounds>)>,
+}
+
+/// Read-only view over every shard's registry, presented as one logical
+/// session table (what [`TopKService::registry`] hands out).
+pub struct RegistryView<'a> {
+    shards: &'a [Shard],
+}
+
+impl RegistryView<'_> {
+    fn registry_of(&self, id: SessionId) -> &Registry {
+        &self.shards[(id.0 % self.shards.len() as u64) as usize].registry
+    }
+
+    /// Total registered sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|sh| sh.registry.len()).sum()
+    }
+
+    /// True when nothing was ever submitted.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|sh| sh.registry.is_empty())
+    }
+
+    /// Sessions not yet done or failed.
+    pub fn active(&self) -> usize {
+        self.shards.iter().map(|sh| sh.registry.active()).sum()
+    }
+
+    /// Lifecycle state of a session.
+    pub fn state(&self, id: SessionId) -> Option<SessionState> {
+        self.registry_of(id).state(id)
+    }
+
+    /// Final report of a `Done` session.
+    pub fn report(&self, id: SessionId) -> Option<&UrReport> {
+        self.registry_of(id).report(id)
+    }
+
+    /// Error of a `Failed` session.
+    pub fn error(&self, id: SessionId) -> Option<&CoreError> {
+        self.registry_of(id).error(id)
+    }
+
+    /// Questions answered for a session so far (cached + live).
+    pub fn questions_served(&self, id: SessionId) -> Option<usize> {
+        self.registry_of(id).questions_served(id)
+    }
+
+    /// Enqueue-to-done latency of a finished session.
+    pub fn latency(&self, id: SessionId) -> Option<std::time::Duration> {
+        self.registry_of(id).latency(id)
+    }
+
+    /// All session ids in submission order.
+    pub fn ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.registry.ids())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
 }
 
 /// A multi-tenant top-K query service over one crowd backend.
@@ -104,13 +215,17 @@ struct TableCacheEntry {
 /// ```
 pub struct TopKService<C: Crowd> {
     crowd: C,
-    cache: AnswerCache,
-    registry: Registry,
-    scheduler: Scheduler,
+    cache: ShardedAnswerCache,
+    shards: Vec<Shard>,
+    /// Global id counter; ids stride across shards (`shard = id mod n`).
+    next_id: u64,
+    run_mode: RunMode,
     metrics: ServiceMetrics,
     /// Worker threads the gather/feed phases shard over (>= 1; 1 runs the
     /// classic sequential loop, any value produces bit-identical reports).
     threads: usize,
+    /// Per-shard scheduler fanout, remembered so `with_shards` can rebuild.
+    fanout: Option<usize>,
     /// One pairwise matrix per distinct table served: the n² comparisons
     /// dominate session setup, and tenants querying the same relation
     /// share a single `Arc` instead of recomputing per submit. Cache
@@ -131,27 +246,59 @@ pub struct TopKService<C: Crowd> {
 }
 
 impl<C: Crowd> TopKService<C> {
-    /// A service over `crowd` with unbounded per-round fanout, sharding
-    /// round work over all available cores.
+    /// A service over `crowd` with one shard, unbounded per-round fanout,
+    /// tick run mode, sharding round work over all available cores.
     pub fn new(crowd: C) -> Self {
         let threads = default_threads();
         let mut metrics = ServiceMetrics::default();
         metrics.worker_threads = threads;
+        metrics.init_shards(1);
         Self {
             crowd,
-            cache: AnswerCache::new(),
-            registry: Registry::new(),
-            scheduler: Scheduler::new(),
+            cache: ShardedAnswerCache::new(1),
+            shards: vec![Shard::new(None)],
+            next_id: 0,
+            run_mode: RunMode::default(),
             metrics,
             threads,
+            fanout: None,
             pairwise_cache: Vec::new(),
             router: None,
         }
     }
 
-    /// Bounds how many sessions are served per round (builder style).
+    /// Partitions the serving core into `shards` shards (builder style;
+    /// clamped to >= 1). Sessions stride across shards by id, the answer
+    /// cache partitions by question hash, and each shard gets its own
+    /// scheduler queues and budget ledger. Must be called before the
+    /// first submit — resharding live sessions would re-home them.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(
+            self.next_id == 0,
+            "configure shards before submitting sessions"
+        );
+        let n = shards.max(1);
+        self.shards = (0..n).map(|_| Shard::new(self.fanout)).collect();
+        self.cache = ShardedAnswerCache::new(n);
+        self.metrics.init_shards(n);
+        self
+    }
+
+    /// Bounds how many sessions are served per round *per shard*
+    /// (builder style).
     pub fn with_fanout(mut self, fanout: usize) -> Self {
-        self.scheduler = Scheduler::with_fanout(fanout);
+        self.fanout = Some(fanout);
+        for shard in &mut self.shards {
+            shard.scheduler = Scheduler::with_fanout(fanout);
+        }
+        self
+    }
+
+    /// Selects the run mode (builder style): barrier ticks or
+    /// event-driven sweeps. Both modes produce equal per-tenant reports
+    /// on reliable crowds with sufficient budget (pinned by tests).
+    pub fn with_run_mode(mut self, mode: RunMode) -> Self {
+        self.run_mode = mode;
         self
     }
 
@@ -172,6 +319,22 @@ impl<C: Crowd> TopKService<C> {
     /// Worker threads the round loop shards over.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of shards the serving core is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured run mode.
+    pub fn run_mode(&self) -> RunMode {
+        self.run_mode
+    }
+
+    /// Budget-grant ledger of one shard (observability): lifetime grants,
+    /// spends and reclaims, plus what is currently available.
+    pub fn shard_ledger(&self, shard: usize) -> Option<&ShardLedger> {
+        self.shards.get(shard).map(|sh| &sh.ledger)
     }
 
     /// Routes live questions by belief margin (builder style): questions
@@ -209,7 +372,11 @@ impl<C: Crowd> TopKService<C> {
         }
         let (pairwise, bounds) = self.table_entry_for(table, config.k);
         let driver = SessionDriver::new_shared(config, table, truth, pairwise, bounds)?;
-        let id = self.registry.insert(driver, spec.priority);
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let s = self.shard_of(id);
+        self.shards[s].registry.insert(id, driver, spec.priority);
+        self.shards[s].ready.push_back(Event::Submitted(id));
         self.metrics.submitted += 1;
         Ok(id)
     }
@@ -279,23 +446,70 @@ impl<C: Crowd> TopKService<C> {
         self.pairwise_cache.iter().map(|e| e.bounds.len()).sum()
     }
 
-    /// Runs one scheduling round. Returns what happened; a round over an
-    /// idle service is a no-op.
+    /// The shard owning `id` (ids stride: `shard = id mod shards`).
+    fn shard_of(&self, id: SessionId) -> usize {
+        (id.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Sessions not yet done or failed, across all shards.
+    fn active(&self) -> usize {
+        self.shards.iter().map(|sh| sh.registry.active()).sum()
+    }
+
+    /// Runs one barrier scheduling round. Returns what happened; a round
+    /// over an idle service is a no-op.
     ///
     /// The round is three phases: gather (sharded), purchase
     /// (sequential), feed (sharded) — see the module docs. All lifecycle
     /// transitions and metrics happen in the sequential merge steps, in
-    /// plan order, so the outcome is independent of the thread count.
+    /// shard-major plan order, so the outcome is independent of the
+    /// thread count, and at one shard bit-identical to the pre-shard
+    /// loop.
     pub fn tick(&mut self) -> RoundOutcome {
         // ctk-allow(det-wall-clock): round-duration metric only; never feeds a decision
         let t0 = Instant::now();
         let mut outcome = RoundOutcome::default();
-        let runnable = self.registry.runnable();
-        if runnable.is_empty() {
+        for s in 0..self.shards.len() {
+            self.drain_ready(s, &mut outcome);
+        }
+        // Mixed-mode safety: sessions parked by event pumping resume here
+        // ungated (tick spends at purchase time, not through grants).
+        let parked: Vec<(usize, SessionId)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, sh)| sh.registry.parked().into_iter().map(move |id| (s, id)))
+            .collect();
+        if !parked.is_empty() {
+            for (s, id) in parked {
+                self.resolve_session(s, id, false, &mut outcome);
+            }
+            for s in 0..self.shards.len() {
+                self.drain_ready(s, &mut outcome);
+            }
+        }
+
+        if self
+            .shards
+            .iter()
+            .all(|sh| sh.registry.runnable().is_empty())
+        {
             return outcome;
         }
         self.metrics.rounds += 1;
-        let planned = self.scheduler.plan_round(&runnable);
+        let plans: Vec<Vec<SessionId>> = self
+            .shards
+            .iter_mut()
+            .map(|sh| {
+                let runnable = sh.registry.runnable();
+                sh.scheduler.plan_round(&runnable)
+            })
+            .collect();
+        let planned: Vec<(usize, SessionId)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(s, plan)| plan.iter().map(move |&id| (s, id)))
+            .collect();
         outcome.scheduled = planned.len();
 
         // Gather phase (sharded): every scheduled driver computes its
@@ -305,8 +519,13 @@ impl<C: Crowd> TopKService<C> {
         // crowd cost; only questions that actually need a live answer
         // starve (per-question, in the batcher below).
         let gathered = {
-            let mut shard = self.registry.entries_mut_in_order(&planned);
-            run_sharded(&mut shard, self.threads, |entry| {
+            let mut entries: Vec<&mut SessionEntry> = self
+                .shards
+                .iter_mut()
+                .zip(&plans)
+                .flat_map(|(sh, plan)| sh.registry.entries_mut_in_order(plan))
+                .collect();
+            run_sharded(&mut entries, self.threads, |entry| {
                 let allowance = entry.ledger.remaining();
                 // ctk-allow(panic-unwrap): queued entries always hold a driver; a silent skip would misattribute answers
                 let driver = entry.driver.as_mut().expect("queued session has driver");
@@ -315,40 +534,27 @@ impl<C: Crowd> TopKService<C> {
         };
 
         // Merge: per-shard question demand funnels into one request list
-        // in plan order; lifecycle transitions happen here, sequentially.
-        // When a router is configured, each question is tagged with the
-        // hint its session's *current* belief margin implies — computed
-        // here, before any of this round's answers move the belief.
+        // in shard-major plan order; lifecycle transitions happen here,
+        // sequentially. When a router is configured, each question is
+        // tagged with the hint its session's *current* belief margin
+        // implies — computed here, before any of this round's answers
+        // move the belief.
         let router = self.router;
         let mut requests: Vec<(SessionId, Vec<(Question, RouteHint)>)> =
             Vec::with_capacity(planned.len());
-        for (id, batch) in planned.iter().copied().zip(gathered) {
+        for (&(s, id), batch) in planned.iter().zip(gathered) {
             match batch {
                 Ok(batch) if batch.is_empty() => {
                     self.finalize(id);
                     outcome.finished += 1;
                 }
                 Ok(batch) => {
-                    let entry = self.registry.get_mut(id).expect("scheduled id exists"); // ctk-allow(panic-unwrap): plan ids come from the registry this round
+                    let entry = self.shards[s]
+                        .registry
+                        .get_mut(id)
+                        .expect("scheduled id exists"); // ctk-allow(panic-unwrap): plan ids come from this shard's registry this round
                     entry.state = SessionState::AwaitingAnswers;
-                    let hinted: Vec<(Question, RouteHint)> = match &router {
-                        Some(r) => {
-                            let driver = entry
-                                .driver
-                                .as_ref()
-                                // ctk-allow(panic-unwrap): awaiting entries always hold a driver (set two lines up)
-                                .expect("awaiting session has driver");
-                            batch
-                                .into_iter()
-                                .map(|q| {
-                                    let hint = r.hint(driver.question_margin(&q));
-                                    (q, hint)
-                                })
-                                .collect()
-                        }
-                        None => batch.into_iter().map(|q| (q, RouteHint::Any)).collect(),
-                    };
-                    requests.push((id, hinted));
+                    requests.push((id, hint_batch(router.as_ref(), entry, batch)));
                 }
                 Err(err) => {
                     self.fail(id, err);
@@ -361,7 +567,17 @@ impl<C: Crowd> TopKService<C> {
         // cache-first, crowd-second. The single crowd walk in plan order
         // keeps budget accounting and cache population identical to the
         // sequential loop regardless of how the other phases shard.
+        // ctk-allow(det-wall-clock): purchase-duration metric only; never feeds a decision
+        let p0 = Instant::now();
         let (served, stats) = resolve_round_routed(&requests, &mut self.crowd, &mut self.cache);
+        self.metrics.purchase_time += p0.elapsed();
+        for sa in &served {
+            let s = self.shard_of(sa.id);
+            let live = sa.answers.iter().filter(|a| !a.cached).count() as u64;
+            self.shards[s].ledger.note_spend(live);
+            self.metrics
+                .record_shard_answers(s, sa.answers.len() as u64);
+        }
 
         // Feed phase (sharded): apply each session's answers, each with
         // the accuracy it was actually bought at (a cached answer keeps
@@ -369,11 +585,21 @@ impl<C: Crowd> TopKService<C> {
         // since). Ledger votes count *live* crowd interactions; cache
         // hits consume session budget but no crowd budget.
         let fed = {
-            let ids: Vec<SessionId> = served.iter().map(|sa| sa.id).collect();
-            let entries = self.registry.entries_mut_in_order(&ids);
-            let mut shard: Vec<(&mut SessionEntry, &SessionAnswers)> =
+            let mut by_shard: Vec<Vec<SessionId>> = vec![Vec::new(); self.shards.len()];
+            for sa in &served {
+                by_shard[self.shard_of(sa.id)].push(sa.id);
+            }
+            // `served` is in shard-major plan order, so the per-shard
+            // concatenation below aligns positionally with it.
+            let entries: Vec<&mut SessionEntry> = self
+                .shards
+                .iter_mut()
+                .zip(&by_shard)
+                .flat_map(|(sh, ids)| sh.registry.entries_mut_in_order(ids))
+                .collect();
+            let mut work: Vec<(&mut SessionEntry, &SessionAnswers)> =
                 entries.into_iter().zip(served.iter()).collect();
-            run_sharded(&mut shard, self.threads, |(entry, sa)| {
+            run_sharded(&mut work, self.threads, |(entry, sa)| {
                 for ans in &sa.answers {
                     entry.ledger.record(ans.answer, usize::from(!ans.cached));
                 }
@@ -393,7 +619,9 @@ impl<C: Crowd> TopKService<C> {
                     outcome.finished += 1;
                 }
                 Ok(DriverStatus::Active) => {
-                    self.registry
+                    let s = self.shard_of(sa.id);
+                    self.shards[s]
+                        .registry
                         .get_mut(sa.id)
                         .expect("served id exists") // ctk-allow(panic-unwrap): served ids come from this round's plan
                         .state = SessionState::Queued;
@@ -405,8 +633,8 @@ impl<C: Crowd> TopKService<C> {
             }
         }
 
-        outcome.answers_served = stats.answers_served;
-        outcome.cache_hits = stats.cache_hits;
+        outcome.answers_served += stats.answers_served;
+        outcome.cache_hits += stats.cache_hits;
         self.metrics.answers_served += stats.answers_served;
         self.metrics.crowd_questions += stats.crowd_questions;
         self.metrics.cache_hits += stats.cache_hits;
@@ -416,13 +644,302 @@ impl<C: Crowd> TopKService<C> {
         outcome
     }
 
-    /// Ticks until every session is done or failed (or no round makes
-    /// progress, which cannot happen with a well-formed driver but is
-    /// guarded against anyway). Returns the accumulated metrics.
-    pub fn run_to_completion(&mut self) -> &ServiceMetrics {
-        while self.registry.active() > 0 {
-            if !self.tick().progressed() {
+    /// Runs one event-driven sweep: per shard in index order, drain the
+    /// ready-queue, schedule and gather runnable sessions, resolve each
+    /// batch against cache and grants, drain again so same-sweep
+    /// deliveries complete, then reconcile budget grants against parked
+    /// demand. Deterministic at any fixed shard count.
+    pub fn pump(&mut self) -> RoundOutcome {
+        // ctk-allow(det-wall-clock): sweep-duration metric only; never feeds a decision
+        let t0 = Instant::now();
+        let mut outcome = RoundOutcome::default();
+        let router = self.router;
+        for s in 0..self.shards.len() {
+            self.drain_ready(s, &mut outcome);
+            let plan = {
+                let sh = &mut self.shards[s];
+                let runnable = sh.registry.runnable();
+                sh.scheduler.plan_round(&runnable)
+            };
+            outcome.scheduled += plan.len();
+            let gathered = {
+                let sh = &mut self.shards[s];
+                let mut entries = sh.registry.entries_mut_in_order(&plan);
+                run_sharded(&mut entries, self.threads, |entry| {
+                    let allowance = entry.ledger.remaining();
+                    // ctk-allow(panic-unwrap): queued entries always hold a driver; a silent skip would misattribute answers
+                    let driver = entry.driver.as_mut().expect("queued session has driver");
+                    driver.next_batch(allowance)
+                })
+            };
+            for (id, batch) in plan.iter().copied().zip(gathered) {
+                match batch {
+                    Ok(batch) if batch.is_empty() => {
+                        self.finalize(id);
+                        outcome.finished += 1;
+                    }
+                    Ok(batch) => {
+                        let entry = self.shards[s]
+                            .registry
+                            .get_mut(id)
+                            .expect("scheduled id exists"); // ctk-allow(panic-unwrap): plan ids come from this shard's registry this sweep
+                        entry.state = SessionState::AwaitingAnswers;
+                        let hinted = hint_batch(router.as_ref(), entry, batch);
+                        entry.requested = hinted.len();
+                        entry.pending = hinted.into_iter().collect();
+                        entry.served.clear();
+                        entry.batch_hits = 0;
+                        self.resolve_session(s, id, true, &mut outcome);
+                    }
+                    Err(err) => {
+                        self.fail(id, err);
+                        outcome.finished += 1;
+                    }
+                }
+            }
+            self.drain_ready(s, &mut outcome);
+        }
+        self.reconcile_budget(&mut outcome);
+        if outcome.progressed() {
+            self.metrics.rounds += 1;
+        }
+        self.metrics.serving_time += t0.elapsed();
+        outcome
+    }
+
+    /// Drains one shard's ready-queue: delivers resolved batches, resumes
+    /// granted sessions, and counts lifecycle markers. Events pushed
+    /// while draining (e.g. `AnswersReady` from a resumed session) are
+    /// drained in the same call.
+    fn drain_ready(&mut self, s: usize, outcome: &mut RoundOutcome) {
+        while let Some(event) = self.shards[s].ready.pop_front() {
+            self.metrics.events_processed += 1;
+            outcome.events += 1;
+            match event {
+                Event::Submitted(_) | Event::Finished(_) => {}
+                Event::AnswersReady(id) => self.deliver(s, id, outcome),
+                Event::BudgetGranted { .. } => {
+                    // Resume every parked session in id order; those the
+                    // grant cannot reach serve their cache hits and park
+                    // again.
+                    for id in self.shards[s].registry.parked() {
+                        self.resolve_session(s, id, true, outcome);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a session's pending questions cache-first, crowd-second.
+    /// Gated (event mode), a cache miss with no grant available parks the
+    /// session `AwaitingBudget`; ungated (tick-style), live asks spend
+    /// crowd budget directly. A crowd that cannot answer decisively
+    /// starves the batch (prefix-cut, exactly the tick batcher's
+    /// semantics). A fully resolved or starved batch posts
+    /// [`Event::AnswersReady`].
+    fn resolve_session(
+        &mut self,
+        s: usize,
+        id: SessionId,
+        gated: bool,
+        outcome: &mut RoundOutcome,
+    ) {
+        // ctk-allow(det-wall-clock): purchase-duration metric only; never feeds a decision
+        let p0 = Instant::now();
+        let Self {
+            crowd,
+            cache,
+            shards,
+            metrics,
+            ..
+        } = self;
+        let Shard {
+            registry,
+            ledger,
+            ready,
+            ..
+        } = &mut shards[s];
+        // ctk-allow(panic-unwrap): resolve targets come from this shard's registry
+        let entry = registry.get_mut(id).expect("resolved id exists");
+        while let Some(&(q, hint)) = entry.pending.front() {
+            if let Some((answer, accuracy)) = cache.lookup(q) {
+                entry.pending.pop_front();
+                entry.batch_hits += 1;
+                entry.served.push(ServedAnswer {
+                    answer,
+                    accuracy,
+                    cached: true,
+                });
+                metrics.cache_hits += 1;
+                outcome.cache_hits += 1;
+                continue;
+            }
+            if gated && ledger.available() == 0 {
+                // No grant to spend: park and let the reconciler decide.
+                entry.state = SessionState::AwaitingBudget;
+                metrics.purchase_time += p0.elapsed();
+                return;
+            }
+            let Some(answer) = crowd.ask_routed(q, hint) else {
+                // Crowd exhausted (or the grant outran its cost-units):
+                // the batch is decisively starved — the driver reads the
+                // prefix as "wind down", exactly like tick mode.
+                entry.pending.clear();
                 break;
+            };
+            entry.pending.pop_front();
+            if gated {
+                ledger.spend_one();
+            } else {
+                ledger.note_spend(1);
+            }
+            let accuracy = crowd.answer_accuracy();
+            cache.store(answer, accuracy);
+            metrics.crowd_questions += 1;
+            match hint {
+                RouteHint::Expert => metrics.routed_expert += 1,
+                RouteHint::Cheap => metrics.routed_cheap += 1,
+                RouteHint::Any => {}
+            }
+            entry.served.push(ServedAnswer {
+                answer,
+                accuracy,
+                cached: false,
+            });
+        }
+        entry.state = SessionState::AwaitingAnswers;
+        ready.push_back(Event::AnswersReady(id));
+        metrics.purchase_time += p0.elapsed();
+    }
+
+    /// Delivers a resolved batch from the session's mailbox to its
+    /// driver, then advances the lifecycle (requeue, finalize or fail).
+    fn deliver(&mut self, s: usize, id: SessionId, outcome: &mut RoundOutcome) {
+        let (served_n, requested, status) = {
+            let entry = self.shards[s]
+                .registry
+                .get_mut(id)
+                .expect("delivered id exists"); // ctk-allow(panic-unwrap): AnswersReady events name ids of this shard's registry
+            let served = std::mem::take(&mut entry.served);
+            let requested = std::mem::replace(&mut entry.requested, 0);
+            entry.pending.clear();
+            entry.batch_hits = 0;
+            for sa in &served {
+                entry.ledger.record(sa.answer, usize::from(!sa.cached));
+            }
+            let graded: Vec<_> = served.iter().map(|a| (a.answer, a.accuracy)).collect();
+            // ctk-allow(panic-unwrap): awaiting entries always hold a driver; loud failure beats misattribution
+            let driver = entry.driver.as_mut().expect("awaiting session has driver");
+            (served.len(), requested, driver.feed_graded(&graded))
+        };
+        self.metrics.answers_served += served_n as u64;
+        self.metrics.record_shard_answers(s, served_n as u64);
+        outcome.answers_served += served_n as u64;
+        if served_n < requested {
+            self.metrics.starved += 1;
+        }
+        match status {
+            Ok(DriverStatus::Done) => {
+                self.finalize(id);
+                outcome.finished += 1;
+            }
+            Ok(DriverStatus::Active) => {
+                self.shards[s]
+                    .registry
+                    .get_mut(id)
+                    .expect("delivered id exists") // ctk-allow(panic-unwrap): same id as above
+                    .state = SessionState::Queued;
+            }
+            Err(err) => {
+                self.fail(id, err);
+                outcome.finished += 1;
+            }
+        }
+    }
+
+    /// Reconciles budget grants against parked demand: reclaim every
+    /// shard's unspent grant, then re-grant from the crowd's *current*
+    /// remaining budget in shard order. The reclaim-first discipline
+    /// keeps the sum of outstanding grants within what the crowd can
+    /// serve; issuing zero grants is not progress, which is what lets
+    /// quiescence detection distinguish blocked-on-crowd from livelock.
+    fn reconcile_budget(&mut self, outcome: &mut RoundOutcome) {
+        for shard in &mut self.shards {
+            shard.ledger.reclaim();
+        }
+        let mut pool = self.crowd.remaining();
+        for shard in &mut self.shards {
+            if pool == 0 {
+                break;
+            }
+            let want = shard.registry.parked_demand();
+            let granted = want.min(pool);
+            if granted > 0 {
+                pool -= granted;
+                shard.ledger.grant(granted);
+                shard.ready.push_back(Event::BudgetGranted { granted });
+                self.metrics.budget_granted += granted as u64;
+                outcome.budget_granted += granted as u64;
+            }
+        }
+    }
+
+    /// Runs rounds/sweeps until no further progress is possible by
+    /// computation alone. In tick mode this is completion (tick's
+    /// purchase phase starves sessions decisively, so nothing parks); in
+    /// event mode it is either completion ([`Quiescence::Idle`]) or a set
+    /// of sessions parked on crowd budget that does not exist
+    /// ([`Quiescence::BlockedOnCrowd`]) — the caller decides whether to
+    /// wait for external budget or force-starve
+    /// ([`TopKService::run_to_completion`]).
+    pub fn run_until_quiescent(&mut self) -> Quiescence {
+        match self.run_mode {
+            RunMode::Tick => {
+                while self.active() > 0 {
+                    if !self.tick().progressed() {
+                        break;
+                    }
+                }
+                Quiescence::Idle
+            }
+            RunMode::Event => {
+                while self.pump().progressed() {}
+                let sessions: Vec<SessionId> = self
+                    .shards
+                    .iter()
+                    .flat_map(|sh| sh.registry.parked())
+                    .collect();
+                if sessions.is_empty() {
+                    Quiescence::Idle
+                } else {
+                    Quiescence::BlockedOnCrowd { sessions }
+                }
+            }
+        }
+    }
+
+    /// Runs until every session is done or failed. When event-mode
+    /// quiescence reports sessions blocked on crowd budget, they are
+    /// force-starved: each parked session is delivered the prefix it did
+    /// resolve — exactly what tick mode's exhausted-crowd path does — so
+    /// its driver winds down and finishes. Returns the accumulated
+    /// metrics.
+    pub fn run_to_completion(&mut self) -> &ServiceMetrics {
+        loop {
+            match self.run_until_quiescent() {
+                Quiescence::Idle => break,
+                Quiescence::BlockedOnCrowd { sessions } => {
+                    for id in sessions {
+                        let s = self.shard_of(id);
+                        let entry = self.shards[s]
+                            .registry
+                            .get_mut(id)
+                            .expect("parked id exists"); // ctk-allow(panic-unwrap): quiescence lists ids from these registries
+                        entry.pending.clear();
+                        entry.state = SessionState::AwaitingAnswers;
+                        self.shards[s].ready.push_back(Event::AnswersReady(id));
+                    }
+                }
             }
         }
         &self.metrics
@@ -430,17 +947,17 @@ impl<C: Crowd> TopKService<C> {
 
     /// Lifecycle state of a session.
     pub fn state(&self, id: SessionId) -> Option<SessionState> {
-        self.registry.state(id)
+        self.shards[self.shard_of(id)].registry.state(id)
     }
 
     /// Final report of a `Done` session.
     pub fn report(&self, id: SessionId) -> Option<&UrReport> {
-        self.registry.report(id)
+        self.shards[self.shard_of(id)].registry.report(id)
     }
 
     /// Error of a `Failed` session.
     pub fn error(&self, id: SessionId) -> Option<&CoreError> {
-        self.registry.error(id)
+        self.shards[self.shard_of(id)].registry.error(id)
     }
 
     /// Accumulated service metrics.
@@ -448,9 +965,11 @@ impl<C: Crowd> TopKService<C> {
         &self.metrics
     }
 
-    /// The session registry (read-only inspection).
-    pub fn registry(&self) -> &Registry {
-        &self.registry
+    /// Read-only view over all shards' session registries.
+    pub fn registry(&self) -> RegistryView<'_> {
+        RegistryView {
+            shards: &self.shards,
+        }
     }
 
     /// The shared crowd backend.
@@ -458,14 +977,17 @@ impl<C: Crowd> TopKService<C> {
         &self.crowd
     }
 
-    /// The shared answer cache.
-    pub fn cache(&self) -> &AnswerCache {
+    /// The shared (question-hash-partitioned) answer cache.
+    pub fn cache(&self) -> &ShardedAnswerCache {
         &self.cache
     }
 
     fn finalize(&mut self, id: SessionId) {
-        // ctk-allow(panic-unwrap): finalize is called once per served id from this round's plan
-        let entry = self.registry.get_mut(id).expect("finalized id exists");
+        let s = self.shard_of(id);
+        let entry = self.shards[s]
+            .registry
+            .get_mut(id)
+            .expect("finalized id exists"); // ctk-allow(panic-unwrap): finalize is called once per done/failed id
         let driver = entry.driver.take().expect("finalize once"); // ctk-allow(panic-unwrap): state machine guarantees a live driver here
         match driver.finish() {
             Ok(report) => {
@@ -477,6 +999,7 @@ impl<C: Crowd> TopKService<C> {
                 entry.latency = Some(latency);
                 self.metrics.completed += 1;
                 self.metrics.record_latency(latency);
+                self.metrics.record_shard_completed(s);
             }
             Err(err) => {
                 entry.error = Some(err);
@@ -484,15 +1007,44 @@ impl<C: Crowd> TopKService<C> {
                 self.metrics.failed += 1;
             }
         }
+        self.shards[s].ready.push_back(Event::Finished(id));
     }
 
     fn fail(&mut self, id: SessionId, err: CoreError) {
-        // ctk-allow(panic-unwrap): fail() receives ids from this round's plan
-        let entry = self.registry.get_mut(id).expect("failed id exists");
+        let s = self.shard_of(id);
+        let entry = self.shards[s]
+            .registry
+            .get_mut(id)
+            .expect("failed id exists"); // ctk-allow(panic-unwrap): fail() receives ids from this round's plan
         entry.driver = None;
         entry.error = Some(err);
         entry.state = SessionState::Failed;
         self.metrics.failed += 1;
+        self.shards[s].ready.push_back(Event::Finished(id));
+    }
+}
+
+/// Attaches a [`RouteHint`] to every question of a batch: the hint the
+/// session's *current* belief margin implies when a router is
+/// configured, [`RouteHint::Any`] otherwise.
+fn hint_batch(
+    router: Option<&QuestionRouter>,
+    entry: &SessionEntry,
+    batch: Vec<Question>,
+) -> Vec<(Question, RouteHint)> {
+    match router {
+        Some(r) => {
+            // ctk-allow(panic-unwrap): awaiting entries always hold a driver
+            let driver = entry.driver.as_ref().expect("awaiting session has driver");
+            batch
+                .into_iter()
+                .map(|q| {
+                    let hint = r.hint(driver.question_margin(&q));
+                    (q, hint)
+                })
+                .collect()
+        }
+        None => batch.into_iter().map(|q| (q, RouteHint::Any)).collect(),
     }
 }
 
@@ -868,6 +1420,140 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn event_mode_matches_tick_mode_at_shard_counts() {
+        // The run mode and the shard count must both be invisible in the
+        // results: a mixed workload on a reliable, amply-budgeted crowd
+        // produces per-tenant reports equal to the classic single-shard
+        // tick loop in every (mode, shards) combination.
+        let algorithms = [
+            Algorithm::T1On,
+            Algorithm::TbOff,
+            Algorithm::Random,
+            Algorithm::COff,
+            Algorithm::Incr {
+                questions_per_round: 2,
+            },
+            Algorithm::Naive,
+            Algorithm::T1On,
+            Algorithm::TbOff,
+        ];
+        let run = |mode: RunMode, shards: usize| {
+            let mut svc = service(1000)
+                .with_shards(shards)
+                .with_fanout(3)
+                .with_run_mode(mode);
+            let ids: Vec<_> = algorithms
+                .iter()
+                .enumerate()
+                .map(|(t, alg)| {
+                    let spec = SessionSpec::new(config(alg.clone(), t as u64))
+                        .with_priority((t % 3) as u8);
+                    svc.submit(&table(), spec).unwrap()
+                })
+                .collect();
+            svc.run_to_completion();
+            assert_eq!(svc.metrics().completed as usize, algorithms.len());
+            ids.into_iter()
+                .map(|id| svc.report(id).unwrap().clone())
+                .collect::<Vec<_>>()
+        };
+        let reference = run(RunMode::Tick, 1);
+        for shards in [1usize, 2, 4] {
+            for mode in [RunMode::Tick, RunMode::Event] {
+                let got = run(mode, shards);
+                for (tenant, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert!(
+                        a.same_outcome(b),
+                        "tenant {tenant} diverged in {mode:?} mode at {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starved_event_service_blocks_then_completes() {
+        // Event-mode counterpart of `starved_sessions_still_complete`,
+        // and the livelock regression: with the crowd able to afford 3 of
+        // the ~12 demanded questions, quiescence must report the parked
+        // sessions as blocked on the crowd — and pumping a blocked
+        // service must NOT count as progress (zero grants are not
+        // progress). run_to_completion then force-starves them to Done.
+        let mut svc = service(3).with_shards(2).with_run_mode(RunMode::Event);
+        let a = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        let b = svc
+            .submit(&table(), SessionSpec::new(config(Algorithm::Random, 5)))
+            .unwrap();
+        match svc.run_until_quiescent() {
+            Quiescence::BlockedOnCrowd { sessions } => {
+                assert!(!sessions.is_empty(), "someone must be parked");
+                for id in &sessions {
+                    assert_eq!(svc.state(*id), Some(SessionState::AwaitingBudget));
+                }
+            }
+            Quiescence::Idle => panic!("a starved crowd must block, not idle"),
+        }
+        assert!(!svc.pump().progressed(), "blocked sweeps must not spin");
+        assert!(!svc.pump().progressed(), "…no matter how often pumped");
+        svc.run_to_completion();
+        assert_eq!(svc.state(a), Some(SessionState::Done));
+        assert_eq!(svc.state(b), Some(SessionState::Done));
+        assert!(svc.metrics().crowd_questions <= 3);
+        assert!(
+            svc.metrics().starved >= 1,
+            "the cut batches count as starved"
+        );
+        assert_eq!(svc.metrics().completed, 2);
+    }
+
+    #[test]
+    fn event_mode_lifecycle_grants_and_accounts_per_shard() {
+        // Every live question in event mode is bought through an explicit
+        // grant, and the per-shard ledgers must reconcile exactly with
+        // the global metrics.
+        let mut svc = service(1000).with_shards(4).with_run_mode(RunMode::Event);
+        let ids: Vec<_> = (0..6)
+            .map(|t| {
+                svc.submit(&table(), SessionSpec::new(config(Algorithm::T1On, t)))
+                    .unwrap()
+            })
+            .collect();
+        svc.run_to_completion();
+        for id in &ids {
+            assert_eq!(svc.state(*id), Some(SessionState::Done));
+        }
+        let m = svc.metrics().clone();
+        assert_eq!(m.completed, 6);
+        assert!(m.budget_granted > 0, "live asks require grants");
+        assert!(m.events_processed > 0);
+        let granted: u64 = (0..svc.shard_count())
+            .map(|s| svc.shard_ledger(s).unwrap().total_granted())
+            .sum();
+        let spent: u64 = (0..svc.shard_count())
+            .map(|s| svc.shard_ledger(s).unwrap().total_spent())
+            .sum();
+        assert_eq!(granted, m.budget_granted);
+        assert_eq!(spent, m.crowd_questions);
+        // Per-shard attribution adds up exactly, and sessions actually
+        // spread over more than one shard.
+        assert_eq!(m.shard_answers().iter().sum::<u64>(), m.answers_served);
+        assert_eq!(m.shard_completed().iter().sum::<u64>(), m.completed);
+        assert!(m.shard_completed().iter().filter(|&&c| c > 0).count() > 1);
+        assert!(m.shard_imbalance() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "configure shards before submitting")]
+    fn shards_cannot_be_reconfigured_after_submit() {
+        let mut svc = service(10);
+        svc.submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
+            .unwrap();
+        let _ = svc.with_shards(2);
     }
 
     /// A crowd whose answer accuracy drifts between rounds — the scenario

@@ -1,0 +1,180 @@
+//! Shard-owned serving state: each shard owns its sessions end to end —
+//! registry, scheduler queues, budget grants and an event ready-queue —
+//! so nothing a shard does to its own sessions contends with another
+//! shard (DESIGN.md §14).
+//!
+//! Sessions are strided across shards by id (`shard = id mod shards`);
+//! the answer cache shards separately by question hash (see
+//! `ShardedAnswerCache`), because an answer is a fact about a pair of
+//! objects, not about the session that asked.
+//!
+//! Budget is reconciled, not shared: the crowd's remaining budget is the
+//! single source of truth, and shards spend it only through explicit
+//! [`ShardLedger`] grants issued by the service's reconciler in shard
+//! order. Every reconcile first reclaims all unspent grants and then
+//! re-grants against current demand, so the sum of outstanding grants
+//! never exceeds what the crowd can actually serve — and a zero-grant
+//! reconcile is *not* progress, which is what lets the event loop tell
+//! "blocked on the crowd" apart from livelock.
+
+use crate::registry::{Registry, SessionId};
+use crate::scheduler::Scheduler;
+use std::collections::VecDeque;
+
+/// One unit of work the event loop drains from a shard's ready-queue.
+///
+/// Events are the only cross-phase signal in event mode: a slow session
+/// parks itself (leaving an event trail) instead of stalling a barrier
+/// everyone else waits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A session was submitted to this shard (observability; the
+    /// scheduler picks it up from the registry's runnable set).
+    Submitted(SessionId),
+    /// A session's current batch is fully resolved (or decisively
+    /// starved): its mailbox holds the answers, ready to feed.
+    AnswersReady(SessionId),
+    /// The reconciler issued this shard budget to spend on live crowd
+    /// questions; parked sessions may resume.
+    BudgetGranted {
+        /// Grant units added to the shard's ledger (always > 0).
+        granted: usize,
+    },
+    /// A session reached `Done` or `Failed` (observability).
+    Finished(SessionId),
+}
+
+/// Per-shard budget grants: the admission-control layer between a shard's
+/// live crowd asks and the crowd's own budget.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLedger {
+    /// Grant units currently available to spend.
+    available: usize,
+    /// Lifetime units granted by the reconciler.
+    total_granted: u64,
+    /// Lifetime live questions spent against grants (in tick mode, live
+    /// questions attributed to this shard's sessions — tick's sequential
+    /// purchase phase grants and spends in the same step).
+    total_spent: u64,
+    /// Lifetime units reclaimed unspent at reconcile time.
+    reclaimed: u64,
+}
+
+impl ShardLedger {
+    /// Grant units currently available.
+    pub fn available(&self) -> usize {
+        self.available
+    }
+
+    /// Lifetime units granted.
+    pub fn total_granted(&self) -> u64 {
+        self.total_granted
+    }
+
+    /// Lifetime live questions spent.
+    pub fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+
+    /// Lifetime units reclaimed unspent.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
+    }
+
+    /// Adds `n` grant units (reconciler only).
+    pub(crate) fn grant(&mut self, n: usize) {
+        self.available += n;
+        self.total_granted += n as u64;
+    }
+
+    /// Spends one grant unit on a live crowd question.
+    pub(crate) fn spend_one(&mut self) {
+        debug_assert!(self.available > 0, "spend without a grant");
+        self.available = self.available.saturating_sub(1);
+        self.total_spent += 1;
+    }
+
+    /// Tick mode: account a live purchase made in the sequential phase
+    /// (grant-and-spend in one step, so `available` stays 0).
+    pub(crate) fn note_spend(&mut self, n: u64) {
+        self.total_granted += n;
+        self.total_spent += n;
+    }
+
+    /// Takes back every unspent unit; returns how many were reclaimed.
+    pub(crate) fn reclaim(&mut self) -> usize {
+        let unspent = self.available;
+        self.available = 0;
+        self.reclaimed += unspent as u64;
+        unspent
+    }
+}
+
+/// One shard of the serving core: the sessions it owns, their scheduler,
+/// the budget grants it may spend, and the event queue the run loop
+/// drains. Shards are processed in index order everywhere, which is what
+/// makes the event loop deterministic at any fixed shard count.
+pub(crate) struct Shard {
+    pub(crate) registry: Registry,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) ledger: ShardLedger,
+    pub(crate) ready: VecDeque<Event>,
+}
+
+impl Shard {
+    pub(crate) fn new(fanout: Option<usize>) -> Self {
+        Self {
+            registry: Registry::new(),
+            scheduler: match fanout {
+                Some(f) => Scheduler::with_fanout(f),
+                None => Scheduler::new(),
+            },
+            ledger: ShardLedger::default(),
+            ready: VecDeque::new(),
+        }
+    }
+}
+
+/// Why [`crate::TopKService::run_until_quiescent`] stopped pumping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Nothing left to do: every session is `Done` or `Failed`.
+    Idle,
+    /// No sweep can make progress *by computation alone*: these sessions
+    /// hold unresolved questions the crowd has no budget for. The caller
+    /// decides — wait for external budget, or force-starve (what
+    /// `run_to_completion` does, matching tick-mode semantics).
+    BlockedOnCrowd {
+        /// The parked sessions, in shard order then id order.
+        sessions: Vec<SessionId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_grant_spend_reclaim_accounting() {
+        let mut l = ShardLedger::default();
+        l.grant(5);
+        assert_eq!(l.available(), 5);
+        l.spend_one();
+        l.spend_one();
+        assert_eq!(l.available(), 3);
+        assert_eq!(l.reclaim(), 3);
+        assert_eq!(l.available(), 0);
+        assert_eq!(l.total_granted(), 5);
+        assert_eq!(l.total_spent(), 2);
+        assert_eq!(l.reclaimed(), 3);
+    }
+
+    #[test]
+    fn tick_spend_keeps_available_at_zero() {
+        let mut l = ShardLedger::default();
+        l.note_spend(7);
+        assert_eq!(l.available(), 0);
+        assert_eq!(l.total_granted(), 7);
+        assert_eq!(l.total_spent(), 7);
+    }
+}

@@ -1,0 +1,253 @@
+//! Primitive field codecs: little-endian integers, bit-exact floats,
+//! strict bools and options, length-prefixed strings.
+//!
+//! Floats travel as their IEEE-754 bit pattern (`f64::to_bits`, LE), so a
+//! decoded value is *the same float*, NaN payloads included — the same
+//! bit-exactness contract `UrReport::same_outcome` compares under.
+
+use crate::error::WireError;
+use crate::Result;
+
+/// Append-only byte sink used by every `encode` impl.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bit-exact `f64` (IEEE-754 bits, LE).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Strict bool: `0` or `1`.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Optional `f64`: presence flag then the bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Raw bytes, no prefix (caller wrote the length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over a received byte slice. Every read is bounds-checked and
+/// fails with [`WireError::Truncated`] — no slicing panics anywhere.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`WireError::TrailingGarbage`] unless every byte was
+    /// consumed — strict mode for payload decoding.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingGarbage {
+                consumed: self.pos,
+                total: self.buf.len(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            }),
+        }
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Bit-exact `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Strict bool: any byte other than `0`/`1` is malformed.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool byte not 0 or 1")),
+        }
+    }
+
+    /// Optional `f64` (presence flag then bits).
+    pub fn opt_f64(&mut self) -> Result<Option<f64>> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+
+    /// Raw byte run of a caller-known length.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.opt_f64(None);
+        w.opt_f64(Some(1.5));
+        w.str("tb-off");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.str().unwrap(), "tb-off");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_reports_shortfall() {
+        let mut r = Reader::new(&[1, 2]);
+        match r.u32() {
+            Err(WireError::Truncated { needed, available }) => {
+                assert_eq!(needed, 4);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_bool_is_malformed() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::Malformed("bool byte not 0 or 1")));
+    }
+
+    #[test]
+    fn unconsumed_bytes_are_trailing_garbage() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        let _ = r.u8().unwrap();
+        assert_eq!(
+            r.finish(),
+            Err(WireError::TrailingGarbage {
+                consumed: 1,
+                total: 3
+            })
+        );
+    }
+}

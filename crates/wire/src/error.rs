@@ -1,0 +1,62 @@
+//! Typed decode failures. Every malformed input maps to one of these —
+//! the decoder has no panicking path (pinned by proptests feeding it
+//! truncations, bit flips and garbage suffixes).
+
+use std::fmt;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does. `needed` counts the bytes
+    /// the decoder wanted at the failure point, `available` what was left.
+    Truncated {
+        /// Bytes the decoder needed at the failure point.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// The frame's version byte is not this codec's version.
+    UnknownVersion {
+        /// The version byte found on the wire.
+        found: u8,
+        /// The version this decoder speaks.
+        expected: u8,
+    },
+    /// The frame tag names no known frame type.
+    UnknownTag(u8),
+    /// The payload decoded cleanly but left unconsumed bytes — a sign of
+    /// a layout mismatch, which strict mode refuses to paper over.
+    TrailingGarbage {
+        /// Bytes the decoded value actually consumed.
+        consumed: usize,
+        /// Bytes the buffer/payload claimed to hold.
+        total: usize,
+    },
+    /// A field held an out-of-domain value (non-0/1 bool, unknown enum
+    /// discriminant, invalid UTF-8, a question comparing a tuple to
+    /// itself, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => write!(
+                f,
+                "truncated frame: needed {needed} byte(s), {available} available"
+            ),
+            WireError::UnknownVersion { found, expected } => write!(
+                f,
+                "unknown wire version {found} (this decoder speaks version {expected})"
+            ),
+            WireError::UnknownTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::TrailingGarbage { consumed, total } => write!(
+                f,
+                "trailing garbage: {consumed} byte(s) decoded, {total} present"
+            ),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

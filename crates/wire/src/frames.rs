@@ -1,0 +1,496 @@
+//! Frame types and the top-level codec.
+//!
+//! Layout (all integers LE, floats as IEEE-754 bits — DESIGN.md §14):
+//!
+//! ```text
+//! frame     := version:u8  tag:u8  len:u32  payload[len]
+//! question  := i:u32  j:u32                    (i != j enforced on decode)
+//! hint      := u8                              (0 Any, 1 Cheap, 2 Expert)
+//! answer    := question  yes:bool
+//! graded    := answer  accuracy:f64  cached:bool
+//! step      := question  answer_yes:bool  orderings:u64  uncertainty:f64
+//!              distance:opt<f64>
+//! vec<T>    := count:u32  T{count}
+//! opt<f64>  := flag:bool  bits:f64?
+//! string    := len:u32  utf8[len]
+//! ```
+//!
+//! Tags: `1` question batch, `2` graded answer batch, `3` UrReport
+//! summary, `4` precision summary. Unknown tags and versions are typed
+//! errors; payloads must consume exactly `len` bytes.
+
+use crate::codec::{Reader, Writer};
+use crate::error::WireError;
+use crate::{Result, WIRE_VERSION};
+use ctk_core::session::UrReport;
+use ctk_crowd::{Answer, Question, RouteHint};
+use ctk_tpo::{PrecisionReport, StopReason};
+
+/// Frame header bytes before the payload: version, tag, length.
+const HEADER_LEN: usize = 6;
+
+const TAG_QUESTIONS: u8 = 1;
+const TAG_ANSWERS: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_PRECISION: u8 = 4;
+
+/// A batch of routed questions one session puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuestionBatch {
+    /// The asking session, as the service numbers it.
+    pub session: u64,
+    /// Questions with the routing hint each one carries.
+    pub items: Vec<(Question, RouteHint)>,
+}
+
+/// One answer graded with the accuracy it was produced at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradedAnswer {
+    /// The answer, oriented as the question was asked.
+    pub answer: Answer,
+    /// Nominal accuracy of the (aggregated) answer.
+    pub accuracy: f64,
+    /// True when the gateway served it from memory rather than workers.
+    pub cached: bool,
+}
+
+/// The gateway's reply to a [`QuestionBatch`]: answers in request order
+/// (possibly a prefix when the crowd starves), plus the crowd budget left.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerBatch {
+    /// The session the answers belong to.
+    pub session: u64,
+    /// Questions the gateway-side crowd can still afford after this
+    /// batch — lets the service-side proxy answer `Crowd::remaining`
+    /// without an extra round trip.
+    pub crowd_remaining: u64,
+    /// The graded answers.
+    pub items: Vec<GradedAnswer>,
+}
+
+/// One step of a session, as [`UrReport`] records it (timing-free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSummary {
+    /// The question as asked.
+    pub question: Question,
+    /// The aggregated answer.
+    pub answer_yes: bool,
+    /// Orderings remaining after the update.
+    pub orderings: u64,
+    /// Uncertainty after the update.
+    pub uncertainty: f64,
+    /// `D(ω_r, T_K)` after the update, when ground truth was provided.
+    pub distance_to_truth: Option<f64>,
+}
+
+/// The timing-free summary of a finished session's [`UrReport`] — every
+/// field `UrReport::same_outcome` compares, so two peers agreeing on a
+/// `ReportSummary` agree on the session's outcome bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSummary {
+    /// The session the report belongs to.
+    pub session: u64,
+    /// Strategy name.
+    pub algorithm: String,
+    /// Measure name.
+    pub measure: String,
+    /// Orderings in the initial tree.
+    pub initial_orderings: u64,
+    /// Uncertainty of the initial tree.
+    pub initial_uncertainty: f64,
+    /// Initial distance to ground truth, when recorded.
+    pub initial_distance: Option<f64>,
+    /// One record per asked question.
+    pub steps: Vec<StepSummary>,
+    /// Answers that contradicted every remaining ordering.
+    pub contradictions: u64,
+    /// True when the session ended with a single ordering.
+    pub resolved: bool,
+    /// The reported top-K.
+    pub final_topk: Vec<u32>,
+    /// Possible worlds sampled by the initial build.
+    pub worlds_drawn: u64,
+    /// Achieved simultaneous half-width of an adaptive build.
+    pub achieved_epsilon: Option<f64>,
+    /// Requested confidence parameter of an adaptive build.
+    pub precision_delta: Option<f64>,
+    /// True when the certain bounds decided the query before sampling.
+    pub certain_early_stop: bool,
+}
+
+impl ReportSummary {
+    /// The summary of `report`, attributed to `session`.
+    pub fn from_report(session: u64, report: &UrReport) -> Self {
+        Self {
+            session,
+            algorithm: report.algorithm.to_string(),
+            measure: report.measure.to_string(),
+            initial_orderings: report.initial_orderings as u64,
+            initial_uncertainty: report.initial_uncertainty,
+            initial_distance: report.initial_distance,
+            steps: report
+                .steps
+                .iter()
+                .map(|s| StepSummary {
+                    question: s.question,
+                    answer_yes: s.answer_yes,
+                    orderings: s.orderings as u64,
+                    uncertainty: s.uncertainty,
+                    distance_to_truth: s.distance_to_truth,
+                })
+                .collect(),
+            contradictions: report.contradictions as u64,
+            resolved: report.resolved,
+            final_topk: report.final_topk.clone(),
+            worlds_drawn: report.worlds_drawn as u64,
+            achieved_epsilon: report.achieved_epsilon,
+            precision_delta: report.precision_delta,
+            certain_early_stop: report.certain_early_stop,
+        }
+    }
+
+    /// Bit-exact agreement with `report`, over exactly the fields
+    /// [`UrReport::same_outcome`] compares (floats via `to_bits`, timing
+    /// ignored). A decoded summary matching the local report proves the
+    /// wire path reproduced the in-process outcome.
+    pub fn matches(&self, report: &UrReport) -> bool {
+        let opt_bits = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (None, None) => true,
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        };
+        self.algorithm == report.algorithm
+            && self.measure == report.measure
+            && self.initial_orderings == report.initial_orderings as u64
+            && self.initial_uncertainty.to_bits() == report.initial_uncertainty.to_bits()
+            && opt_bits(self.initial_distance, report.initial_distance)
+            && self.steps.len() == report.steps.len()
+            && self.steps.iter().zip(&report.steps).all(|(a, b)| {
+                a.question == b.question
+                    && a.answer_yes == b.answer_yes
+                    && a.orderings == b.orderings as u64
+                    && a.uncertainty.to_bits() == b.uncertainty.to_bits()
+                    && opt_bits(a.distance_to_truth, b.distance_to_truth)
+            })
+            && self.contradictions == report.contradictions as u64
+            && self.resolved == report.resolved
+            && self.final_topk == report.final_topk
+            && self.worlds_drawn == report.worlds_drawn as u64
+            && opt_bits(self.achieved_epsilon, report.achieved_epsilon)
+            && opt_bits(self.precision_delta, report.precision_delta)
+            && self.certain_early_stop == report.certain_early_stop
+    }
+}
+
+/// A build's [`PrecisionReport`], attributed to a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionSummary {
+    /// The session the build belonged to.
+    pub session: u64,
+    /// Possible worlds sampled by the build.
+    pub worlds_drawn: u64,
+    /// Achieved simultaneous half-width, when one is claimed.
+    pub epsilon: Option<f64>,
+    /// Requested confidence parameter of an adaptive build.
+    pub delta: Option<f64>,
+    /// Why sampling stopped.
+    pub reason: StopReason,
+}
+
+impl PrecisionSummary {
+    /// The summary of `report`, attributed to `session`.
+    pub fn from_report(session: u64, report: &PrecisionReport) -> Self {
+        Self {
+            session,
+            worlds_drawn: report.worlds_drawn as u64,
+            epsilon: report.epsilon,
+            delta: report.delta,
+            reason: report.reason,
+        }
+    }
+}
+
+/// Everything that travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A session's next routed question batch (service → gateway).
+    Questions(QuestionBatch),
+    /// The graded answers (gateway → service).
+    Answers(AnswerBatch),
+    /// A finished session's timing-free report summary.
+    Report(ReportSummary),
+    /// A build's precision summary.
+    Precision(PrecisionSummary),
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Questions(_) => TAG_QUESTIONS,
+            Frame::Answers(_) => TAG_ANSWERS,
+            Frame::Report(_) => TAG_REPORT,
+            Frame::Precision(_) => TAG_PRECISION,
+        }
+    }
+}
+
+fn write_question(w: &mut Writer, q: Question) {
+    w.u32(q.i);
+    w.u32(q.j);
+}
+
+fn read_question(r: &mut Reader<'_>) -> Result<Question> {
+    let i = r.u32()?;
+    let j = r.u32()?;
+    if i == j {
+        return Err(WireError::Malformed("question compares a tuple to itself"));
+    }
+    Ok(Question { i, j })
+}
+
+fn write_hint(w: &mut Writer, hint: RouteHint) {
+    w.u8(match hint {
+        RouteHint::Any => 0,
+        RouteHint::Cheap => 1,
+        RouteHint::Expert => 2,
+    });
+}
+
+fn read_hint(r: &mut Reader<'_>) -> Result<RouteHint> {
+    match r.u8()? {
+        0 => Ok(RouteHint::Any),
+        1 => Ok(RouteHint::Cheap),
+        2 => Ok(RouteHint::Expert),
+        _ => Err(WireError::Malformed("route hint out of range")),
+    }
+}
+
+fn write_stop_reason(w: &mut Writer, reason: StopReason) {
+    w.u8(match reason {
+        StopReason::CertainOrder => 0,
+        StopReason::Converged => 1,
+        StopReason::WorldCap => 2,
+        StopReason::FixedBudget => 3,
+        StopReason::Exact => 4,
+    });
+}
+
+fn read_stop_reason(r: &mut Reader<'_>) -> Result<StopReason> {
+    match r.u8()? {
+        0 => Ok(StopReason::CertainOrder),
+        1 => Ok(StopReason::Converged),
+        2 => Ok(StopReason::WorldCap),
+        3 => Ok(StopReason::FixedBudget),
+        4 => Ok(StopReason::Exact),
+        _ => Err(WireError::Malformed("stop reason out of range")),
+    }
+}
+
+fn write_payload(w: &mut Writer, frame: &Frame) {
+    match frame {
+        Frame::Questions(b) => {
+            w.u64(b.session);
+            w.u32(b.items.len() as u32);
+            for (q, hint) in &b.items {
+                write_question(w, *q);
+                write_hint(w, *hint);
+            }
+        }
+        Frame::Answers(b) => {
+            w.u64(b.session);
+            w.u64(b.crowd_remaining);
+            w.u32(b.items.len() as u32);
+            for g in &b.items {
+                write_question(w, g.answer.question);
+                w.bool(g.answer.yes);
+                w.f64(g.accuracy);
+                w.bool(g.cached);
+            }
+        }
+        Frame::Report(s) => {
+            w.u64(s.session);
+            w.str(&s.algorithm);
+            w.str(&s.measure);
+            w.u64(s.initial_orderings);
+            w.f64(s.initial_uncertainty);
+            w.opt_f64(s.initial_distance);
+            w.u32(s.steps.len() as u32);
+            for step in &s.steps {
+                write_question(w, step.question);
+                w.bool(step.answer_yes);
+                w.u64(step.orderings);
+                w.f64(step.uncertainty);
+                w.opt_f64(step.distance_to_truth);
+            }
+            w.u64(s.contradictions);
+            w.bool(s.resolved);
+            w.u32(s.final_topk.len() as u32);
+            for t in &s.final_topk {
+                w.u32(*t);
+            }
+            w.u64(s.worlds_drawn);
+            w.opt_f64(s.achieved_epsilon);
+            w.opt_f64(s.precision_delta);
+            w.bool(s.certain_early_stop);
+        }
+        Frame::Precision(p) => {
+            w.u64(p.session);
+            w.u64(p.worlds_drawn);
+            w.opt_f64(p.epsilon);
+            w.opt_f64(p.delta);
+            write_stop_reason(w, p.reason);
+        }
+    }
+}
+
+fn read_payload(tag: u8, payload: &[u8]) -> Result<Frame> {
+    let mut r = Reader::new(payload);
+    let frame = match tag {
+        TAG_QUESTIONS => {
+            let session = r.u64()?;
+            let count = r.u32()?;
+            let mut items = Vec::new();
+            for _ in 0..count {
+                let q = read_question(&mut r)?;
+                let hint = read_hint(&mut r)?;
+                items.push((q, hint));
+            }
+            Frame::Questions(QuestionBatch { session, items })
+        }
+        TAG_ANSWERS => {
+            let session = r.u64()?;
+            let crowd_remaining = r.u64()?;
+            let count = r.u32()?;
+            let mut items = Vec::new();
+            for _ in 0..count {
+                let question = read_question(&mut r)?;
+                let yes = r.bool()?;
+                let accuracy = r.f64()?;
+                let cached = r.bool()?;
+                items.push(GradedAnswer {
+                    answer: Answer { question, yes },
+                    accuracy,
+                    cached,
+                });
+            }
+            Frame::Answers(AnswerBatch {
+                session,
+                crowd_remaining,
+                items,
+            })
+        }
+        TAG_REPORT => {
+            let session = r.u64()?;
+            let algorithm = r.str()?;
+            let measure = r.str()?;
+            let initial_orderings = r.u64()?;
+            let initial_uncertainty = r.f64()?;
+            let initial_distance = r.opt_f64()?;
+            let count = r.u32()?;
+            let mut steps = Vec::new();
+            for _ in 0..count {
+                let question = read_question(&mut r)?;
+                let answer_yes = r.bool()?;
+                let orderings = r.u64()?;
+                let uncertainty = r.f64()?;
+                let distance_to_truth = r.opt_f64()?;
+                steps.push(StepSummary {
+                    question,
+                    answer_yes,
+                    orderings,
+                    uncertainty,
+                    distance_to_truth,
+                });
+            }
+            let contradictions = r.u64()?;
+            let resolved = r.bool()?;
+            let k = r.u32()?;
+            let mut final_topk = Vec::new();
+            for _ in 0..k {
+                final_topk.push(r.u32()?);
+            }
+            let worlds_drawn = r.u64()?;
+            let achieved_epsilon = r.opt_f64()?;
+            let precision_delta = r.opt_f64()?;
+            let certain_early_stop = r.bool()?;
+            Frame::Report(ReportSummary {
+                session,
+                algorithm,
+                measure,
+                initial_orderings,
+                initial_uncertainty,
+                initial_distance,
+                steps,
+                contradictions,
+                resolved,
+                final_topk,
+                worlds_drawn,
+                achieved_epsilon,
+                precision_delta,
+                certain_early_stop,
+            })
+        }
+        TAG_PRECISION => {
+            let session = r.u64()?;
+            let worlds_drawn = r.u64()?;
+            let epsilon = r.opt_f64()?;
+            let delta = r.opt_f64()?;
+            let reason = read_stop_reason(&mut r)?;
+            Frame::Precision(PrecisionSummary {
+                session,
+                worlds_drawn,
+                epsilon,
+                delta,
+                reason,
+            })
+        }
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Encodes one frame: `version, tag, payload-length, payload`.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Writer::new();
+    write_payload(&mut payload, frame);
+    let payload = payload.into_bytes();
+    let mut w = Writer::new();
+    w.u8(WIRE_VERSION);
+    w.u8(frame.tag());
+    w.u32(payload.len() as u32);
+    w.bytes(&payload);
+    w.into_bytes()
+}
+
+/// Decodes the frame at the start of `buf`, returning it together with
+/// the bytes it occupied — the streaming entry point: call again on
+/// `&buf[consumed..]` for the next frame.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnknownVersion {
+            found: version,
+            expected: WIRE_VERSION,
+        });
+    }
+    let tag = r.u8()?;
+    let len = r.u32()? as usize;
+    let payload = r.bytes(len)?;
+    let frame = read_payload(tag, payload)?;
+    Ok((frame, HEADER_LEN + len))
+}
+
+/// Decodes a buffer that must hold exactly one frame; any suffix beyond
+/// the frame is [`WireError::TrailingGarbage`].
+pub fn decode_frame_exact(buf: &[u8]) -> Result<Frame> {
+    let (frame, consumed) = decode_frame(buf)?;
+    if consumed != buf.len() {
+        return Err(WireError::TrailingGarbage {
+            consumed,
+            total: buf.len(),
+        });
+    }
+    Ok(frame)
+}

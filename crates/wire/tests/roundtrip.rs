@@ -1,0 +1,327 @@
+//! The codec's contract: `decode(encode(x)) == x` for every frame type
+//! under randomized inputs, and every malformed buffer — truncations at
+//! all lengths, version skew, trailing garbage, out-of-domain fields —
+//! rejected with a typed [`WireError`], never a panic.
+
+use ctk_crowd::{Answer, Question, RouteHint};
+use ctk_tpo::StopReason;
+use ctk_wire::{
+    decode_frame, decode_frame_exact, encode_frame, AnswerBatch, Frame, GradedAnswer,
+    PrecisionSummary, QuestionBatch, ReportSummary, StepSummary, WireError, WIRE_VERSION,
+};
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use proptest::test_runner::TestRng;
+
+fn arb_question(rng: &mut TestRng) -> Question {
+    let i = rng.next_u32() % 500;
+    let mut j = rng.next_u32() % 500;
+    if j == i {
+        j = (j + 1) % 500;
+    }
+    Question::new(i, j)
+}
+
+fn arb_hint(rng: &mut TestRng) -> RouteHint {
+    match rng.next_u32() % 3 {
+        0 => RouteHint::Any,
+        1 => RouteHint::Cheap,
+        _ => RouteHint::Expert,
+    }
+}
+
+fn arb_opt_f64(rng: &mut TestRng) -> Option<f64> {
+    (rng.next_u32() % 2 == 0).then(|| rng.unit_f64() * 4.0 - 2.0)
+}
+
+fn arb_questions_frame() -> impl Strategy<Value = Frame> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let n = (rng.next_u32() % 9) as usize;
+        Frame::Questions(QuestionBatch {
+            session: rng.next_u64(),
+            items: (0..n)
+                .map(|_| (arb_question(&mut rng), arb_hint(&mut rng)))
+                .collect(),
+        })
+    })
+}
+
+fn arb_answers_frame() -> impl Strategy<Value = Frame> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let n = (rng.next_u32() % 9) as usize;
+        Frame::Answers(AnswerBatch {
+            session: rng.next_u64(),
+            crowd_remaining: rng.next_u64() % 10_000,
+            items: (0..n)
+                .map(|_| GradedAnswer {
+                    answer: Answer {
+                        question: arb_question(&mut rng),
+                        yes: rng.next_u32() % 2 == 0,
+                    },
+                    accuracy: rng.unit_f64(),
+                    cached: rng.next_u32() % 2 == 0,
+                })
+                .collect(),
+        })
+    })
+}
+
+fn arb_report_frame() -> impl Strategy<Value = Frame> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let steps = (rng.next_u32() % 7) as usize;
+        let k = (rng.next_u32() % 5) as usize;
+        let algorithms = ["T1-on", "TB-off", "random", "incr", "A*-on"];
+        Frame::Report(ReportSummary {
+            session: rng.next_u64(),
+            algorithm: algorithms[(rng.next_u32() as usize) % algorithms.len()].to_string(),
+            measure: "weighted-entropy".to_string(),
+            initial_orderings: rng.next_u64() % 1_000_000,
+            initial_uncertainty: rng.unit_f64() * 10.0,
+            initial_distance: arb_opt_f64(&mut rng),
+            steps: (0..steps)
+                .map(|_| StepSummary {
+                    question: arb_question(&mut rng),
+                    answer_yes: rng.next_u32() % 2 == 0,
+                    orderings: rng.next_u64() % 100_000,
+                    uncertainty: rng.unit_f64() * 8.0,
+                    distance_to_truth: arb_opt_f64(&mut rng),
+                })
+                .collect(),
+            contradictions: rng.next_u64() % 4,
+            resolved: rng.next_u32() % 2 == 0,
+            final_topk: (0..k).map(|_| rng.next_u32() % 64).collect(),
+            worlds_drawn: rng.next_u64() % 100_000,
+            achieved_epsilon: arb_opt_f64(&mut rng),
+            precision_delta: arb_opt_f64(&mut rng),
+            certain_early_stop: rng.next_u32() % 2 == 0,
+        })
+    })
+}
+
+fn arb_precision_frame() -> impl Strategy<Value = Frame> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let reasons = [
+            StopReason::CertainOrder,
+            StopReason::Converged,
+            StopReason::WorldCap,
+            StopReason::FixedBudget,
+            StopReason::Exact,
+        ];
+        Frame::Precision(PrecisionSummary {
+            session: rng.next_u64(),
+            worlds_drawn: rng.next_u64() % 1_000_000,
+            epsilon: arb_opt_f64(&mut rng),
+            delta: arb_opt_f64(&mut rng),
+            reason: reasons[(rng.next_u32() as usize) % reasons.len()],
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn question_batches_round_trip(frame in arb_questions_frame()) {
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame_exact(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn answer_batches_round_trip(frame in arb_answers_frame()) {
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame_exact(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn report_summaries_round_trip(frame in arb_report_frame()) {
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame_exact(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn precision_summaries_round_trip(frame in arb_precision_frame()) {
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame_exact(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(frame in arb_report_frame()) {
+        // Cutting the buffer anywhere must produce Truncated (or, for a
+        // cut inside the header after a valid prefix, another typed
+        // error) — never a panic, never a bogus success.
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            let r = decode_frame(&bytes[..cut]);
+            prop_assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(frame in arb_answers_frame()) {
+        // Flip every byte of a valid frame one at a time: each result is
+        // Ok (the flip hit a don't-care bit pattern) or a typed error.
+        let bytes = encode_frame(&frame);
+        for pos in 0..bytes.len() {
+            let mut broken = bytes.clone();
+            broken[pos] ^= 0xA5;
+            let _ = decode_frame(&broken); // must return, not panic
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(frame in arb_report_frame()) {
+        prop_assert_eq!(encode_frame(&frame), encode_frame(&frame));
+    }
+}
+
+fn tiny_frame() -> Frame {
+    Frame::Questions(QuestionBatch {
+        session: 42,
+        items: vec![(Question::new(3, 1), RouteHint::Expert)],
+    })
+}
+
+#[test]
+fn unknown_version_is_rejected() {
+    let mut bytes = encode_frame(&tiny_frame());
+    bytes[0] = WIRE_VERSION + 1;
+    assert_eq!(
+        decode_frame(&bytes),
+        Err(WireError::UnknownVersion {
+            found: WIRE_VERSION + 1,
+            expected: WIRE_VERSION
+        })
+    );
+}
+
+#[test]
+fn unknown_tag_is_rejected() {
+    let mut bytes = encode_frame(&tiny_frame());
+    bytes[1] = 200;
+    assert_eq!(decode_frame(&bytes), Err(WireError::UnknownTag(200)));
+}
+
+#[test]
+fn trailing_garbage_after_frame_is_rejected() {
+    let mut bytes = encode_frame(&tiny_frame());
+    let clean_len = bytes.len();
+    bytes.push(0xFF);
+    assert_eq!(
+        decode_frame_exact(&bytes),
+        Err(WireError::TrailingGarbage {
+            consumed: clean_len,
+            total: clean_len + 1
+        })
+    );
+    // The streaming decoder is allowed to stop at the frame boundary.
+    let (frame, consumed) = decode_frame(&bytes).expect("streaming decode ignores the suffix");
+    assert_eq!(consumed, clean_len);
+    assert_eq!(frame, tiny_frame());
+}
+
+#[test]
+fn trailing_garbage_inside_payload_is_rejected() {
+    // Grow the declared payload length and pad: the payload decodes but
+    // leaves slack, which strict payload consumption refuses.
+    let mut bytes = encode_frame(&tiny_frame());
+    let len = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+    let grown = len + 2;
+    bytes[2..6].copy_from_slice(&grown.to_le_bytes());
+    bytes.extend_from_slice(&[0, 0]);
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(WireError::TrailingGarbage { .. })
+    ));
+}
+
+#[test]
+fn truncated_payload_reports_shortfall() {
+    let bytes = encode_frame(&tiny_frame());
+    let r = decode_frame(&bytes[..bytes.len() - 1]);
+    assert!(matches!(r, Err(WireError::Truncated { .. })), "{r:?}");
+}
+
+#[test]
+fn self_comparing_question_is_malformed() {
+    let mut bytes = encode_frame(&Frame::Questions(QuestionBatch {
+        session: 0,
+        items: vec![(Question::new(5, 9), RouteHint::Any)],
+    }));
+    // Overwrite j (bytes 4..8 of the payload) with i's value (5).
+    let payload = 6 + 8 + 4; // header + session + count
+    bytes[payload + 4..payload + 8].copy_from_slice(&5u32.to_le_bytes());
+    assert_eq!(
+        decode_frame(&bytes),
+        Err(WireError::Malformed("question compares a tuple to itself"))
+    );
+}
+
+#[test]
+fn out_of_range_hint_is_malformed() {
+    let mut bytes = encode_frame(&tiny_frame());
+    let hint_pos = bytes.len() - 1; // hint is the last payload byte
+    bytes[hint_pos] = 9;
+    assert_eq!(
+        decode_frame(&bytes),
+        Err(WireError::Malformed("route hint out of range"))
+    );
+}
+
+#[test]
+fn non_finite_floats_round_trip_bit_exactly() {
+    // PartialEq can't see NaN equality, so pin the bits directly: the
+    // codec must preserve every f64 bit pattern, NaN payloads included.
+    for bits in [
+        f64::NAN.to_bits(),
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        (-0.0f64).to_bits(),
+        0x7FF8_0000_0000_1234u64, // NaN with a payload
+    ] {
+        let frame = Frame::Answers(AnswerBatch {
+            session: 1,
+            crowd_remaining: 0,
+            items: vec![GradedAnswer {
+                answer: Answer {
+                    question: Question::new(0, 1),
+                    yes: true,
+                },
+                accuracy: f64::from_bits(bits),
+                cached: false,
+            }],
+        });
+        let decoded = decode_frame_exact(&encode_frame(&frame)).expect("round trip");
+        let Frame::Answers(b) = decoded else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(b.items[0].accuracy.to_bits(), bits);
+    }
+}
+
+#[test]
+fn empty_buffer_is_truncated_not_panic() {
+    assert!(matches!(
+        decode_frame(&[]),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn huge_declared_count_fails_without_allocation() {
+    // A frame claiming u32::MAX questions but carrying none: the decoder
+    // must fail on the first missing element, not try to reserve 4 GiB.
+    let mut bytes = Vec::new();
+    bytes.push(WIRE_VERSION);
+    bytes.push(1); // questions tag
+    let payload: Vec<u8> = 7u64
+        .to_le_bytes()
+        .into_iter()
+        .chain(u32::MAX.to_le_bytes())
+        .collect();
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(WireError::Truncated { .. })
+    ));
+}

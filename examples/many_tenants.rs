@@ -2,17 +2,22 @@
 //! a single simulated crowd backend, with cross-session question
 //! deduplication and a sharded round loop.
 //!
-//! Run with: `cargo run --release --example many_tenants [-- --threads N] [--digest]`
+//! Run with:
+//! `cargo run --release --example many_tenants [-- --threads N] [--shards N] [--mode tick|event] [--digest]`
 //!
 //! `--threads N` pins the round loop's worker thread count (default: all
-//! cores). `--digest` prints only a timing-free per-tenant outcome digest
-//! — CI runs the example at two thread counts and diffs the digests to
-//! smoke-check that sharding is invisible in the results.
+//! cores). `--shards N` partitions the sessions across N shard-owned
+//! registries (default 1); `--mode` picks the barrier tick loop or the
+//! event-driven sweep (default tick). `--digest` prints only a
+//! timing-free per-tenant outcome digest — CI runs the example across
+//! thread counts, shard counts and both run modes and diffs the digests
+//! to smoke-check that the serving topology is invisible in the results.
 
 use crowd_topk::core::measures::MeasureKind;
 use crowd_topk::core::session::{Algorithm, SessionConfig, UrSession};
 use crowd_topk::datagen::{generate, DatasetSpec};
 use crowd_topk::prelude::*;
+use crowd_topk::service::RunMode;
 use crowd_topk::tpo::build::{Engine, McConfig};
 
 const TENANTS: usize = 32;
@@ -43,12 +48,23 @@ fn tenant_config(tenant: usize) -> SessionConfig {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let digest = args.iter().any(|a| a == "--digest");
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let threads = flag("--threads")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(0); // 0 = all cores
+    let shards = flag("--shards")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let mode = match flag("--mode").map(String::as_str) {
+        Some("event") => RunMode::Event,
+        Some("tick") | None => RunMode::Tick,
+        Some(other) => panic!("unknown --mode {other:?} (expected tick or event)"),
+    };
 
     // One shared object universe: ten items with overlapping uncertain
     // scores, one hidden reality, one crowd that knows it.
@@ -61,7 +77,11 @@ fn main() {
     // A service with a bounded per-round fanout (a tight worker pool):
     // at most 8 tenants are served per scheduling round, their driver
     // work sharded across the configured worker threads.
-    let mut service = TopKService::new(crowd).with_fanout(8).with_threads(threads);
+    let mut service = TopKService::new(crowd)
+        .with_shards(shards)
+        .with_run_mode(mode)
+        .with_fanout(8)
+        .with_threads(threads);
     let ids: Vec<_> = (0..TENANTS)
         .map(|t| {
             service
@@ -99,8 +119,10 @@ fn main() {
 
     println!(
         "Serving {TENANTS} concurrent sessions over one crowd \
-         ({} worker threads)...\n",
-        service.threads()
+         ({} worker threads, {} shard(s), {:?} mode)...\n",
+        service.threads(),
+        service.shard_count(),
+        service.run_mode(),
     );
     let metrics = service.run_to_completion().clone();
 
