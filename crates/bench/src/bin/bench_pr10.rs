@@ -1,16 +1,21 @@
-//! PR 9 acceptance numbers: the shard-owned serving core over a
-//! tenants × shards × run-mode grid, up to 10 000 concurrent tenants.
-//! Emits `BENCH_PR9.json`.
+//! PR 10 acceptance numbers: the threaded shard topology over a
+//! tenants × shards × run-mode grid, up to 100 000 concurrent tenants.
+//! Emits `BENCH_PR10.json`.
 //!
-//! `cargo run --release -p ctk-bench --bin bench_pr9 [--small] [--out FILE]`
+//! `cargo run --release -p ctk-bench --bin bench_pr10 [--small] [--out FILE]`
 //!
 //! Every cell is compared per-tenant (`UrReport::same_outcome`) against
 //! the tick-mode single-shard reference for its tenant count — the
-//! refactor's core claim is that run mode and shard count are invisible
-//! in the results. Timing records both the whole run loop and the
-//! purchase phase alone (`ServiceMetrics::purchase_time`), the
-//! crowd-facing slice PR 4's `service_scaling` bench could not separate;
-//! `--small` shrinks the grid for the CI smoke step.
+//! threaded topology's core claim is that worker threads are invisible
+//! in the results. Beyond PR 9's timings this records the coordinator's
+//! barrier economics: stall time (coordinator blocked on an empty
+//! request channel), channel message counts, and the deepest observed
+//! request backlog.
+//!
+//! The ">= 2x at 4 shards" acceptance assertion compares threaded
+//! against single-threaded event mode at the largest tenant count and
+//! arms only on hosts with >= 4 cores — on smaller hosts the numbers
+//! are still reported, honestly, as what a core-starved machine does.
 
 use ctk_core::measures::MeasureKind;
 use ctk_core::session::{Algorithm, SessionConfig, UrReport};
@@ -31,10 +36,10 @@ struct Grid {
 
 fn full() -> Grid {
     Grid {
-        tenants: vec![100, 1_000, 10_000],
+        tenants: vec![1_000, 10_000, 100_000],
         shards: vec![1, 2, 4],
-        tuples: 9,
-        worlds: 600,
+        tuples: 8,
+        worlds: 256,
         budget: 4,
     }
 }
@@ -44,12 +49,12 @@ fn small() -> Grid {
         tenants: vec![48],
         shards: vec![1, 2],
         tuples: 8,
-        worlds: 400,
+        worlds: 256,
         budget: 3,
     }
 }
 
-/// Mixed per-tenant workloads, cheap enough that a 10k-tenant cell is
+/// Mixed per-tenant workloads, cheap enough that a 100k-tenant cell is
 /// dominated by the serving loop rather than the submit-time TPO builds.
 fn tenant_config(tenant: usize, worlds: usize, budget: usize) -> SessionConfig {
     let algorithm = match tenant % 4 {
@@ -70,12 +75,23 @@ fn tenant_config(tenant: usize, worlds: usize, budget: usize) -> SessionConfig {
     }
 }
 
+fn mode_str(mode: RunMode) -> &'static str {
+    match mode {
+        RunMode::Tick => "tick",
+        RunMode::Event => "event",
+        RunMode::EventThreaded => "event_threaded",
+    }
+}
+
 struct Cell {
     tenants: usize,
     shards: usize,
     mode: RunMode,
     elapsed_ms: f64,
     purchase_ms: f64,
+    stall_ms: f64,
+    messages: u64,
+    backlog: u64,
     rounds: u64,
     answers_served: u64,
     cache_hits: u64,
@@ -130,6 +146,9 @@ fn run_cell(
             mode,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             purchase_ms: metrics.purchase_time.as_secs_f64() * 1e3,
+            stall_ms: metrics.coordinator_stall.as_secs_f64() * 1e3,
+            messages: metrics.channel_messages,
+            backlog: metrics.channel_backlog_max,
             rounds: metrics.rounds,
             answers_served: metrics.answers_served,
             cache_hits: metrics.cache_hits,
@@ -149,15 +168,19 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let grid = if small_mode { small() } else { full() };
+    let cores = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     eprintln!(
-        "# shard-owned core: tenants {:?} x shards {:?} x modes [tick, event] (n={}, worlds={}, budget={}){}",
+        "# threaded shard topology: tenants {:?} x shards {:?} x modes [tick, event, event_threaded] (n={}, worlds={}, budget={}, {} cores){}",
         grid.tenants,
         grid.shards,
         grid.tuples,
         grid.worlds,
         grid.budget,
+        cores,
         if small_mode { " [small]" } else { "" }
     );
 
@@ -166,58 +189,74 @@ fn main() {
 
     let mut cells: Vec<Cell> = Vec::new();
     for &tenants in &grid.tenants {
-        let mut reference: Vec<UrReport> = Vec::new();
+        // The row anchor: tick mode at one shard, the configuration
+        // bit-compatible with the pre-shard loop.
+        let (anchor, reference) = run_cell(&table, &truth, &grid, tenants, 1, RunMode::Tick);
+        print_cell(&anchor);
+        cells.push(anchor);
         for &shards in &grid.shards {
-            for mode in [RunMode::Tick, RunMode::Event] {
+            for mode in [RunMode::Event, RunMode::EventThreaded] {
                 let (cell, reports) = run_cell(&table, &truth, &grid, tenants, shards, mode);
-                if reference.is_empty() {
-                    // First cell of the row is tick mode at one shard —
-                    // the configuration bit-compatible with the
-                    // pre-refactor loop — and anchors the row.
-                    assert_eq!(shards, 1);
-                    assert_eq!(mode, RunMode::Tick);
-                    reference = reports;
-                } else {
-                    for (t, (a, b)) in reference.iter().zip(&reports).enumerate() {
-                        assert!(
-                            a.same_outcome(b),
-                            "tenant {t} diverged at {tenants} tenants / {shards} shards / {mode:?}"
-                        );
-                    }
+                for (t, (a, b)) in reference.iter().zip(&reports).enumerate() {
+                    assert!(
+                        a.same_outcome(b),
+                        "tenant {t} diverged at {tenants} tenants / {shards} shards / {mode:?}"
+                    );
                 }
-                eprintln!(
-                    "# tenants {:>6} shards {:>2} {:<5}: {:>9.1} ms total, {:>8.1} ms purchase, {:>5} rounds, {:>6} answers ({} cached), {:>7} events, imbalance {:.3}",
-                    cell.tenants,
-                    cell.shards,
-                    format!("{:?}", cell.mode).to_lowercase(),
-                    cell.elapsed_ms,
-                    cell.purchase_ms,
-                    cell.rounds,
-                    cell.answers_served,
-                    cell.cache_hits,
-                    cell.events,
-                    cell.shard_imbalance,
-                );
+                print_cell(&cell);
                 cells.push(cell);
             }
         }
     }
 
+    // PR acceptance: at the largest tenant count, the threaded topology
+    // at 4 shards beats single-threaded event mode at 4 shards >= 2x on
+    // serving time. A core-starved host cannot show a parallel speedup
+    // (the same workers time-slice one core and pay the channel tax on
+    // top), so the assertion arms on >= 4 cores only — the JSON carries
+    // the honest numbers either way.
+    let top_tenants = *grid.tenants.iter().max().unwrap_or(&0);
+    let top = |mode: RunMode| {
+        cells
+            .iter()
+            .find(|c| c.tenants == top_tenants && c.shards == 4 && c.mode == mode)
+            .map(|c| c.elapsed_ms)
+    };
+    if let (Some(event_ms), Some(threaded_ms)) = (top(RunMode::Event), top(RunMode::EventThreaded))
+    {
+        let speedup = event_ms / threaded_ms.max(1e-9);
+        eprintln!(
+            "# 4-shard speedup at {top_tenants} tenants: {speedup:.2}x (event {event_ms:.1} ms vs threaded {threaded_ms:.1} ms)"
+        );
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "threaded 4-shard speedup {speedup:.2}x below the 2x acceptance bar"
+            );
+        } else {
+            eprintln!("# {cores} core(s): the 2x acceptance assertion arms on >= 4 cores");
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"bench_pr9\",\n  \"mode\": \"{}\",\n  \"config\": {{ \"tuples\": {}, \"worlds\": {}, \"budget\": {}, \"fanout\": 64 }},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"bench_pr10\",\n  \"mode\": \"{}\",\n  \"cores\": {},\n  \"config\": {{ \"tuples\": {}, \"worlds\": {}, \"budget\": {}, \"fanout\": 64 }},\n  \"cells\": [\n{}\n  ]\n}}\n",
         if small_mode { "small" } else { "full" },
+        cores,
         grid.tuples,
         grid.worlds,
         grid.budget,
         cells
             .iter()
             .map(|c| format!(
-                "    {{ \"tenants\": {}, \"shards\": {}, \"run_mode\": \"{}\", \"elapsed_ms\": {:.1}, \"purchase_ms\": {:.1}, \"rounds\": {}, \"answers_served\": {}, \"cache_hits\": {}, \"events\": {}, \"budget_granted\": {}, \"shard_imbalance\": {:.3} }}",
+                "    {{ \"tenants\": {}, \"shards\": {}, \"run_mode\": \"{}\", \"elapsed_ms\": {:.1}, \"purchase_ms\": {:.1}, \"stall_ms\": {:.1}, \"messages\": {}, \"backlog\": {}, \"rounds\": {}, \"answers_served\": {}, \"cache_hits\": {}, \"events\": {}, \"budget_granted\": {}, \"shard_imbalance\": {:.3} }}",
                 c.tenants,
                 c.shards,
-                format!("{:?}", c.mode).to_lowercase(),
+                mode_str(c.mode),
                 c.elapsed_ms,
                 c.purchase_ms,
+                c.stall_ms,
+                c.messages,
+                c.backlog,
                 c.rounds,
                 c.answers_served,
                 c.cache_hits,
@@ -228,6 +267,24 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n")
     );
-    std::fs::write(&out, &json).expect("write BENCH_PR9.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR10.json");
     eprintln!("# wrote {out}");
+}
+
+fn print_cell(cell: &Cell) {
+    eprintln!(
+        "# tenants {:>6} shards {:>2} {:<14}: {:>9.1} ms total, {:>8.1} ms purchase, {:>7.1} ms stall, {:>8} msgs, backlog {:>3}, {:>5} rounds, {:>7} answers ({} cached), imbalance {:.3}",
+        cell.tenants,
+        cell.shards,
+        mode_str(cell.mode),
+        cell.elapsed_ms,
+        cell.purchase_ms,
+        cell.stall_ms,
+        cell.messages,
+        cell.backlog,
+        cell.rounds,
+        cell.answers_served,
+        cell.cache_hits,
+        cell.shard_imbalance,
+    );
 }

@@ -15,9 +15,11 @@
 //! analysis prices). With reliable workers (accuracy 1) the cache is
 //! lossless.
 
+use crate::metrics::ServiceMetrics;
 use crate::registry::SessionId;
+use crate::shard::ShardLedger;
 use ctk_crowd::{Answer, Crowd, Question, RouteHint};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One remembered crowd verdict.
 #[derive(Debug, Clone, Copy)]
@@ -219,6 +221,104 @@ impl SessionAnswers {
     /// True when the crowd could not serve the whole request.
     pub fn starved(&self) -> bool {
         self.answers.len() < self.requested
+    }
+}
+
+/// How one session's pending batch ended at the purchase path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Every pending question was answered (cache or live).
+    Resolved,
+    /// Gated resolution hit a cache miss with no grant available: the
+    /// session parks `AwaitingBudget` with its remaining questions.
+    Parked,
+    /// The crowd could not answer a live question: the batch is
+    /// decisively cut to the prefix that was served (the driver reads the
+    /// partial set as "wind down", exactly like tick mode).
+    Starved,
+}
+
+/// Result of resolving one session's pending batch: the answers in
+/// request order, how many came from the cache, and how it ended.
+#[derive(Debug, Clone)]
+pub(crate) struct Resolution {
+    pub(crate) served: Vec<ServedAnswer>,
+    pub(crate) cache_hits: u64,
+    pub(crate) disposition: Disposition,
+}
+
+/// The event loops' purchase loop, shared verbatim by the in-place
+/// sweeps (`TopKService::resolve_session`) and the threaded topology's
+/// coordinator — one implementation is what makes the two modes
+/// equivalent by construction rather than by parallel maintenance.
+///
+/// Resolves `pending` front-to-back, cache-first, crowd-second. Gated,
+/// a cache miss with no grant unit available returns
+/// [`Disposition::Parked`] with `pending` holding the unresolved tail;
+/// ungated (tick-style resume), live asks are accounted via
+/// [`ShardLedger::note_spend`]. Counts cache hits, live purchases and
+/// routing splits on `metrics`.
+pub(crate) fn resolve_pending<C: Crowd, S: AnswerStore>(
+    pending: &mut VecDeque<(Question, RouteHint)>,
+    gated: bool,
+    ledger: &mut ShardLedger,
+    cache: &mut S,
+    crowd: &mut C,
+    metrics: &mut ServiceMetrics,
+) -> Resolution {
+    let mut served = Vec::new();
+    let mut cache_hits = 0u64;
+    while let Some(&(q, hint)) = pending.front() {
+        if let Some((answer, accuracy)) = cache.lookup(q) {
+            pending.pop_front();
+            cache_hits += 1;
+            metrics.cache_hits += 1;
+            served.push(ServedAnswer {
+                answer,
+                accuracy,
+                cached: true,
+            });
+            continue;
+        }
+        if gated && ledger.available() == 0 {
+            return Resolution {
+                served,
+                cache_hits,
+                disposition: Disposition::Parked,
+            };
+        }
+        let Some(answer) = crowd.ask_routed(q, hint) else {
+            pending.clear();
+            return Resolution {
+                served,
+                cache_hits,
+                disposition: Disposition::Starved,
+            };
+        };
+        pending.pop_front();
+        if gated {
+            ledger.spend_one();
+        } else {
+            ledger.note_spend(1);
+        }
+        let accuracy = crowd.answer_accuracy();
+        cache.store(answer, accuracy);
+        metrics.crowd_questions += 1;
+        match hint {
+            RouteHint::Expert => metrics.routed_expert += 1,
+            RouteHint::Cheap => metrics.routed_cheap += 1,
+            RouteHint::Any => {}
+        }
+        served.push(ServedAnswer {
+            answer,
+            accuracy,
+            cached: false,
+        });
+    }
+    Resolution {
+        served,
+        cache_hits,
+        disposition: Disposition::Resolved,
     }
 }
 

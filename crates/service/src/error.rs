@@ -1,0 +1,49 @@
+//! Typed service-layer errors.
+//!
+//! The workspace rule is panic-freedom in result-affecting library code:
+//! misuse of the service API surfaces as a value the caller can match
+//! on, not an `assert!` that takes the process down.
+
+use std::fmt;
+
+/// An error from the serving layer's own API (as opposed to a
+/// [`ctk_core::CoreError`] from a session's driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// A topology knob ([`crate::TopKService::with_shards`]) was turned
+    /// after sessions were already submitted. Resharding would re-home
+    /// live sessions (`shard = id mod shards`), silently orphaning their
+    /// registries — configure the topology first, then submit.
+    TopologyAfterSubmit {
+        /// Sessions already submitted when the call was made.
+        submitted: u64,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::TopologyAfterSubmit { submitted } => write!(
+                f,
+                "topology must be configured before the first submit \
+                 ({submitted} session(s) already registered)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_misuse() {
+        let err = ServiceError::TopologyAfterSubmit { submitted: 3 };
+        let s = err.to_string();
+        assert!(s.contains("before the first submit"), "{s}");
+        assert!(s.contains('3'), "{s}");
+    }
+}

@@ -31,34 +31,48 @@
 //!   [`ShardedAnswerCache`]): identical pairwise questions from different
 //!   tenants are answered once, then served from memory, before any
 //!   crowd budget is spent;
-//! * [`service`] — [`TopKService`] in two run modes: [`RunMode::Tick`]
+//! * [`service`] — [`TopKService`] in three run modes: [`RunMode::Tick`]
 //!   barrier rounds (gather/purchase/feed, bit-identical to the
-//!   pre-shard loop at one shard) and [`RunMode::Event`] sweeps draining
+//!   pre-shard loop at one shard), [`RunMode::Event`] sweeps draining
 //!   typed per-shard [`Event`] queues, with [`Quiescence`] telling
-//!   blocked-on-crowd apart from idle;
+//!   blocked-on-crowd apart from idle, and [`RunMode::EventThreaded`] —
+//!   the same event sweeps with every shard owned by a dedicated worker
+//!   thread;
+//! * [`topology`] — the threaded topology's coordinator/worker split:
+//!   per-shard threads run all shard-local phases, the coordinator
+//!   serves purchases and grants at a shard-order `mpsc` barrier
+//!   (DESIGN.md §15), keeping reports `same_outcome` with the
+//!   single-threaded event loop;
+//! * [`error`] — typed [`ServiceError`] for API misuse (topology changes
+//!   after the first submit), honoring the workspace panic-freedom rule;
 //! * [`metrics`] — throughput / latency-histogram / cache-hit /
-//!   shard-imbalance accounting.
+//!   shard-imbalance accounting, plus the threaded topology's
+//!   coordinator-stall, channel and per-shard sweep-time gauges.
 //!
 //! With reliable (accuracy-1) workers the multiplexing is *lossless*:
 //! every session's final report equals the one the standalone blocking
 //! [`ctk_core::session::UrSession::run`] produces under the same seed —
 //! the integration suite pins this for 36 concurrent tenants, pins that
 //! per-tenant reports are bit-identical at 1/2/4 worker threads, and pins
-//! that both run modes agree at 1/2/4 shards. See DESIGN.md §7, §9 and
-//! §14 for the architecture discussion.
+//! that all run modes agree at 1/2/4 shards (the threaded topology across
+//! 1/2/4 worker threads as well). See DESIGN.md §7, §9, §14 and §15 for
+//! the architecture discussion.
 
 pub mod batcher;
+pub mod error;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod shard;
+pub mod topology;
 
 pub use batcher::{
     AnswerCache, AnswerStore, RoundStats, ServedAnswer, SessionAnswers, ShardedAnswerCache,
 };
 pub use ctk_quality::QuestionRouter;
 pub use ctk_tpo::{PrecisionTarget, StopReason};
+pub use error::ServiceError;
 pub use metrics::ServiceMetrics;
 pub use registry::{Registry, SessionId, SessionSpec, SessionState};
 pub use scheduler::Scheduler;

@@ -118,6 +118,20 @@ pub(crate) struct SessionEntry {
     pub(crate) batch_hits: usize,
 }
 
+impl SessionEntry {
+    /// Arms the entry for one event-mode batch: the hinted questions
+    /// become the pending queue, the mailbox empties, and the session
+    /// moves to `AwaitingAnswers` (shared by the in-place sweep and the
+    /// threaded workers, so both arm identically).
+    pub(crate) fn begin_batch(&mut self, hinted: Vec<(Question, RouteHint)>) {
+        self.state = SessionState::AwaitingAnswers;
+        self.requested = hinted.len();
+        self.pending = hinted.into_iter().collect();
+        self.served.clear();
+        self.batch_hits = 0;
+    }
+}
+
 /// The set of sessions a service instance is responsible for.
 #[derive(Default)]
 pub struct Registry {

@@ -27,6 +27,16 @@
 //! [`TopKService::run_until_quiescent`] tells "blocked on the crowd"
 //! ([`Quiescence::BlockedOnCrowd`]) apart from a livelock.
 //!
+//! **Threaded event mode** ([`RunMode::EventThreaded`], DESIGN.md §15)
+//! runs the same event sweeps with each shard owned end to end by a
+//! dedicated worker thread, the calling thread coordinating the two
+//! global phases — the cache-first purchase merge and the grant
+//! reconciler — over `mpsc` channels at an explicit shard-order barrier
+//! (see the `topology` module). Reports are `same_outcome` with
+//! single-threaded event mode at every (shards, threads) combination,
+//! because both modes drive one shared purchase-loop implementation
+//! through the identical global operation order.
+//!
 //! Drivers are independent state machines (`SessionDriver: Send`,
 //! disjoint `&mut` borrows via the shard-aware registry); every
 //! cross-session effect — scheduling order, crowd spending, cache
@@ -35,8 +45,9 @@
 //! any fixed shard count.
 
 use crate::batcher::{
-    resolve_round_routed, AnswerStore, ServedAnswer, SessionAnswers, ShardedAnswerCache,
+    resolve_pending, resolve_round_routed, Disposition, SessionAnswers, ShardedAnswerCache,
 };
+use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
 use crate::registry::{Registry, SessionEntry, SessionId, SessionSpec, SessionState};
 use crate::scheduler::Scheduler;
@@ -66,6 +77,12 @@ pub enum RunMode {
     /// budget only through reconciled grants. Blocked-on-crowd is
     /// distinguishable from idle (see [`Quiescence`]).
     Event,
+    /// Event sweeps on the threaded topology: one worker thread per
+    /// shard, the calling thread coordinating purchases and grants at a
+    /// shard-order barrier (DESIGN.md §15). Per-tenant reports are
+    /// `same_outcome` with [`RunMode::Event`] at any (shards, threads)
+    /// combination; the threads only buy wall clock.
+    EventThreaded,
 }
 
 /// What one scheduling round (tick) or sweep (pump) did.
@@ -96,6 +113,17 @@ impl RoundOutcome {
             || self.answers_served > 0
             || self.events > 0
             || self.budget_granted > 0
+    }
+
+    /// Folds a sub-outcome in (the threaded coordinator merges worker
+    /// sweep outcomes in shard order).
+    pub(crate) fn merge(&mut self, other: &RoundOutcome) {
+        self.scheduled += other.scheduled;
+        self.answers_served += other.answers_served;
+        self.cache_hits += other.cache_hits;
+        self.finished += other.finished;
+        self.events += other.events;
+        self.budget_granted += other.budget_granted;
     }
 }
 
@@ -217,6 +245,12 @@ pub struct TopKService<C: Crowd> {
     crowd: C,
     cache: ShardedAnswerCache,
     shards: Vec<Shard>,
+    /// Per-shard budget-grant ledgers, indexed like `shards`. Kept beside
+    /// the crowd (not inside [`Shard`]) because grants are coordinator
+    /// state: in the threaded topology the workers own the shards while
+    /// the coordinator owns crowd + cache + ledgers, and every spend goes
+    /// through the sequential purchase path.
+    ledgers: Vec<ShardLedger>,
     /// Global id counter; ids stride across shards (`shard = id mod n`).
     next_id: u64,
     run_mode: RunMode,
@@ -257,6 +291,7 @@ impl<C: Crowd> TopKService<C> {
             crowd,
             cache: ShardedAnswerCache::new(1),
             shards: vec![Shard::new(None)],
+            ledgers: vec![ShardLedger::default()],
             next_id: 0,
             run_mode: RunMode::default(),
             metrics,
@@ -270,18 +305,25 @@ impl<C: Crowd> TopKService<C> {
     /// Partitions the serving core into `shards` shards (builder style;
     /// clamped to >= 1). Sessions stride across shards by id, the answer
     /// cache partitions by question hash, and each shard gets its own
-    /// scheduler queues and budget ledger. Must be called before the
-    /// first submit — resharding live sessions would re-home them.
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        assert!(
-            self.next_id == 0,
-            "configure shards before submitting sessions"
-        );
+    /// scheduler queues and budget ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TopologyAfterSubmit`] when sessions were already
+    /// submitted — resharding would re-home live sessions
+    /// (`shard = id mod shards`) and orphan their registries.
+    pub fn with_shards(mut self, shards: usize) -> std::result::Result<Self, ServiceError> {
+        if self.next_id != 0 {
+            return Err(ServiceError::TopologyAfterSubmit {
+                submitted: self.next_id,
+            });
+        }
         let n = shards.max(1);
         self.shards = (0..n).map(|_| Shard::new(self.fanout)).collect();
+        self.ledgers = vec![ShardLedger::default(); n];
         self.cache = ShardedAnswerCache::new(n);
         self.metrics.init_shards(n);
-        self
+        Ok(self)
     }
 
     /// Bounds how many sessions are served per round *per shard*
@@ -334,7 +376,7 @@ impl<C: Crowd> TopKService<C> {
     /// Budget-grant ledger of one shard (observability): lifetime grants,
     /// spends and reclaims, plus what is currently available.
     pub fn shard_ledger(&self, shard: usize) -> Option<&ShardLedger> {
-        self.shards.get(shard).map(|sh| &sh.ledger)
+        self.ledgers.get(shard)
     }
 
     /// Routes live questions by belief margin (builder style): questions
@@ -574,7 +616,7 @@ impl<C: Crowd> TopKService<C> {
         for sa in &served {
             let s = self.shard_of(sa.id);
             let live = sa.answers.iter().filter(|a| !a.cached).count() as u64;
-            self.shards[s].ledger.note_spend(live);
+            self.ledgers[s].note_spend(live);
             self.metrics
                 .record_shard_answers(s, sa.answers.len() as u64);
         }
@@ -648,7 +690,12 @@ impl<C: Crowd> TopKService<C> {
     /// ready-queue, schedule and gather runnable sessions, resolve each
     /// batch against cache and grants, drain again so same-sweep
     /// deliveries complete, then reconcile budget grants against parked
-    /// demand. Deterministic at any fixed shard count.
+    /// demand. Deterministic at any fixed shard count. (Calling this
+    /// directly on an [`RunMode::EventThreaded`] service runs the
+    /// identical sweep in place — manual pumping is single-threaded; the
+    /// worker topology exists only inside
+    /// [`TopKService::run_until_quiescent`], and produces the same
+    /// reports.)
     pub fn pump(&mut self) -> RoundOutcome {
         // ctk-allow(det-wall-clock): sweep-duration metric only; never feeds a decision
         let t0 = Instant::now();
@@ -683,12 +730,8 @@ impl<C: Crowd> TopKService<C> {
                             .registry
                             .get_mut(id)
                             .expect("scheduled id exists"); // ctk-allow(panic-unwrap): plan ids come from this shard's registry this sweep
-                        entry.state = SessionState::AwaitingAnswers;
                         let hinted = hint_batch(router.as_ref(), entry, batch);
-                        entry.requested = hinted.len();
-                        entry.pending = hinted.into_iter().collect();
-                        entry.served.clear();
-                        entry.batch_hits = 0;
+                        entry.begin_batch(hinted);
                         self.resolve_session(s, id, true, &mut outcome);
                     }
                     Err(err) => {
@@ -730,13 +773,15 @@ impl<C: Crowd> TopKService<C> {
         }
     }
 
-    /// Resolves a session's pending questions cache-first, crowd-second.
-    /// Gated (event mode), a cache miss with no grant available parks the
-    /// session `AwaitingBudget`; ungated (tick-style), live asks spend
-    /// crowd budget directly. A crowd that cannot answer decisively
-    /// starves the batch (prefix-cut, exactly the tick batcher's
-    /// semantics). A fully resolved or starved batch posts
-    /// [`Event::AnswersReady`].
+    /// Resolves a session's pending questions cache-first, crowd-second,
+    /// through the shared purchase loop
+    /// ([`crate::batcher::resolve_pending`] — the same implementation the
+    /// threaded coordinator drives). Gated (event mode), a cache miss
+    /// with no grant available parks the session `AwaitingBudget`;
+    /// ungated (tick-style), live asks spend crowd budget directly. A
+    /// crowd that cannot answer decisively starves the batch (prefix-cut,
+    /// exactly the tick batcher's semantics). A fully resolved or starved
+    /// batch posts [`Event::AnswersReady`].
     fn resolve_session(
         &mut self,
         s: usize,
@@ -750,111 +795,45 @@ impl<C: Crowd> TopKService<C> {
             crowd,
             cache,
             shards,
+            ledgers,
             metrics,
             ..
         } = self;
         let Shard {
-            registry,
-            ledger,
-            ready,
-            ..
+            registry, ready, ..
         } = &mut shards[s];
         // ctk-allow(panic-unwrap): resolve targets come from this shard's registry
         let entry = registry.get_mut(id).expect("resolved id exists");
-        while let Some(&(q, hint)) = entry.pending.front() {
-            if let Some((answer, accuracy)) = cache.lookup(q) {
-                entry.pending.pop_front();
-                entry.batch_hits += 1;
-                entry.served.push(ServedAnswer {
-                    answer,
-                    accuracy,
-                    cached: true,
-                });
-                metrics.cache_hits += 1;
-                outcome.cache_hits += 1;
-                continue;
-            }
-            if gated && ledger.available() == 0 {
+        let resolution = resolve_pending(
+            &mut entry.pending,
+            gated,
+            &mut ledgers[s],
+            cache,
+            crowd,
+            metrics,
+        );
+        outcome.cache_hits += resolution.cache_hits;
+        entry.batch_hits += resolution.cache_hits as usize;
+        entry.served.extend(resolution.served);
+        match resolution.disposition {
+            Disposition::Parked => {
                 // No grant to spend: park and let the reconciler decide.
                 entry.state = SessionState::AwaitingBudget;
-                metrics.purchase_time += p0.elapsed();
-                return;
             }
-            let Some(answer) = crowd.ask_routed(q, hint) else {
-                // Crowd exhausted (or the grant outran its cost-units):
-                // the batch is decisively starved — the driver reads the
-                // prefix as "wind down", exactly like tick mode.
-                entry.pending.clear();
-                break;
-            };
-            entry.pending.pop_front();
-            if gated {
-                ledger.spend_one();
-            } else {
-                ledger.note_spend(1);
+            Disposition::Resolved | Disposition::Starved => {
+                entry.state = SessionState::AwaitingAnswers;
+                ready.push_back(Event::AnswersReady(id));
             }
-            let accuracy = crowd.answer_accuracy();
-            cache.store(answer, accuracy);
-            metrics.crowd_questions += 1;
-            match hint {
-                RouteHint::Expert => metrics.routed_expert += 1,
-                RouteHint::Cheap => metrics.routed_cheap += 1,
-                RouteHint::Any => {}
-            }
-            entry.served.push(ServedAnswer {
-                answer,
-                accuracy,
-                cached: false,
-            });
         }
-        entry.state = SessionState::AwaitingAnswers;
-        ready.push_back(Event::AnswersReady(id));
         metrics.purchase_time += p0.elapsed();
     }
 
     /// Delivers a resolved batch from the session's mailbox to its
     /// driver, then advances the lifecycle (requeue, finalize or fail).
+    /// Delegates to the shard-local [`Shard::deliver`] the threaded
+    /// workers share.
     fn deliver(&mut self, s: usize, id: SessionId, outcome: &mut RoundOutcome) {
-        let (served_n, requested, status) = {
-            let entry = self.shards[s]
-                .registry
-                .get_mut(id)
-                .expect("delivered id exists"); // ctk-allow(panic-unwrap): AnswersReady events name ids of this shard's registry
-            let served = std::mem::take(&mut entry.served);
-            let requested = std::mem::replace(&mut entry.requested, 0);
-            entry.pending.clear();
-            entry.batch_hits = 0;
-            for sa in &served {
-                entry.ledger.record(sa.answer, usize::from(!sa.cached));
-            }
-            let graded: Vec<_> = served.iter().map(|a| (a.answer, a.accuracy)).collect();
-            // ctk-allow(panic-unwrap): awaiting entries always hold a driver; loud failure beats misattribution
-            let driver = entry.driver.as_mut().expect("awaiting session has driver");
-            (served.len(), requested, driver.feed_graded(&graded))
-        };
-        self.metrics.answers_served += served_n as u64;
-        self.metrics.record_shard_answers(s, served_n as u64);
-        outcome.answers_served += served_n as u64;
-        if served_n < requested {
-            self.metrics.starved += 1;
-        }
-        match status {
-            Ok(DriverStatus::Done) => {
-                self.finalize(id);
-                outcome.finished += 1;
-            }
-            Ok(DriverStatus::Active) => {
-                self.shards[s]
-                    .registry
-                    .get_mut(id)
-                    .expect("delivered id exists") // ctk-allow(panic-unwrap): same id as above
-                    .state = SessionState::Queued;
-            }
-            Err(err) => {
-                self.fail(id, err);
-                outcome.finished += 1;
-            }
-        }
+        self.shards[s].deliver(s, id, &mut self.metrics, outcome);
     }
 
     /// Reconciles budget grants against parked demand: reclaim every
@@ -864,11 +843,11 @@ impl<C: Crowd> TopKService<C> {
     /// serve; issuing zero grants is not progress, which is what lets
     /// quiescence detection distinguish blocked-on-crowd from livelock.
     fn reconcile_budget(&mut self, outcome: &mut RoundOutcome) {
-        for shard in &mut self.shards {
-            shard.ledger.reclaim();
+        for ledger in &mut self.ledgers {
+            ledger.reclaim();
         }
         let mut pool = self.crowd.remaining();
-        for shard in &mut self.shards {
+        for (shard, ledger) in self.shards.iter_mut().zip(&mut self.ledgers) {
             if pool == 0 {
                 break;
             }
@@ -876,7 +855,7 @@ impl<C: Crowd> TopKService<C> {
             let granted = want.min(pool);
             if granted > 0 {
                 pool -= granted;
-                shard.ledger.grant(granted);
+                ledger.grant(granted);
                 shard.ready.push_back(Event::BudgetGranted { granted });
                 self.metrics.budget_granted += granted as u64;
                 outcome.budget_granted += granted as u64;
@@ -915,6 +894,21 @@ impl<C: Crowd> TopKService<C> {
                     Quiescence::BlockedOnCrowd { sessions }
                 }
             }
+            RunMode::EventThreaded => {
+                let Self {
+                    crowd,
+                    cache,
+                    shards,
+                    ledgers,
+                    metrics,
+                    router,
+                    threads,
+                    ..
+                } = self;
+                crate::topology::run_threaded(
+                    crowd, cache, shards, ledgers, metrics, *router, *threads,
+                )
+            }
         }
     }
 
@@ -931,13 +925,7 @@ impl<C: Crowd> TopKService<C> {
                 Quiescence::BlockedOnCrowd { sessions } => {
                     for id in sessions {
                         let s = self.shard_of(id);
-                        let entry = self.shards[s]
-                            .registry
-                            .get_mut(id)
-                            .expect("parked id exists"); // ctk-allow(panic-unwrap): quiescence lists ids from these registries
-                        entry.pending.clear();
-                        entry.state = SessionState::AwaitingAnswers;
-                        self.shards[s].ready.push_back(Event::AnswersReady(id));
+                        self.shards[s].force_starve(id);
                     }
                 }
             }
@@ -984,50 +972,19 @@ impl<C: Crowd> TopKService<C> {
 
     fn finalize(&mut self, id: SessionId) {
         let s = self.shard_of(id);
-        let entry = self.shards[s]
-            .registry
-            .get_mut(id)
-            .expect("finalized id exists"); // ctk-allow(panic-unwrap): finalize is called once per done/failed id
-        let driver = entry.driver.take().expect("finalize once"); // ctk-allow(panic-unwrap): state machine guarantees a live driver here
-        match driver.finish() {
-            Ok(report) => {
-                self.metrics.worlds_drawn += report.worlds_drawn as u64;
-                self.metrics.certain_early_stops += u64::from(report.certain_early_stop);
-                entry.report = Some(report);
-                entry.state = SessionState::Done;
-                let latency = entry.submitted_at.elapsed();
-                entry.latency = Some(latency);
-                self.metrics.completed += 1;
-                self.metrics.record_latency(latency);
-                self.metrics.record_shard_completed(s);
-            }
-            Err(err) => {
-                entry.error = Some(err);
-                entry.state = SessionState::Failed;
-                self.metrics.failed += 1;
-            }
-        }
-        self.shards[s].ready.push_back(Event::Finished(id));
+        self.shards[s].finalize_session(s, id, &mut self.metrics);
     }
 
     fn fail(&mut self, id: SessionId, err: CoreError) {
         let s = self.shard_of(id);
-        let entry = self.shards[s]
-            .registry
-            .get_mut(id)
-            .expect("failed id exists"); // ctk-allow(panic-unwrap): fail() receives ids from this round's plan
-        entry.driver = None;
-        entry.error = Some(err);
-        entry.state = SessionState::Failed;
-        self.metrics.failed += 1;
-        self.shards[s].ready.push_back(Event::Finished(id));
+        self.shards[s].fail_session(id, err, &mut self.metrics);
     }
 }
 
 /// Attaches a [`RouteHint`] to every question of a batch: the hint the
 /// session's *current* belief margin implies when a router is
 /// configured, [`RouteHint::Any`] otherwise.
-fn hint_batch(
+pub(crate) fn hint_batch(
     router: Option<&QuestionRouter>,
     entry: &SessionEntry,
     batch: Vec<Question>,
@@ -1066,7 +1023,7 @@ const PARALLEL_SESSIONS_MIN: usize = 3;
 /// are reassembled by chunk order (= item order). The sequential path is
 /// the `threads == 1` special case of the same code shape, so any thread
 /// count computes the identical result vector.
-fn run_sharded<T: Send, R: Send>(
+pub(crate) fn run_sharded<T: Send, R: Send>(
     items: &mut [T],
     threads: usize,
     work: impl Fn(&mut T) -> R + Sync,
@@ -1440,11 +1397,13 @@ mod tests {
             Algorithm::T1On,
             Algorithm::TbOff,
         ];
-        let run = |mode: RunMode, shards: usize| {
+        let run = |mode: RunMode, shards: usize, threads: usize| {
             let mut svc = service(1000)
                 .with_shards(shards)
+                .expect("configured before submit")
                 .with_fanout(3)
-                .with_run_mode(mode);
+                .with_run_mode(mode)
+                .with_threads(threads);
             let ids: Vec<_> = algorithms
                 .iter()
                 .enumerate()
@@ -1460,14 +1419,26 @@ mod tests {
                 .map(|id| svc.report(id).unwrap().clone())
                 .collect::<Vec<_>>()
         };
-        let reference = run(RunMode::Tick, 1);
+        let reference = run(RunMode::Tick, 1, 1);
         for shards in [1usize, 2, 4] {
             for mode in [RunMode::Tick, RunMode::Event] {
-                let got = run(mode, shards);
+                let got = run(mode, shards, 1);
                 for (tenant, (a, b)) in reference.iter().zip(&got).enumerate() {
                     assert!(
                         a.same_outcome(b),
                         "tenant {tenant} diverged in {mode:?} mode at {shards} shards"
+                    );
+                }
+            }
+            // The threaded topology must agree at every (shards, threads)
+            // combination — the tentpole's acceptance matrix.
+            for threads in [1usize, 2, 4] {
+                let got = run(RunMode::EventThreaded, shards, threads);
+                for (tenant, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert!(
+                        a.same_outcome(b),
+                        "tenant {tenant} diverged in threaded event mode at \
+                         {shards} shards / {threads} threads"
                     );
                 }
             }
@@ -1482,7 +1453,10 @@ mod tests {
         // sessions as blocked on the crowd — and pumping a blocked
         // service must NOT count as progress (zero grants are not
         // progress). run_to_completion then force-starves them to Done.
-        let mut svc = service(3).with_shards(2).with_run_mode(RunMode::Event);
+        let mut svc = service(3)
+            .with_shards(2)
+            .expect("configured before submit")
+            .with_run_mode(RunMode::Event);
         let a = svc
             .submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
             .unwrap();
@@ -1516,7 +1490,10 @@ mod tests {
         // Every live question in event mode is bought through an explicit
         // grant, and the per-shard ledgers must reconcile exactly with
         // the global metrics.
-        let mut svc = service(1000).with_shards(4).with_run_mode(RunMode::Event);
+        let mut svc = service(1000)
+            .with_shards(4)
+            .expect("configured before submit")
+            .with_run_mode(RunMode::Event);
         let ids: Vec<_> = (0..6)
             .map(|t| {
                 svc.submit(&table(), SessionSpec::new(config(Algorithm::T1On, t)))
@@ -1548,12 +1525,97 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "configure shards before submitting")]
+    fn shard_imbalance_moves_off_one_under_skew() {
+        // BENCH_PR9 reported `shard_imbalance == 1.000` in every cell —
+        // correct for its uniform per-tenant budgets, but that never
+        // exercised the metric's skew arm. Heavy-tailed workload: both
+        // big-budget tenants land on shard 0 (`shard = id % 4`), the six
+        // one-answer tenants spread over the rest.
+        let mut svc = service(1000)
+            .with_shards(4)
+            .expect("configured before submit")
+            .with_run_mode(RunMode::Event);
+        for t in 0..8u64 {
+            let mut cfg = config(Algorithm::T1On, t);
+            cfg.budget = if t % 4 == 0 { 6 } else { 1 };
+            svc.submit(&table(), SessionSpec::new(cfg)).unwrap();
+        }
+        svc.run_to_completion();
+        let m = svc.metrics().clone();
+        assert_eq!(m.completed, 8);
+        // Light tenants deliver exactly 1 answer; the two heavy ones at
+        // least 2 each (a 1-question budget cannot certify a top-3 over
+        // these overlapping distributions). Worst case: shard 0 serves 4
+        // of 10 answers -> imbalance = 4 * 4 / 10 = 1.6.
+        assert!(
+            m.shard_imbalance() > 1.5,
+            "heavy-tailed workload must skew the imbalance gauge, got {:.3} over {:?}",
+            m.shard_imbalance(),
+            m.shard_answers()
+        );
+    }
+
+    #[test]
+    fn threaded_starvation_blocks_the_same_sessions_as_event() {
+        // Crowd starvation under the threaded topology: the coordinator's
+        // zero-grant reconcile must diagnose BlockedOnCrowd with exactly
+        // the session set the single-threaded event loop reports, and
+        // force-starved completion must agree too.
+        let run = |mode: RunMode| {
+            let mut svc = service(3)
+                .with_shards(2)
+                .expect("configured before submit")
+                .with_run_mode(mode)
+                .with_threads(2);
+            let ids: Vec<_> = (0..4)
+                .map(|t| {
+                    svc.submit(&table(), SessionSpec::new(config(Algorithm::Random, t)))
+                        .unwrap()
+                })
+                .collect();
+            let blocked = match svc.run_until_quiescent() {
+                Quiescence::BlockedOnCrowd { mut sessions } => {
+                    sessions.sort_unstable();
+                    sessions
+                }
+                Quiescence::Idle => panic!("a starved crowd must block, not idle"),
+            };
+            svc.run_to_completion();
+            let reports: Vec<_> = ids.iter().map(|id| svc.report(*id).cloned()).collect();
+            (blocked, reports, svc.metrics().starved)
+        };
+        let (blocked_e, reports_e, starved_e) = run(RunMode::Event);
+        let (blocked_t, reports_t, starved_t) = run(RunMode::EventThreaded);
+        assert!(!blocked_e.is_empty(), "someone must be parked");
+        assert_eq!(blocked_e, blocked_t, "blocked session sets must agree");
+        assert_eq!(starved_e, starved_t);
+        for (tenant, (a, b)) in reports_e.iter().zip(&reports_t).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => assert!(
+                    a.same_outcome(b),
+                    "tenant {tenant} diverged between event and threaded event"
+                ),
+                _ => panic!("tenant {tenant} missing a report"),
+            }
+        }
+    }
+
+    #[test]
     fn shards_cannot_be_reconfigured_after_submit() {
+        // Workspace panic-freedom rule: topology misuse is a typed error
+        // the caller can match on, not an assert.
         let mut svc = service(10);
         svc.submit(&table(), SessionSpec::new(config(Algorithm::T1On, 0)))
             .unwrap();
-        let _ = svc.with_shards(2);
+        match svc.with_shards(2) {
+            Err(ServiceError::TopologyAfterSubmit { submitted }) => {
+                assert_eq!(submitted, 1);
+            }
+            Ok(_) => panic!("resharding after submit must be rejected"),
+        }
+        // Before any submit the same call succeeds (and clamps to >= 1).
+        let svc = service(10).with_shards(0).expect("no sessions yet");
+        assert_eq!(svc.shard_count(), 1);
     }
 
     /// A crowd whose answer accuracy drifts between rounds — the scenario

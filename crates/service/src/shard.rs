@@ -1,7 +1,8 @@
 //! Shard-owned serving state: each shard owns its sessions end to end —
-//! registry, scheduler queues, budget grants and an event ready-queue —
-//! so nothing a shard does to its own sessions contends with another
-//! shard (DESIGN.md §14).
+//! registry, scheduler queues and an event ready-queue — so nothing a
+//! shard does to its own sessions contends with another shard
+//! (DESIGN.md §14). Under the threaded topology (§15) a whole [`Shard`]
+//! moves onto a dedicated worker thread.
 //!
 //! Sessions are strided across shards by id (`shard = id mod shards`);
 //! the answer cache shards separately by question hash (see
@@ -11,14 +12,21 @@
 //! Budget is reconciled, not shared: the crowd's remaining budget is the
 //! single source of truth, and shards spend it only through explicit
 //! [`ShardLedger`] grants issued by the service's reconciler in shard
-//! order. Every reconcile first reclaims all unspent grants and then
-//! re-grants against current demand, so the sum of outstanding grants
-//! never exceeds what the crowd can actually serve — and a zero-grant
-//! reconcile is *not* progress, which is what lets the event loop tell
-//! "blocked on the crowd" apart from livelock.
+//! order. The ledgers live beside the crowd on the coordinator side (the
+//! service in the in-place modes, the coordinator thread in the threaded
+//! topology) — a shard never spends crowd budget except through the
+//! sequential purchase path. Every reconcile first reclaims all unspent
+//! grants and then re-grants against current demand, so the sum of
+//! outstanding grants never exceeds what the crowd can actually serve —
+//! and a zero-grant reconcile is *not* progress, which is what lets the
+//! event loop tell "blocked on the crowd" apart from livelock.
 
-use crate::registry::{Registry, SessionId};
+use crate::metrics::ServiceMetrics;
+use crate::registry::{Registry, SessionId, SessionState};
 use crate::scheduler::Scheduler;
+use crate::service::RoundOutcome;
+use ctk_core::driver::DriverStatus;
+use ctk_core::CoreError;
 use std::collections::VecDeque;
 
 /// One unit of work the event loop drains from a shard's ready-queue.
@@ -111,13 +119,13 @@ impl ShardLedger {
 }
 
 /// One shard of the serving core: the sessions it owns, their scheduler,
-/// the budget grants it may spend, and the event queue the run loop
-/// drains. Shards are processed in index order everywhere, which is what
-/// makes the event loop deterministic at any fixed shard count.
+/// and the event queue the run loop drains. Shards are processed in
+/// index order everywhere — in-place sweeps iterate them, the threaded
+/// coordinator serves their purchase requests — which is what makes the
+/// event loop deterministic at any fixed shard count.
 pub(crate) struct Shard {
     pub(crate) registry: Registry,
     pub(crate) scheduler: Scheduler,
-    pub(crate) ledger: ShardLedger,
     pub(crate) ready: VecDeque<Event>,
 }
 
@@ -129,9 +137,115 @@ impl Shard {
                 Some(f) => Scheduler::with_fanout(f),
                 None => Scheduler::new(),
             },
-            ledger: ShardLedger::default(),
             ready: VecDeque::new(),
         }
+    }
+
+    /// Finishes a `Done`/about-to-be-`Done` session: takes the driver,
+    /// produces the report, and records completion metrics against shard
+    /// index `s`. Purely shard-local — shared by the in-place loops and
+    /// the per-shard worker threads.
+    pub(crate) fn finalize_session(
+        &mut self,
+        s: usize,
+        id: SessionId,
+        metrics: &mut ServiceMetrics,
+    ) {
+        let entry = self.registry.get_mut(id).expect("finalized id exists"); // ctk-allow(panic-unwrap): finalize is called once per done/failed id
+        let driver = entry.driver.take().expect("finalize once"); // ctk-allow(panic-unwrap): state machine guarantees a live driver here
+        match driver.finish() {
+            Ok(report) => {
+                metrics.worlds_drawn += report.worlds_drawn as u64;
+                metrics.certain_early_stops += u64::from(report.certain_early_stop);
+                entry.report = Some(report);
+                entry.state = SessionState::Done;
+                let latency = entry.submitted_at.elapsed();
+                entry.latency = Some(latency);
+                metrics.completed += 1;
+                metrics.record_latency(latency);
+                metrics.record_shard_completed(s);
+            }
+            Err(err) => {
+                entry.error = Some(err);
+                entry.state = SessionState::Failed;
+                metrics.failed += 1;
+            }
+        }
+        self.ready.push_back(Event::Finished(id));
+    }
+
+    /// Marks a session `Failed` with `err` (driver dropped). Shard-local.
+    pub(crate) fn fail_session(
+        &mut self,
+        id: SessionId,
+        err: CoreError,
+        metrics: &mut ServiceMetrics,
+    ) {
+        let entry = self.registry.get_mut(id).expect("failed id exists"); // ctk-allow(panic-unwrap): fail() receives ids from this round's plan
+        entry.driver = None;
+        entry.error = Some(err);
+        entry.state = SessionState::Failed;
+        metrics.failed += 1;
+        self.ready.push_back(Event::Finished(id));
+    }
+
+    /// Delivers a resolved batch from the session's mailbox to its
+    /// driver, then advances the lifecycle (requeue, finalize or fail).
+    /// Purely shard-local: the answers were already bought through the
+    /// sequential purchase path.
+    pub(crate) fn deliver(
+        &mut self,
+        s: usize,
+        id: SessionId,
+        metrics: &mut ServiceMetrics,
+        outcome: &mut RoundOutcome,
+    ) {
+        let (served_n, requested, status) = {
+            let entry = self.registry.get_mut(id).expect("delivered id exists"); // ctk-allow(panic-unwrap): AnswersReady events name ids of this shard's registry
+            let served = std::mem::take(&mut entry.served);
+            let requested = std::mem::replace(&mut entry.requested, 0);
+            entry.pending.clear();
+            entry.batch_hits = 0;
+            for sa in &served {
+                entry.ledger.record(sa.answer, usize::from(!sa.cached));
+            }
+            let graded: Vec<_> = served.iter().map(|a| (a.answer, a.accuracy)).collect();
+            // ctk-allow(panic-unwrap): awaiting entries always hold a driver; loud failure beats misattribution
+            let driver = entry.driver.as_mut().expect("awaiting session has driver");
+            (served.len(), requested, driver.feed_graded(&graded))
+        };
+        metrics.answers_served += served_n as u64;
+        metrics.record_shard_answers(s, served_n as u64);
+        outcome.answers_served += served_n as u64;
+        if served_n < requested {
+            metrics.starved += 1;
+        }
+        match status {
+            Ok(DriverStatus::Done) => {
+                self.finalize_session(s, id, metrics);
+                outcome.finished += 1;
+            }
+            Ok(DriverStatus::Active) => {
+                self.registry
+                    .get_mut(id)
+                    .expect("delivered id exists") // ctk-allow(panic-unwrap): same id as above
+                    .state = SessionState::Queued;
+            }
+            Err(err) => {
+                self.fail_session(id, err, metrics);
+                outcome.finished += 1;
+            }
+        }
+    }
+
+    /// Force-starves a parked session: its unresolved questions are
+    /// dropped and the prefix it did resolve is queued for delivery —
+    /// exactly what tick mode's exhausted-crowd path does.
+    pub(crate) fn force_starve(&mut self, id: SessionId) {
+        let entry = self.registry.get_mut(id).expect("parked id exists"); // ctk-allow(panic-unwrap): quiescence lists ids from this registry
+        entry.pending.clear();
+        entry.state = SessionState::AwaitingAnswers;
+        self.ready.push_back(Event::AnswersReady(id));
     }
 }
 

@@ -1,0 +1,156 @@
+//! Property: the threaded event topology is *invisible in the results*.
+//!
+//! For randomized tenant mixes, shard counts, worker-thread counts and
+//! crowd budgets (including starvation-tight ones), `RunMode::EventThreaded`
+//! must agree with single-threaded `RunMode::Event` on
+//!
+//! * the quiescence diagnosis — `BlockedOnCrowd` with the *same* blocked
+//!   session set, or `Idle`;
+//! * every per-tenant final report (`same_outcome`), after
+//!   `run_to_completion` force-starves whatever stayed parked;
+//! * the cross-session economics: crowd spend, cache hits, answers
+//!   served, starvation count.
+//!
+//! This is the randomized counterpart of the fixed 8-algorithm matrix in
+//! `service.rs` — the matrix pins the (shards × threads) grid, this pins
+//! the long tail of odd tenant mixes and tight budgets (DESIGN.md §15).
+
+use ctk_core::measures::MeasureKind;
+use ctk_core::session::{Algorithm, SessionConfig};
+use ctk_crowd::{CrowdSimulator, GroundTruth, PerfectWorker, VotePolicy};
+use ctk_datagen::{generate, DatasetSpec};
+use ctk_prob::UncertainTable;
+use ctk_service::{Quiescence, RunMode, SessionId, SessionSpec, TopKService};
+use ctk_tpo::build::{Engine, McConfig};
+use proptest::prelude::*;
+
+fn table() -> UncertainTable {
+    generate(&DatasetSpec::paper_default(7, 0.35, 2024)).expect("valid spec")
+}
+
+#[derive(Debug, Clone)]
+struct Tenant {
+    algorithm: u8,
+    seed: u64,
+    budget: usize,
+    priority: u8,
+}
+
+fn tenant_config(t: &Tenant) -> SessionConfig {
+    let algorithm = match t.algorithm % 6 {
+        0 => Algorithm::T1On,
+        1 => Algorithm::TbOff,
+        2 => Algorithm::Naive,
+        3 => Algorithm::Random,
+        4 => Algorithm::COff,
+        _ => Algorithm::Incr {
+            questions_per_round: 2,
+        },
+    };
+    SessionConfig {
+        k: 2,
+        budget: t.budget,
+        measure: MeasureKind::WeightedEntropy,
+        algorithm,
+        engine: Engine::MonteCarlo(McConfig::fixed(400, 17)),
+        seed: t.seed,
+        uncertainty_target: None,
+    }
+}
+
+fn tenant_strategy() -> impl Strategy<Value = Tenant> {
+    (0u8..6, 0u64..4, 2usize..=5, 0u8..3).prop_map(|(algorithm, seed, budget, priority)| Tenant {
+        algorithm,
+        seed,
+        budget,
+        priority,
+    })
+}
+
+/// One full serve under the given mode; returns the quiescence diagnosis
+/// (blocked set sorted), the per-tenant reports after forced completion,
+/// and the economics counters that must not depend on the topology.
+#[allow(clippy::type_complexity)]
+fn serve(
+    table: &UncertainTable,
+    tenants: &[Tenant],
+    crowd_budget: usize,
+    shards: usize,
+    threads: usize,
+    mode: RunMode,
+) -> (
+    Option<Vec<SessionId>>,
+    Vec<ctk_core::session::UrReport>,
+    [u64; 4],
+) {
+    let truth = GroundTruth::sample(table, 77);
+    let crowd = CrowdSimulator::new(truth, PerfectWorker, VotePolicy::Single, crowd_budget)
+        .expect("valid vote policy");
+    let mut svc = TopKService::new(crowd)
+        .with_shards(shards)
+        .expect("topology set before any submit")
+        .with_run_mode(mode)
+        .with_threads(threads)
+        .with_fanout(3);
+    let ids: Vec<_> = tenants
+        .iter()
+        .map(|t| {
+            svc.submit(
+                table,
+                SessionSpec::new(tenant_config(t)).with_priority(t.priority),
+            )
+            .expect("valid tenant config")
+        })
+        .collect();
+    let blocked = match svc.run_until_quiescent() {
+        Quiescence::Idle => None,
+        Quiescence::BlockedOnCrowd { mut sessions } => {
+            sessions.sort_unstable();
+            Some(sessions)
+        }
+    };
+    svc.run_to_completion();
+    let reports = ids
+        .iter()
+        .map(|id| svc.report(*id).expect("completed").clone())
+        .collect();
+    let m = svc.metrics();
+    (
+        blocked,
+        reports,
+        [m.crowd_questions, m.cache_hits, m.answers_served, m.starved],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_event_is_invisible_in_the_results(
+        tenants in proptest::collection::vec(tenant_strategy(), 3..=8),
+        shards in 1usize..=4,
+        threads in 1usize..=3,
+        // Tight budgets starve (BlockedOnCrowd must agree on the parked
+        // set); the ample arm exercises full completion.
+        crowd_budget in prop_oneof![3usize..=10, Just(100_000usize)],
+    ) {
+        let table = table();
+        let (blocked_e, reports_e, econ_e) =
+            serve(&table, &tenants, crowd_budget, shards, 1, RunMode::Event);
+        let (blocked_t, reports_t, econ_t) =
+            serve(&table, &tenants, crowd_budget, shards, threads, RunMode::EventThreaded);
+        prop_assert_eq!(
+            &blocked_e, &blocked_t,
+            "quiescence diagnosis diverged (event {:?} vs threaded {:?})",
+            blocked_e, blocked_t
+        );
+        prop_assert_eq!(econ_e, econ_t, "cross-session economics diverged");
+        for (tenant, (a, b)) in reports_e.iter().zip(&reports_t).enumerate() {
+            prop_assert!(
+                a.same_outcome(b),
+                "tenant {} diverged at {} shards / {} threads",
+                tenant, shards, threads
+            );
+        }
+    }
+}

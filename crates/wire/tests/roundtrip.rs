@@ -31,7 +31,9 @@ fn arb_hint(rng: &mut TestRng) -> RouteHint {
 }
 
 fn arb_opt_f64(rng: &mut TestRng) -> Option<f64> {
-    (rng.next_u32() % 2 == 0).then(|| rng.unit_f64() * 4.0 - 2.0)
+    rng.next_u32()
+        .is_multiple_of(2)
+        .then(|| rng.unit_f64() * 4.0 - 2.0)
 }
 
 fn arb_questions_frame() -> impl Strategy<Value = Frame> {

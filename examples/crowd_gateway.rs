@@ -233,6 +233,7 @@ fn main() {
     let gateway = Gateway::new(crowd());
     let mut remote = TopKService::new(WireCrowd::new(gateway, 1.0))
         .with_shards(2)
+        .expect("topology set before any submit")
         .with_run_mode(RunMode::Event)
         .with_fanout(4);
     let remote_ids = submit_all(&mut remote, &table, &top);

@@ -3,15 +3,16 @@
 //! deduplication and a sharded round loop.
 //!
 //! Run with:
-//! `cargo run --release --example many_tenants [-- --threads N] [--shards N] [--mode tick|event] [--digest]`
+//! `cargo run --release --example many_tenants [-- --threads N] [--shards N] [--mode tick|event|threaded] [--digest]`
 //!
-//! `--threads N` pins the round loop's worker thread count (default: all
-//! cores). `--shards N` partitions the sessions across N shard-owned
-//! registries (default 1); `--mode` picks the barrier tick loop or the
-//! event-driven sweep (default tick). `--digest` prints only a
-//! timing-free per-tenant outcome digest — CI runs the example across
-//! thread counts, shard counts and both run modes and diffs the digests
-//! to smoke-check that the serving topology is invisible in the results.
+//! `--threads N` pins the worker thread count (default: all cores).
+//! `--shards N` partitions the sessions across N shard-owned registries
+//! (default 1); `--mode` picks the barrier tick loop, the event-driven
+//! sweep, or the threaded topology with one worker thread per shard
+//! (default tick). `--digest` prints only a timing-free per-tenant
+//! outcome digest — CI runs the example across thread counts, shard
+//! counts and all run modes and diffs the digests to smoke-check that
+//! the serving topology is invisible in the results.
 
 use crowd_topk::core::measures::MeasureKind;
 use crowd_topk::core::session::{Algorithm, SessionConfig, UrSession};
@@ -62,8 +63,9 @@ fn main() {
         .max(1);
     let mode = match flag("--mode").map(String::as_str) {
         Some("event") => RunMode::Event,
+        Some("threaded") => RunMode::EventThreaded,
         Some("tick") | None => RunMode::Tick,
-        Some(other) => panic!("unknown --mode {other:?} (expected tick or event)"),
+        Some(other) => panic!("unknown --mode {other:?} (expected tick, event or threaded)"),
     };
 
     // One shared object universe: ten items with overlapping uncertain
@@ -79,6 +81,7 @@ fn main() {
     // work sharded across the configured worker threads.
     let mut service = TopKService::new(crowd)
         .with_shards(shards)
+        .expect("topology set before any submit")
         .with_run_mode(mode)
         .with_fanout(8)
         .with_threads(threads);

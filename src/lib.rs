@@ -64,6 +64,6 @@ pub mod prelude {
     pub use ctk_prob::{ScoreDist, TupleId, UncertainTable};
     pub use ctk_quality::{QualityConfig, QualityCrowd, QuestionRouter, WorkerSpec};
     pub use ctk_rank::RankList;
-    pub use ctk_service::{SessionSpec, SessionState, TopKService};
+    pub use ctk_service::{ServiceError, SessionSpec, SessionState, TopKService};
     pub use ctk_tpo::{PathSet, Tpo};
 }
